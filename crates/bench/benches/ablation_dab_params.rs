@@ -1,0 +1,67 @@
+//! Ablation: DAB's secondary hardware parameters.
+//!
+//! Two knobs the paper fixes without a sweep: the buffer-write latency
+//! (atomics are "treated like regular arithmetic operations during
+//! execute") and the pre-flush protocol cost (one message per SM per
+//! partition per epoch). This sweep bounds how much either matters.
+
+use dab::{DabConfig, Relaxation};
+use dab_bench::{banner, ratio, Runner, Table};
+use dab_workloads::suite::full_suite;
+
+fn main() {
+    let runner = Runner::from_env();
+    banner(
+        "Ablation: DAB params",
+        "Buffer-write latency and flush-protocol cost",
+        &runner,
+    );
+    let suite = full_suite(runner.scale);
+    let picks = ["BC_1k", "BC_fol", "PRK_coA", "cnv3_2", "cnv4_1"];
+
+    println!("--- buffer write latency (cycles per buffered warp atomic) ---");
+    let mut t = Table::new(&["benchmark", "1 cycle", "4 cycles (default)", "8 cycles"]);
+    for b in suite.iter().filter(|b| picks.contains(&b.name.as_str())) {
+        println!("  {}:", b.name);
+        let base = runner.baseline(&b.kernels).cycles() as f64;
+        let mut row = vec![b.name.clone()];
+        for lat in [1u32, 4, 8] {
+            let cfg = DabConfig {
+                buffer_write_cycles: lat,
+                ..DabConfig::paper_default()
+            };
+            row.push(ratio(runner.dab(cfg, &b.kernels).cycles() as f64 / base));
+        }
+        t.row(row);
+    }
+    println!();
+    t.print();
+    println!();
+
+    println!("--- flush-protocol accounting (headline config) ---");
+    let mut t = Table::new(&[
+        "benchmark", "flushes", "pre-flush msgs", "flush txs", "protocol overhead",
+    ]);
+    for b in suite.iter().filter(|b| picks.contains(&b.name.as_str())) {
+        println!("  {}:", b.name);
+        let full = runner.dab(DabConfig::paper_default(), &b.kernels);
+        // NR drops the pre-flush messages and partition reordering; the
+        // cycle difference bounds the whole ordering protocol's cost.
+        let nr = runner.dab(
+            DabConfig::paper_default().with_relaxation(Relaxation::Nr),
+            &b.kernels,
+        );
+        t.row(vec![
+            b.name.clone(),
+            full.stats.counter("dab.flushes").to_string(),
+            full.stats.counter("dab.preflush_msgs").to_string(),
+            full.stats.counter("dab.flush_txs").to_string(),
+            ratio(full.cycles() as f64 / nr.cycles() as f64),
+        ]);
+    }
+    println!();
+    t.print();
+    println!();
+    println!("(protocol overhead = full DAB time / DAB-NR time: the price of the");
+    println!(" deterministic reordering itself, typically a few percent)");
+}

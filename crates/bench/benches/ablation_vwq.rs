@@ -1,0 +1,54 @@
+//! Ablation: the virtual-write-queue feasibility claim (Section V).
+//!
+//! The paper models the partition flush-reorder buffer as a virtual write
+//! queue carved out of the L2 and reports that mimicking it — "each
+//! out-of-order atomic triggering L2 cache evictions" — increased the total
+//! L2 miss rate by less than 1% compared to the idealized unbounded buffer.
+//! This bench repeats that experiment.
+
+use dab::DabConfig;
+use dab_bench::{banner, Runner, Table};
+use dab_workloads::suite::full_suite;
+
+fn main() {
+    let runner = Runner::from_env();
+    banner(
+        "Ablation: VWQ",
+        "L2 miss-rate cost of the virtual-write-queue reorder buffer",
+        &runner,
+    );
+    let suite = full_suite(runner.scale);
+    let mut t = Table::new(&[
+        "benchmark", "L2 miss% (ideal)", "L2 miss% (VWQ mimic)", "delta",
+    ]);
+    let mut worst: f64 = 0.0;
+    let mut deltas: Vec<f64> = Vec::new();
+    for b in &suite {
+        println!("  {}:", b.name);
+        let ideal = runner.dab(DabConfig::paper_default(), &b.kernels);
+        let mimic = runner.dab(
+            DabConfig {
+                vwq_mimic: true,
+                ..DabConfig::paper_default()
+            },
+            &b.kernels,
+        );
+        let mi = 100.0 * ideal.stats.l2_miss_rate();
+        let mv = 100.0 * mimic.stats.l2_miss_rate();
+        worst = worst.max(mv - mi);
+        deltas.push(mv - mi);
+        t.row(vec![
+            b.name.clone(),
+            format!("{mi:.2}%"),
+            format!("{mv:.2}%"),
+            format!("{:+.2}pp", mv - mi),
+        ]);
+    }
+    println!();
+    t.print();
+    println!();
+    let avg = deltas.iter().sum::<f64>() / deltas.len().max(1) as f64;
+    println!(
+        "average L2 miss-rate increase: {avg:.2}pp, worst {worst:.2}pp (paper: < 1% on average;\n         CI scale concentrates the reorder buffers on 8 partitions instead of 24,\n         which inflates the irregular graph rows)"
+    );
+}

@@ -1,0 +1,60 @@
+//! Fig. 2: `atomicAdd` running on DAB vs. deterministic locking algorithms
+//! on the non-deterministic GPU, normalized to `atomicAdd` on the
+//! non-deterministic GPU, across array sizes.
+//!
+//! Expected shape: all three locks are substantially slower than atomicAdd,
+//! Test&Set worst and growing fastest with contention; DAB's atomicAdd stays
+//! close to the non-deterministic baseline.
+
+use dab::DabConfig;
+use dab_bench::{banner, ratio, Runner, Table};
+use dab_workloads::microbench::{atomic_sum_grid, lock_sum_grid, OUTPUT_ADDR};
+use dab_workloads::scale::Scale;
+use gpu_sim::isa::LockKind;
+
+fn main() {
+    let runner = Runner::from_env();
+    banner("Fig 2", "AtomicAdd on DAB vs locking algorithms (normalized)", &runner);
+    let sizes: Vec<usize> = match runner.scale {
+        Scale::Ci => vec![1024, 4096, 16384],
+        Scale::Paper => vec![4096, 16384, 65536, 262144],
+    };
+    let mut t = Table::new(&[
+        "array size", "DAB atomicAdd", "DAB+fusion", "Test&Set", "TS+Backoff", "Test&Test&Set",
+    ]);
+    for n in sizes {
+        println!("  array size {n}:");
+        let base = runner.baseline(&[atomic_sum_grid(n, OUTPUT_ADDR)]).cycles() as f64;
+        // Plain DAB buffering (the Fig. 2 comparison point)...
+        let dab = runner
+            .dab(
+                DabConfig::paper_default().with_fusion(false).with_coalescing(false),
+                &[atomic_sum_grid(n, OUTPUT_ADDR)],
+            )
+            .cycles() as f64;
+        // ...and with atomic fusion, whose local reduction is a huge win on
+        // a single-target sum (every buffered add collapses into one entry).
+        let dab_af = runner
+            .dab(DabConfig::paper_default(), &[atomic_sum_grid(n, OUTPUT_ADDR)])
+            .cycles() as f64;
+        let ts = runner.baseline(&[lock_sum_grid(n, LockKind::TestAndSet)]).cycles() as f64;
+        let bo = runner
+            .baseline(&[lock_sum_grid(n, LockKind::TestAndSetBackoff)])
+            .cycles() as f64;
+        let tts = runner
+            .baseline(&[lock_sum_grid(n, LockKind::TestAndTestAndSet)])
+            .cycles() as f64;
+        t.row(vec![
+            n.to_string(),
+            ratio(dab / base),
+            ratio(dab_af / base),
+            ratio(ts / base),
+            ratio(bo / base),
+            ratio(tts / base),
+        ]);
+    }
+    println!();
+    t.print();
+    println!();
+    println!("(values are execution time normalized to non-deterministic atomicAdd = 1.00x)");
+}

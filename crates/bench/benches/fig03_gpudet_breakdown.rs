@@ -1,0 +1,42 @@
+//! Fig. 3: GPUDet execution-mode breakdown, relative to the
+//! non-deterministic baseline.
+//!
+//! For each benchmark the stacked bar is GPUDet's execution time normalized
+//! to the baseline, split into parallel / commit / serial mode. Expected
+//! shape: atomic-intensive workloads spend most of their time in serial
+//! mode, which is the root cause of GPUDet's slowdown (Section III-C).
+
+use dab_bench::{banner, geomean, ratio, Runner, Table};
+use dab_workloads::suite::full_suite;
+
+fn main() {
+    let runner = Runner::from_env();
+    banner("Fig 3", "GPUDet execution mode breakdown", &runner);
+    let suite = full_suite(runner.scale);
+    let mut t = Table::new(&[
+        "benchmark", "GPUDet/base", "parallel", "commit", "serial",
+    ]);
+    let mut slowdowns = Vec::new();
+    for b in &suite {
+        println!("  {}:", b.name);
+        let base = runner.baseline(&b.kernels).cycles() as f64;
+        let det = runner.gpudet(&b.kernels);
+        let total = det.cycles() as f64;
+        let parallel = det.stats.counter("gpudet.parallel_cycles") as f64;
+        let commit = det.stats.counter("gpudet.commit_cycles") as f64;
+        let serial = det.stats.counter("gpudet.serial_cycles") as f64;
+        let covered = (parallel + commit + serial).max(1.0);
+        slowdowns.push(total / base);
+        t.row(vec![
+            b.name.clone(),
+            ratio(total / base),
+            format!("{:.0}%", 100.0 * parallel / covered),
+            format!("{:.0}%", 100.0 * commit / covered),
+            format!("{:.0}%", 100.0 * serial / covered),
+        ]);
+    }
+    println!();
+    t.print();
+    println!();
+    println!("geomean GPUDet slowdown vs baseline: {}", ratio(geomean(&slowdowns)));
+}

@@ -1,0 +1,49 @@
+//! Fig. 10: overall performance of DAB (GWAT-64-AF-Coalescing) compared to
+//! GPUDet and the non-deterministic baseline, normalized to the baseline.
+//!
+//! Expected shape: DAB within tens of percent of the baseline (the paper
+//! reports a 23% geomean slowdown), GPUDet 2-4x slower than DAB.
+
+use dab::DabConfig;
+use dab_bench::{banner, geomean, ratio, Runner, Table};
+use dab_workloads::suite::full_suite;
+
+fn main() {
+    let runner = Runner::from_env();
+    banner(
+        "Fig 10",
+        "DAB (GWAT-64-AF-Coalescing) vs GPUDet vs baseline",
+        &runner,
+    );
+    let suite = full_suite(runner.scale);
+    let mut t = Table::new(&["benchmark", "baseline", "DAB", "GPUDet", "GPUDet/DAB"]);
+    let mut dab_ratios = Vec::new();
+    let mut det_ratios = Vec::new();
+    for b in &suite {
+        println!("  {}:", b.name);
+        let base = runner.baseline(&b.kernels).cycles() as f64;
+        let dab = runner.dab(DabConfig::paper_default(), &b.kernels).cycles() as f64;
+        let det = runner.gpudet(&b.kernels).cycles() as f64;
+        dab_ratios.push(dab / base);
+        det_ratios.push(det / base);
+        t.row(vec![
+            b.name.clone(),
+            "1.00x".to_string(),
+            ratio(dab / base),
+            ratio(det / base),
+            ratio(det / dab),
+        ]);
+    }
+    println!();
+    t.print();
+    println!();
+    println!(
+        "geomean: DAB {} vs baseline (paper: 1.23x), GPUDet {} vs baseline,",
+        ratio(geomean(&dab_ratios)),
+        ratio(geomean(&det_ratios))
+    );
+    println!(
+        "         GPUDet/DAB {} (paper: DAB outperforms GPUDet 2-4x)",
+        ratio(geomean(&det_ratios) / geomean(&dab_ratios))
+    );
+}

@@ -1,0 +1,66 @@
+//! Fig. 11: performance impact of the determinism-aware scheduling policies
+//! (SRR / GTRR / GTAR / GWAT with 256-entry scheduler-level buffers),
+//! normalized to the baseline, with warp-level buffering under GTO
+//! ("WarpGTO") as the reference DAB design.
+//!
+//! Expected shape: SRR is the most restrictive; GWAT performs best and the
+//! relaxed schedulers approach (sometimes match) warp-level buffering.
+
+use dab::{BufferLevel, DabConfig};
+use dab_bench::{banner, geomean, ratio, Runner, Table};
+use dab_workloads::suite::{full_suite, Family};
+use gpu_sim::sched::SchedKind;
+
+fn main() {
+    let runner = Runner::from_env();
+    banner("Fig 11", "Performance impact of scheduling (256-entry buffers)", &runner);
+    let suite = full_suite(runner.scale);
+    let scheds = [SchedKind::Srr, SchedKind::Gtrr, SchedKind::Gtar, SchedKind::Gwat];
+
+    for family in [Family::Graph, Family::Conv] {
+        let label = match family {
+            Family::Graph => "(a) graph applications",
+            Family::Conv => "(b) convolutions",
+        };
+        println!("--- {label} ---");
+        let mut t = Table::new(&["benchmark", "WarpGTO", "SRR", "GTRR", "GTAR", "GWAT"]);
+        let mut per_sched: Vec<Vec<f64>> = vec![Vec::new(); scheds.len() + 1];
+        for b in suite.iter().filter(|b| b.family == family) {
+            println!("  {}:", b.name);
+            let base = runner.baseline(&b.kernels).cycles() as f64;
+            let mut row = vec![b.name.clone()];
+            // Warp-level buffers with conventional GTO scheduling.
+            let warp_cfg = DabConfig {
+                level: BufferLevel::Warp,
+                scheduler: SchedKind::Gto,
+                capacity: 256,
+                fusion: false,
+                coalescing: false,
+                ..DabConfig::paper_default()
+            };
+            let warp = runner.dab(warp_cfg, &b.kernels).cycles() as f64;
+            per_sched[0].push(warp / base);
+            row.push(ratio(warp / base));
+            for (i, &sched) in scheds.iter().enumerate() {
+                let cfg = DabConfig::paper_default()
+                    .with_scheduler(sched)
+                    .with_capacity(256)
+                    .with_fusion(false)
+                    .with_coalescing(false);
+                let cycles = runner.dab(cfg, &b.kernels).cycles() as f64;
+                per_sched[i + 1].push(cycles / base);
+                row.push(ratio(cycles / base));
+            }
+            t.row(row);
+        }
+        println!();
+        t.print();
+        print!("geomean:  ");
+        for (i, name) in ["WarpGTO", "SRR", "GTRR", "GTAR", "GWAT"].iter().enumerate() {
+            print!("{name}={} ", ratio(geomean(&per_sched[i])));
+        }
+        println!();
+        println!();
+    }
+    println!("(execution time normalized to the non-deterministic baseline = 1.00x)");
+}

@@ -1,0 +1,50 @@
+//! Fig. 12: performance impact of buffer capacity (GWAT scheduler, 32 / 64 /
+//! 128 / 256 entries), normalized to the baseline.
+//!
+//! Expected shape: bigger buffers help the graph applications (fewer
+//! full-buffer stalls, fewer flush epochs); convolutions see little benefit
+//! and occasionally lose (denser flush bursts congest the interconnect).
+
+use dab::DabConfig;
+use dab_bench::{banner, geomean, ratio, Runner, Table};
+use dab_workloads::suite::{full_suite, Family};
+
+fn main() {
+    let runner = Runner::from_env();
+    banner("Fig 12", "Performance impact of buffer size (GWAT)", &runner);
+    let suite = full_suite(runner.scale);
+    let capacities = [32usize, 64, 128, 256];
+
+    for family in [Family::Graph, Family::Conv] {
+        let label = match family {
+            Family::Graph => "(a) graph applications",
+            Family::Conv => "(b) convolutions",
+        };
+        println!("--- {label} ---");
+        let mut t = Table::new(&["benchmark", "GWAT-32", "GWAT-64", "GWAT-128", "GWAT-256"]);
+        let mut per_cap: Vec<Vec<f64>> = vec![Vec::new(); capacities.len()];
+        for b in suite.iter().filter(|b| b.family == family) {
+            println!("  {}:", b.name);
+            let base = runner.baseline(&b.kernels).cycles() as f64;
+            let mut row = vec![b.name.clone()];
+            for (i, &cap) in capacities.iter().enumerate() {
+                let cfg = DabConfig::paper_default()
+                    .with_capacity(cap)
+                    .with_fusion(false)
+                    .with_coalescing(false);
+                let cycles = runner.dab(cfg, &b.kernels).cycles() as f64;
+                per_cap[i].push(cycles / base);
+                row.push(ratio(cycles / base));
+            }
+            t.row(row);
+        }
+        println!();
+        t.print();
+        print!("geomean:  ");
+        for (i, &cap) in capacities.iter().enumerate() {
+            print!("GWAT-{cap}={} ", ratio(geomean(&per_cap[i])));
+        }
+        println!();
+        println!();
+    }
+}

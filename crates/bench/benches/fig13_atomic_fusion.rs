@@ -1,0 +1,59 @@
+//! Fig. 13: atomic fusion on scheduler-level buffering (GWAT, 32 / 64 / 128
+//! entries, with and without fusion), normalized to the baseline.
+//!
+//! Expected shape: fusion helps most at small capacities (it multiplies the
+//! effective buffer size); layer-2 convolutions see no gain because CTAs
+//! sharing a region never share a scheduler under the default distribution
+//! (Fig. 14 gates SMs to fix that).
+
+use dab::DabConfig;
+use dab_bench::{banner, geomean, ratio, Runner, Table};
+use dab_workloads::suite::{full_suite, Family};
+
+fn main() {
+    let runner = Runner::from_env();
+    banner("Fig 13", "Atomic fusion on scheduler-level buffering", &runner);
+    let suite = full_suite(runner.scale);
+    let capacities = [32usize, 64, 128];
+
+    for family in [Family::Graph, Family::Conv] {
+        let label = match family {
+            Family::Graph => "(a) graph applications",
+            Family::Conv => "(b) convolutions",
+        };
+        println!("--- {label} ---");
+        let mut t = Table::new(&[
+            "benchmark", "32", "32-AF", "64", "64-AF", "128", "128-AF",
+        ]);
+        let mut agg: Vec<Vec<f64>> = vec![Vec::new(); capacities.len() * 2];
+        for b in suite.iter().filter(|b| b.family == family) {
+            println!("  {}:", b.name);
+            let base = runner.baseline(&b.kernels).cycles() as f64;
+            let mut row = vec![b.name.clone()];
+            for (i, &cap) in capacities.iter().enumerate() {
+                for (j, fusion) in [false, true].into_iter().enumerate() {
+                    let cfg = DabConfig::paper_default()
+                        .with_capacity(cap)
+                        .with_fusion(fusion)
+                        .with_coalescing(false);
+                    let cycles = runner.dab(cfg, &b.kernels).cycles() as f64;
+                    agg[i * 2 + j].push(cycles / base);
+                    row.push(ratio(cycles / base));
+                }
+            }
+            t.row(row);
+        }
+        println!();
+        t.print();
+        print!("geomean:  ");
+        for (i, &cap) in capacities.iter().enumerate() {
+            print!(
+                "{cap}={} {cap}-AF={} ",
+                ratio(geomean(&agg[i * 2])),
+                ratio(geomean(&agg[i * 2 + 1]))
+            );
+        }
+        println!();
+        println!();
+    }
+}

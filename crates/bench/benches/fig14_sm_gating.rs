@@ -1,0 +1,51 @@
+//! Fig. 14: effects of "gating" SMs on GWAT-64-AF for the layer-2
+//! convolutions.
+//!
+//! The 3x3 layers partition the filter into regions (18 at paper scale, 14
+//! at CI scale); with the full SM count, CTAs that share a region are never
+//! statically distributed to the same SM, so atomic fusion finds no
+//! cross-CTA reuse. Distributing CTAs over a region-aligned subset of SMs
+//! (80 -> 72 in the paper, a multiple of 18; 16 -> 14 at CI scale) puts
+//! region-sharing CTAs on the same scheduler and fusion yields a speedup
+//! despite using fewer cores.
+
+use dab::DabConfig;
+use dab_bench::{banner, ratio, Runner, Table};
+use dab_workloads::scale::Scale;
+use dab_workloads::suite::conv_suite;
+
+fn main() {
+    let runner = Runner::from_env();
+    banner("Fig 14", "Effects of gating SMs on GWAT-64-AF", &runner);
+    let (full, gated) = match runner.scale {
+        Scale::Paper => (80usize, 72usize),
+        Scale::Ci => (16usize, 14usize),
+    };
+    println!("  distribution over {full} SMs vs gated {gated} SMs (region-aligned)");
+    println!();
+    let suite = conv_suite(runner.scale);
+    let mut t = Table::new(&[
+        "layer", "all SMs", "gated", "speedup", "fused ops (all)", "fused ops (gated)",
+    ]);
+    for b in suite.iter().filter(|b| b.name.ends_with("_2")) {
+        println!("  {}:", b.name);
+        let cfg_all = DabConfig::paper_default().with_coalescing(false);
+        let all = runner.dab(cfg_all, &b.kernels);
+        let cfg_gated = DabConfig::paper_default()
+            .with_coalescing(false)
+            .with_active_sms(gated);
+        let g = runner.dab(cfg_gated, &b.kernels);
+        t.row(vec![
+            b.name.clone(),
+            all.cycles().to_string(),
+            g.cycles().to_string(),
+            ratio(all.cycles() as f64 / g.cycles() as f64),
+            all.stats.counter("dab.fused_ops").to_string(),
+            g.stats.counter("dab.fused_ops").to_string(),
+        ]);
+    }
+    println!();
+    t.print();
+    println!();
+    println!("(speedup > 1.00x means the gated machine wins despite fewer cores)");
+}

@@ -1,0 +1,45 @@
+//! Fig. 15: where DAB's performance overhead goes, per benchmark.
+//!
+//! Decomposes each benchmark's DAB run into flush-protocol occupancy,
+//! buffer-full stalls, and the residual scheduling restriction, alongside
+//! the net slowdown vs. the baseline.
+
+use dab::DabConfig;
+use dab_bench::{banner, ratio, Runner, Table};
+use dab_workloads::suite::full_suite;
+
+fn main() {
+    let runner = Runner::from_env();
+    banner("Fig 15", "Performance overhead breakdown of DAB", &runner);
+    let suite = full_suite(runner.scale);
+    let mut t = Table::new(&[
+        "benchmark",
+        "DAB/base",
+        "flushes",
+        "flush cycles",
+        "flush %",
+        "buffer-full stalls",
+        "fused ops",
+    ]);
+    for b in &suite {
+        println!("  {}:", b.name);
+        let base = runner.baseline(&b.kernels).cycles() as f64;
+        let dab = runner.dab(DabConfig::paper_default(), &b.kernels);
+        let total = dab.cycles() as f64;
+        let flush_cycles = dab.stats.counter("dab.flush_cycles") as f64;
+        t.row(vec![
+            b.name.clone(),
+            ratio(total / base),
+            dab.stats.counter("dab.flushes").to_string(),
+            format!("{flush_cycles:.0}"),
+            format!("{:.0}%", 100.0 * flush_cycles / total),
+            dab.stats.counter("stall.atomic_buffer_full").to_string(),
+            dab.stats.counter("dab.fused_ops").to_string(),
+        ]);
+    }
+    println!();
+    t.print();
+    println!();
+    println!("(flush % is the fraction of runtime with a flush epoch in flight — the");
+    println!(" GPU-wide implicit barrier the Fig. 18 relaxations remove)");
+}

@@ -1,0 +1,46 @@
+//! Fig. 16: effect of offset flushing on GWAT-64-AF.
+//!
+//! `cnv2_3` has every CTA atomically writing the same addresses, so at
+//! flush time every SM pushes to the same memory partitions in the same
+//! order and the interconnect congests. Offset flushing starts even SMs at
+//! the 32nd buffer index, spreading writes across partitions. `cnv3_3`
+//! (only small groups of CTAs share addresses) shows little gain —
+//! evidence the win is congestion relief, not something else.
+
+use dab::DabConfig;
+use dab_bench::{banner, ratio, Runner, Table};
+use dab_workloads::suite::conv_suite;
+
+fn main() {
+    let runner = Runner::from_env();
+    banner("Fig 16", "Effect of offset flushing on GWAT-64-AF", &runner);
+    let suite = conv_suite(runner.scale);
+    let mut t = Table::new(&["layer", "GWAT-64-AF", "+offset", "speedup"]);
+    for b in suite
+        .iter()
+        .filter(|b| b.name == "cnv2_3" || b.name == "cnv3_3")
+    {
+        println!("  {}:", b.name);
+        let plain = runner
+            .dab(DabConfig::paper_default().with_coalescing(false), &b.kernels)
+            .cycles() as f64;
+        let offset = runner
+            .dab(
+                DabConfig::paper_default()
+                    .with_coalescing(false)
+                    .with_offset_flush(true),
+                &b.kernels,
+            )
+            .cycles() as f64;
+        t.row(vec![
+            b.name.clone(),
+            format!("{plain:.0}"),
+            format!("{offset:.0}"),
+            ratio(plain / offset),
+        ]);
+    }
+    println!();
+    t.print();
+    println!();
+    println!("(paper: offset flushing speeds up cnv2_3 but cnv3_3 only minimally)");
+}

@@ -1,0 +1,49 @@
+//! Fig. 17: coalescing buffer flushes on the convolutions (GWAT-64-AF).
+//!
+//! Convolution atomics access strided locations, so flushed entries in the
+//! same cache sector coalesce into single transactions, cutting flush
+//! traffic. The paper reports a 13% geomean improvement on the
+//! convolutions; graph workloads gain little (irregular addresses).
+
+use dab::DabConfig;
+use dab_bench::{banner, geomean, ratio, Runner, Table};
+use dab_workloads::suite::{conv_suite, graph_suite};
+
+fn main() {
+    let runner = Runner::from_env();
+    banner("Fig 17", "Coalescing buffer flushes (GWAT-64-AF)", &runner);
+    let mut t = Table::new(&["benchmark", "no coalescing", "coalescing", "speedup", "flush txs (off)", "flush txs (on)"]);
+    let mut conv_speedups = Vec::new();
+    let mut graph_speedups = Vec::new();
+    for (suite, bucket) in [
+        (conv_suite(runner.scale), &mut conv_speedups as &mut Vec<f64>),
+        (graph_suite(runner.scale), &mut graph_speedups),
+    ] {
+        for b in &suite {
+            println!("  {}:", b.name);
+            let off = runner.dab(
+                DabConfig::paper_default().with_coalescing(false),
+                &b.kernels,
+            );
+            let on = runner.dab(DabConfig::paper_default().with_coalescing(true), &b.kernels);
+            let speedup = off.cycles() as f64 / on.cycles() as f64;
+            bucket.push(speedup);
+            t.row(vec![
+                b.name.clone(),
+                off.cycles().to_string(),
+                on.cycles().to_string(),
+                ratio(speedup),
+                off.stats.counter("dab.flush_txs").to_string(),
+                on.stats.counter("dab.flush_txs").to_string(),
+            ]);
+        }
+    }
+    println!();
+    t.print();
+    println!();
+    println!(
+        "geomean speedup: convolutions {} (paper: 1.13x), graphs {}",
+        ratio(geomean(&conv_speedups)),
+        ratio(geomean(&graph_speedups))
+    );
+}

@@ -1,0 +1,50 @@
+//! Fig. 18: the limitation study — DAB with constraints successively
+//! relaxed (no longer deterministic), normalized to the baseline.
+//!
+//! - `DAB-NR`: atomics hit the ROP in arrival order (no partition reorder);
+//! - `DAB-NR-OF`: additionally, buffer flushes may overlap;
+//! - `DAB-NR-CIF`: additionally, each cluster flushes independently,
+//!   removing the GPU-wide implicit barrier.
+//!
+//! Expected shape: CIF recovers the most performance, implying the implicit
+//! barrier across SMs is the dominant DAB overhead, especially for graphs.
+
+use dab::{DabConfig, Relaxation};
+use dab_bench::{banner, geomean, ratio, Runner, Table};
+use dab_workloads::suite::full_suite;
+
+fn main() {
+    let runner = Runner::from_env();
+    banner("Fig 18", "DAB with different constraints relaxed", &runner);
+    let suite = full_suite(runner.scale);
+    let variants = [
+        ("DAB", Relaxation::None),
+        ("DAB-NR", Relaxation::Nr),
+        ("DAB-NR-OF", Relaxation::NrOf),
+        ("DAB-NR-CIF", Relaxation::NrCif),
+    ];
+    let mut t = Table::new(&["benchmark", "DAB", "DAB-NR", "DAB-NR-OF", "DAB-NR-CIF"]);
+    let mut agg: Vec<Vec<f64>> = vec![Vec::new(); variants.len()];
+    for b in &suite {
+        println!("  {}:", b.name);
+        let base = runner.baseline(&b.kernels).cycles() as f64;
+        let mut row = vec![b.name.clone()];
+        for (i, (_, relax)) in variants.iter().enumerate() {
+            let cfg = DabConfig::paper_default().with_relaxation(*relax);
+            let cycles = runner.dab(cfg, &b.kernels).cycles() as f64;
+            agg[i].push(cycles / base);
+            row.push(ratio(cycles / base));
+        }
+        t.row(row);
+    }
+    println!();
+    t.print();
+    print!("geomean:  ");
+    for (i, (name, _)) in variants.iter().enumerate() {
+        print!("{name}={} ", ratio(geomean(&agg[i])));
+    }
+    println!();
+    println!();
+    println!("(the relaxed variants are NOT deterministic; they bound how much each");
+    println!(" constraint costs)");
+}

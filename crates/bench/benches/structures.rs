@@ -1,0 +1,118 @@
+//! Criterion microbenchmarks for the core hardware structures: atomic
+//! buffer insertion (with and without the associative fusion search),
+//! sectored cache probes, partition flush reordering, and scheduler picks.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use dab::buffer::AtomicBuffer;
+use dab::flush::PartitionReorder;
+use gpu_sim::config::GpuConfig;
+use gpu_sim::isa::{AtomicAccess, AtomicOp, Value};
+use gpu_sim::mem::cache::SectoredCache;
+use gpu_sim::mem::packet::RopOp;
+use gpu_sim::mem::partition::MemPartition;
+use gpu_sim::sched::{Gwat, WarpScheduler, WarpView};
+
+fn warp_accesses(same_addr: bool) -> Vec<AtomicAccess> {
+    (0..32)
+        .map(|l| {
+            let addr = if same_addr { 0x100 } else { 0x100 + 4 * l as u64 };
+            AtomicAccess::new(l, addr, Value::F32(1.0))
+        })
+        .collect()
+}
+
+fn bench_atomic_buffer(c: &mut Criterion) {
+    let mut g = c.benchmark_group("atomic_buffer");
+    for (name, fusion, same) in [
+        ("insert_32_distinct_no_fusion", false, false),
+        ("insert_32_distinct_fusion", true, false),
+        ("insert_32_same_addr_fusion", true, true),
+    ] {
+        let accesses = warp_accesses(same);
+        g.bench_function(name, |b| {
+            b.iter_batched(
+                || AtomicBuffer::new(64, fusion),
+                |mut buf| {
+                    black_box(buf.try_insert(AtomicOp::AddF32, black_box(&accesses)));
+                    buf
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_cache(c: &mut Criterion) {
+    let cfg = GpuConfig::titan_v();
+    let mut cache = SectoredCache::new(cfg.l1_size, cfg.l1_assoc, cfg.line_size, cfg.sector_size);
+    for s in 0..1024u64 {
+        cache.fill(s * 32);
+    }
+    let mut i = 0u64;
+    c.bench_function("sectored_cache_probe", |b| {
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            black_box(cache.probe(black_box((i % 2048) * 32)))
+        })
+    });
+}
+
+fn bench_flush_reorder(c: &mut Criterion) {
+    c.bench_function("partition_reorder_64_entries", |b| {
+        b.iter_batched(
+            || {
+                (
+                    MemPartition::new(0, &GpuConfig::tiny(), 0),
+                    PartitionReorder::new(16),
+                )
+            },
+            |(mut part, mut r)| {
+                for sm in 0..16 {
+                    r.on_pre_flush(sm, 4, &mut part);
+                }
+                // Arrive out of order: all seq 3 first, then 2, 1, 0.
+                for seq in (0..4u32).rev() {
+                    for sm in 0..16 {
+                        let ops = vec![RopOp {
+                            addr: 0x100 + 4 * sm as u64,
+                            op: AtomicOp::AddF32,
+                            arg: Value::F32(1.0),
+                        }];
+                        r.on_entry(sm, seq, ops, &mut part, false);
+                    }
+                }
+                black_box(r.is_done())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_scheduler(c: &mut Criterion) {
+    let mut gwat = Gwat::new();
+    for u in 0..16u64 {
+        gwat.on_warp_arrive(u);
+    }
+    let views: Vec<WarpView> = (0..16u64)
+        .map(|u| WarpView {
+            ready: true,
+            next_is_atomic: u % 3 == 0,
+            ..WarpView::idle(u as usize, u)
+        })
+        .collect();
+    c.bench_function("gwat_pick_16_warps", |b| {
+        b.iter(|| black_box(gwat.pick(black_box(&views), 0)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_atomic_buffer,
+    bench_cache,
+    bench_flush_reorder,
+    bench_scheduler
+);
+criterion_main!(benches);

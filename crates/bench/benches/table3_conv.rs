@@ -1,0 +1,27 @@
+//! Table III: ResNet layer configurations for the backward-filter
+//! convolutions, with the measured atomics-PKI of the generated traces.
+
+use dab_bench::{banner, Runner, Table};
+use dab_workloads::conv::{conv_trace, table3_layers};
+
+fn main() {
+    let runner = Runner::from_env();
+    banner("Table III", "ResNet layer configurations for convolution", &runner);
+    let mut t = Table::new(&[
+        "layer", "input (CxHxW)", "output K", "filter", "regions", "CTAs", "paper PKI", "trace PKI",
+    ]);
+    for layer in table3_layers() {
+        let grid = conv_trace(&layer, runner.scale);
+        t.row(vec![
+            layer.name.to_string(),
+            format!("{}x{}x{}", layer.c, layer.hw, layer.hw),
+            layer.k.to_string(),
+            format!("{}x{}x{}x{}", layer.k, layer.c, layer.r, layer.r),
+            layer.regions.to_string(),
+            grid.ctas.len().to_string(),
+            format!("{:.2}", layer.target_pki),
+            format!("{:.2}", grid.atomics_pki()),
+        ]);
+    }
+    t.print();
+}

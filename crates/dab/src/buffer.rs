@@ -1,0 +1,297 @@
+//! Atomic buffers (Section IV-B) and atomic fusion (Section IV-E).
+//!
+//! An [`AtomicBuffer`] is the per-warp or per-scheduler hardware structure
+//! that isolates `red` operations from the rest of the machine. Each entry
+//! holds `(address, argument, opcode)` — 9 bytes in the paper's sizing (5 B
+//! address, 4 B argument, 1 B opcode + valid). The buffer supports
+//! associative search by address, which makes *atomic fusion* cheap: a new
+//! operation with the same `(address, opcode)` as an existing entry is
+//! locally reduced into it, saving space and deferring costly flushes.
+//!
+//! Buffer contents are filled in a deterministic order — program order
+//! within a warp, lane order within an instruction, and determinism-aware
+//! scheduler order across warps — so draining the buffer yields the same
+//! sequence on every run.
+//!
+//! # Examples
+//!
+//! ```
+//! use dab::buffer::AtomicBuffer;
+//! use gpu_sim::isa::{AtomicAccess, AtomicOp, Value};
+//!
+//! let mut buf = AtomicBuffer::new(4, true);
+//! let acc: Vec<_> = (0..8)
+//!     .map(|l| AtomicAccess::new(l, 0x100, Value::F32(1.0)))
+//!     .collect();
+//! // Eight same-address adds fuse into a single entry.
+//! assert!(buf.try_insert(AtomicOp::AddF32, &acc));
+//! assert_eq!(buf.len(), 1);
+//! assert_eq!(buf.drain()[0].arg.as_f32(), 8.0);
+//! ```
+
+use gpu_sim::isa::{AtomicAccess, AtomicOp, Value};
+use gpu_sim::mem::packet::RopOp;
+
+/// One atomic buffer entry: `(address, argument, opcode)` plus an implicit
+/// valid bit (entries in the vector are valid).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BufferEntry {
+    /// Byte address of the 32-bit cell.
+    pub addr: u64,
+    /// Reduction opcode.
+    pub op: AtomicOp,
+    /// Accumulated argument (locally reduced if fused).
+    pub arg: Value,
+}
+
+impl BufferEntry {
+    /// Converts the entry to the ROP operation it commits as.
+    pub fn to_rop(self) -> RopOp {
+        RopOp {
+            addr: self.addr,
+            op: self.op,
+            arg: self.arg,
+        }
+    }
+}
+
+/// A fixed-capacity atomic buffer with optional atomic fusion.
+#[derive(Debug, Clone)]
+pub struct AtomicBuffer {
+    entries: Vec<BufferEntry>,
+    capacity: usize,
+    fusion: bool,
+    /// Sticky full bit: set when an insertion fails, cleared by drain.
+    full_bit: bool,
+    fused_ops: u64,
+    total_ops: u64,
+}
+
+impl AtomicBuffer {
+    /// Creates a buffer with `capacity` entries; `fusion` enables local
+    /// reduction of same-address same-opcode operations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize, fusion: bool) -> Self {
+        assert!(capacity > 0, "atomic buffer needs at least one entry");
+        Self {
+            entries: Vec::with_capacity(capacity),
+            capacity,
+            fusion,
+            full_bit: false,
+            fused_ops: 0,
+            total_ops: 0,
+        }
+    }
+
+    /// Attempts to insert a whole warp instruction's accesses, in lane
+    /// order (the deterministic intra-warp fill order of Section IV-B).
+    ///
+    /// All-or-nothing: if the accesses do not fit — after accounting for
+    /// fusion opportunities against both resident entries and each other —
+    /// the buffer is left unchanged, the full bit is set, and `false` is
+    /// returned (the warp must stall until the next flush).
+    pub fn try_insert(&mut self, op: AtomicOp, accesses: &[AtomicAccess]) -> bool {
+        // Dry run: how many new slots would this instruction need?
+        let mut new_addrs: Vec<u64> = Vec::new();
+        let mut needed = 0usize;
+        for acc in accesses {
+            let fusable = self.fusion
+                && op.fusible()
+                && (self
+                    .entries
+                    .iter()
+                    .any(|e| e.addr == acc.addr && e.op == op)
+                    || new_addrs.contains(&acc.addr));
+            if !fusable {
+                needed += 1;
+                if self.fusion && op.fusible() {
+                    new_addrs.push(acc.addr);
+                }
+            }
+        }
+        if self.entries.len() + needed > self.capacity {
+            self.full_bit = true;
+            return false;
+        }
+        // Commit, in lane order.
+        for acc in accesses {
+            self.total_ops += 1;
+            if self.fusion && op.fusible() {
+                if let Some(e) = self
+                    .entries
+                    .iter_mut()
+                    .find(|e| e.addr == acc.addr && e.op == op)
+                {
+                    e.arg = op.fuse(e.arg, acc.arg);
+                    self.fused_ops += 1;
+                    continue;
+                }
+            }
+            self.entries.push(BufferEntry {
+                addr: acc.addr,
+                op,
+                arg: acc.arg,
+            });
+        }
+        true
+    }
+
+    /// Drains all entries in fill order, clearing the full bit.
+    pub fn drain(&mut self) -> Vec<BufferEntry> {
+        self.full_bit = false;
+        std::mem::take(&mut self.entries)
+    }
+
+    /// Number of valid entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the buffer holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether an insertion has failed since the last drain (the hardware
+    /// full bit).
+    pub fn full_bit(&self) -> bool {
+        self.full_bit
+    }
+
+    /// Configured capacity in entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Operations locally reduced away by fusion since creation.
+    pub fn fused_ops(&self) -> u64 {
+        self.fused_ops
+    }
+
+    /// Total operations accepted since creation.
+    pub fn total_ops(&self) -> u64 {
+        self.total_ops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn acc(lane: usize, addr: u64, v: f32) -> AtomicAccess {
+        AtomicAccess::new(lane, addr, Value::F32(v))
+    }
+
+    #[test]
+    fn inserts_in_lane_order() {
+        let mut buf = AtomicBuffer::new(8, false);
+        let a = [acc(0, 0x10, 1.0), acc(1, 0x20, 2.0), acc(2, 0x30, 3.0)];
+        assert!(buf.try_insert(AtomicOp::AddF32, &a));
+        let drained = buf.drain();
+        assert_eq!(
+            drained.iter().map(|e| e.addr).collect::<Vec<_>>(),
+            vec![0x10, 0x20, 0x30]
+        );
+    }
+
+    #[test]
+    fn rejects_when_full_and_sets_full_bit() {
+        let mut buf = AtomicBuffer::new(2, false);
+        assert!(buf.try_insert(AtomicOp::AddF32, &[acc(0, 0, 1.0), acc(1, 4, 1.0)]));
+        assert!(!buf.full_bit());
+        assert!(!buf.try_insert(AtomicOp::AddF32, &[acc(0, 8, 1.0)]));
+        assert!(buf.full_bit());
+        // All-or-nothing: nothing was added.
+        assert_eq!(buf.len(), 2);
+        buf.drain();
+        assert!(!buf.full_bit());
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn fusion_combines_same_address() {
+        let mut buf = AtomicBuffer::new(2, true);
+        assert!(buf.try_insert(AtomicOp::AddF32, &[acc(0, 0x40, 2.3)]));
+        assert!(buf.try_insert(AtomicOp::AddF32, &[acc(0, 0x40, 4.4)]));
+        assert_eq!(buf.len(), 1);
+        assert_eq!(buf.fused_ops(), 1);
+        let e = buf.drain()[0];
+        assert_eq!(e.arg.as_f32(), 2.3f32 + 4.4f32);
+    }
+
+    #[test]
+    fn fusion_within_one_instruction() {
+        let mut buf = AtomicBuffer::new(1, true);
+        let a: Vec<_> = (0..32).map(|l| acc(l, 0x40, 1.0)).collect();
+        assert!(buf.try_insert(AtomicOp::AddF32, &a));
+        assert_eq!(buf.len(), 1);
+        assert_eq!(buf.drain()[0].arg.as_f32(), 32.0);
+    }
+
+    #[test]
+    fn fusion_respects_opcode() {
+        let mut buf = AtomicBuffer::new(4, true);
+        assert!(buf.try_insert(AtomicOp::AddF32, &[acc(0, 0x40, 1.0)]));
+        assert!(buf.try_insert(AtomicOp::MaxF32, &[acc(0, 0x40, 5.0)]));
+        assert_eq!(buf.len(), 2, "different opcodes must not fuse");
+    }
+
+    #[test]
+    fn no_fusion_when_disabled() {
+        let mut buf = AtomicBuffer::new(8, false);
+        assert!(buf.try_insert(AtomicOp::AddF32, &[acc(0, 0x40, 1.0)]));
+        assert!(buf.try_insert(AtomicOp::AddF32, &[acc(0, 0x40, 1.0)]));
+        assert_eq!(buf.len(), 2);
+        assert_eq!(buf.fused_ops(), 0);
+    }
+
+    #[test]
+    fn exch_never_fuses() {
+        let mut buf = AtomicBuffer::new(8, true);
+        assert!(buf.try_insert(AtomicOp::ExchB32, &[AtomicAccess::new(0, 0x40, Value::U32(1))]));
+        assert!(buf.try_insert(AtomicOp::ExchB32, &[AtomicAccess::new(0, 0x40, Value::U32(2))]));
+        assert_eq!(buf.len(), 2);
+    }
+
+    #[test]
+    fn fusion_preserves_deterministic_local_order() {
+        // Fusing in lane order is itself a deterministic f32 reduction.
+        let run = || {
+            let mut buf = AtomicBuffer::new(4, true);
+            let a: Vec<_> = (0..16).map(|l| acc(l, 0x40, 0.1 * (l + 1) as f32)).collect();
+            buf.try_insert(AtomicOp::AddF32, &a);
+            buf.drain()[0].arg.to_bits()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn dry_run_counts_fusion_against_new_entries() {
+        // Capacity 2; instruction touches addresses [A, B, A]: needs 2 slots.
+        let mut buf = AtomicBuffer::new(2, true);
+        let a = [acc(0, 0x10, 1.0), acc(1, 0x20, 1.0), acc(2, 0x10, 1.0)];
+        assert!(buf.try_insert(AtomicOp::AddF32, &a));
+        assert_eq!(buf.len(), 2);
+    }
+
+    #[test]
+    fn to_rop_roundtrip() {
+        let e = BufferEntry {
+            addr: 0xB0BA,
+            op: AtomicOp::AddF32,
+            arg: Value::F32(1.0),
+        };
+        let r = e.to_rop();
+        assert_eq!(r.addr, 0xB0BA);
+        assert_eq!(r.arg.as_f32(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn zero_capacity_panics() {
+        AtomicBuffer::new(0, false);
+    }
+}

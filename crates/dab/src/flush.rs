@@ -1,0 +1,353 @@
+//! Partition-side flush reordering (Section IV-D, Fig. 8).
+//!
+//! During a buffer flush, every SM pushes its (deterministic) stream of
+//! flush transactions into the interconnect, whose arbitration is *not*
+//! deterministic. Each memory partition therefore restores a deterministic
+//! order before handing atomics to its ROP:
+//!
+//! 1. Pre-flush messages announce how many transactions to expect from each
+//!    SM (Fig. 8a). The partition waits until it has heard from every SM.
+//! 2. Arriving transactions carry `(sm, seq)`; the partition serves them in
+//!    round-robin order over SMs — `(seq 0, sm 0), (seq 0, sm 1), …` —
+//!    buffering out-of-order arrivals in a *flush buffer* (Fig. 8c/d).
+//! 3. SMs whose expected count is exhausted are skipped.
+//!
+//! The buffered transactions would be held in a virtual write queue carved
+//! out of the L2 (Stuecheli et al., ISCA 2010); the `vwq_mimic` option
+//! models its cost by evicting one L2 sector per out-of-order atomic.
+
+use std::collections::BTreeMap;
+
+use gpu_sim::mem::packet::RopOp;
+use gpu_sim::mem::partition::{AckTarget, MemPartition, RopWork};
+
+/// Per-partition reorder state for one flush epoch.
+#[derive(Debug)]
+pub struct PartitionReorder {
+    num_sms: usize,
+    /// Expected transaction count per SM (`None` until its pre-flush
+    /// message arrives).
+    expected: Vec<Option<u32>>,
+    received_preflush: usize,
+    /// Round-robin cursor: next (round, sm) to serve.
+    round: u32,
+    sm_cursor: usize,
+    /// Out-of-order arrivals: the "flush buffer".
+    pending: BTreeMap<(u32, usize), Vec<RopOp>>,
+    served: u64,
+    /// Peak flush-buffer occupancy (reorder hardware sizing statistic).
+    peak_pending: usize,
+}
+
+impl PartitionReorder {
+    /// Creates reorder state for a machine with `num_sms` SMs.
+    pub fn new(num_sms: usize) -> Self {
+        Self {
+            num_sms,
+            expected: vec![None; num_sms],
+            received_preflush: 0,
+            round: 0,
+            sm_cursor: 0,
+            pending: BTreeMap::new(),
+            served: 0,
+            peak_pending: 0,
+        }
+    }
+
+    /// Resets for a new flush epoch.
+    pub fn reset(&mut self) {
+        debug_assert!(self.pending.is_empty(), "reset with buffered flushes");
+        self.expected.iter_mut().for_each(|e| *e = None);
+        self.received_preflush = 0;
+        self.round = 0;
+        self.sm_cursor = 0;
+        self.served = 0;
+    }
+
+    /// Records a pre-flush message from `sm` (Fig. 8a).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a duplicate pre-flush from the same SM in one epoch.
+    pub fn on_pre_flush(&mut self, sm: usize, count: u32, part: &mut MemPartition) {
+        assert!(self.expected[sm].is_none(), "duplicate pre-flush from SM {sm}");
+        self.expected[sm] = Some(count);
+        self.received_preflush += 1;
+        self.try_serve(part);
+    }
+
+    /// Records an arriving flush transaction (Fig. 8b), buffering it if out
+    /// of order and serving everything now in order.
+    pub fn on_entry(
+        &mut self,
+        sm: usize,
+        seq: u32,
+        ops: Vec<RopOp>,
+        part: &mut MemPartition,
+        vwq_mimic: bool,
+    ) {
+        let key = (seq, sm);
+        let in_order = self.all_preflush_received() && self.is_next(sm, seq);
+        if !in_order && vwq_mimic {
+            // Each buffered atomic repurposes an L2 sector as reorder space.
+            for op in &ops {
+                part.evict_sector_for_vwq(op.addr);
+            }
+        }
+        self.pending.insert(key, ops);
+        self.peak_pending = self.peak_pending.max(self.pending.len());
+        self.try_serve(part);
+    }
+
+    fn all_preflush_received(&self) -> bool {
+        self.received_preflush == self.num_sms
+    }
+
+    fn is_next(&self, sm: usize, seq: u32) -> bool {
+        seq == self.round && sm == self.sm_cursor
+    }
+
+    /// Advances the cursor past SMs with no transaction in this round.
+    fn advance_cursor(&mut self) {
+        loop {
+            if self.sm_cursor + 1 < self.num_sms {
+                self.sm_cursor += 1;
+            } else {
+                self.sm_cursor = 0;
+                self.round += 1;
+            }
+            if self.is_done() {
+                return;
+            }
+            let expects = self.expected[self.sm_cursor].unwrap_or(0);
+            if expects > self.round {
+                return;
+            }
+        }
+    }
+
+    /// Positions the cursor on a served slot (skipping exhausted SMs), then
+    /// serves every in-order pending transaction.
+    fn try_serve(&mut self, part: &mut MemPartition) {
+        if !self.all_preflush_received() {
+            return;
+        }
+        // The initial cursor may point at an SM with zero transactions.
+        while !self.is_done() && self.expected[self.sm_cursor].unwrap_or(0) <= self.round {
+            self.advance_cursor();
+        }
+        while !self.is_done() {
+            let key = (self.round, self.sm_cursor);
+            let Some(ops) = self.pending.remove(&key) else {
+                break;
+            };
+            let sm = self.sm_cursor;
+            part.enqueue_rop(RopWork {
+                ops,
+                ack: AckTarget::FlushSm { sm },
+            });
+            self.served += 1;
+            self.advance_cursor();
+        }
+    }
+
+    /// Total transactions expected this epoch (0 until all pre-flush
+    /// messages have arrived).
+    pub fn total_expected(&self) -> u64 {
+        if !self.all_preflush_received() {
+            return 0;
+        }
+        self.expected.iter().map(|e| e.unwrap_or(0) as u64).sum()
+    }
+
+    /// Whether every expected transaction has been served to the ROP.
+    pub fn is_done(&self) -> bool {
+        self.all_preflush_received() && self.served == self.total_expected()
+    }
+
+    /// Transactions currently buffered out of order.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Peak out-of-order occupancy observed (flush-buffer sizing).
+    pub fn peak_pending(&self) -> usize {
+        self.peak_pending
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::config::GpuConfig;
+    use gpu_sim::isa::{AtomicOp, Value};
+    use gpu_sim::ndet::NdetSource;
+    use gpu_sim::values::ValueMem;
+
+    fn part() -> MemPartition {
+        MemPartition::new(0, &GpuConfig::tiny(), 0)
+    }
+
+    fn op(v: f32) -> Vec<RopOp> {
+        vec![RopOp {
+            addr: 0x100,
+            op: AtomicOp::AddF32,
+            arg: Value::F32(v),
+        }]
+    }
+
+    fn drain(part: &mut MemPartition) -> (f32, u64) {
+        let mut values = ValueMem::new();
+        let mut ndet = NdetSource::disabled();
+        for cycle in 0..100_000 {
+            part.tick(cycle, &mut values, &mut ndet);
+            if !part.is_busy() {
+                break;
+            }
+        }
+        (values.read_f32(0x100), values.atomics_applied())
+    }
+
+    #[test]
+    fn round_robin_order_restored() {
+        // 2 SMs, 2 transactions each, arriving badly out of order.
+        let mut r = PartitionReorder::new(2);
+        let mut p = part();
+        r.on_entry(1, 1, op(8.0), &mut p, false);
+        r.on_entry(0, 1, op(4.0), &mut p, false);
+        assert_eq!(p.rop_queue_len(), 0, "nothing served before pre-flush");
+        r.on_pre_flush(0, 2, &mut p);
+        r.on_pre_flush(1, 2, &mut p);
+        assert_eq!(p.rop_queue_len(), 0, "round 0 still missing");
+        r.on_entry(0, 0, op(1.0), &mut p, false);
+        assert_eq!(p.rop_queue_len(), 1);
+        r.on_entry(1, 0, op(2.0), &mut p, false);
+        // Everything unblocks: order is (0,0),(1,0),(0,1),(1,1).
+        assert_eq!(p.rop_queue_len(), 4);
+        assert!(r.is_done());
+        let (sum, n) = drain(&mut p);
+        assert_eq!(n, 4);
+        assert_eq!(sum, 15.0);
+    }
+
+    #[test]
+    fn skips_exhausted_sms() {
+        // SM 0 sends 1 transaction, SM 1 sends 3.
+        let mut r = PartitionReorder::new(2);
+        let mut p = part();
+        r.on_pre_flush(0, 1, &mut p);
+        r.on_pre_flush(1, 3, &mut p);
+        r.on_entry(1, 0, op(1.0), &mut p, false);
+        r.on_entry(1, 1, op(2.0), &mut p, false);
+        r.on_entry(1, 2, op(3.0), &mut p, false);
+        assert_eq!(p.rop_queue_len(), 0, "waiting on SM 0's round 0");
+        r.on_entry(0, 0, op(4.0), &mut p, false);
+        assert_eq!(p.rop_queue_len(), 4);
+        assert!(r.is_done());
+    }
+
+    #[test]
+    fn zero_count_sm_skipped_entirely() {
+        let mut r = PartitionReorder::new(3);
+        let mut p = part();
+        r.on_pre_flush(0, 0, &mut p);
+        r.on_pre_flush(1, 2, &mut p);
+        r.on_pre_flush(2, 0, &mut p);
+        r.on_entry(1, 0, op(1.0), &mut p, false);
+        r.on_entry(1, 1, op(2.0), &mut p, false);
+        assert!(r.is_done());
+        assert_eq!(p.rop_queue_len(), 2);
+    }
+
+    #[test]
+    fn empty_epoch_is_done_immediately() {
+        let mut r = PartitionReorder::new(2);
+        let mut p = part();
+        r.on_pre_flush(0, 0, &mut p);
+        assert!(!r.is_done(), "must wait for all pre-flush messages");
+        r.on_pre_flush(1, 0, &mut p);
+        assert!(r.is_done());
+    }
+
+    #[test]
+    fn deterministic_regardless_of_arrival_order() {
+        let arrivals = [
+            vec![(0usize, 0u32, 1.0f32), (1, 0, 2.0), (0, 1, 4.0), (1, 1, 8.0)],
+            vec![(1, 1, 8.0), (0, 1, 4.0), (1, 0, 2.0), (0, 0, 1.0)],
+        ];
+        let mut sums = Vec::new();
+        for order in &arrivals {
+            let mut r = PartitionReorder::new(2);
+            let mut p = part();
+            r.on_pre_flush(0, 2, &mut p);
+            r.on_pre_flush(1, 2, &mut p);
+            for &(sm, seq, v) in order {
+                // Use magnitudes that expose ordering differences.
+                r.on_entry(sm, seq, op(v * 1e7 + 0.1), &mut p, false);
+            }
+            assert!(r.is_done());
+            let (sum, _) = drain(&mut p);
+            sums.push(sum.to_bits());
+        }
+        assert_eq!(sums[0], sums[1]);
+    }
+
+    #[test]
+    fn peak_pending_tracks_flush_buffer() {
+        let mut r = PartitionReorder::new(2);
+        let mut p = part();
+        r.on_pre_flush(0, 2, &mut p);
+        r.on_pre_flush(1, 2, &mut p);
+        r.on_entry(1, 1, op(1.0), &mut p, false);
+        r.on_entry(0, 1, op(1.0), &mut p, false);
+        assert_eq!(r.pending_len(), 2);
+        assert_eq!(r.peak_pending(), 2);
+        r.on_entry(0, 0, op(1.0), &mut p, false);
+        r.on_entry(1, 0, op(1.0), &mut p, false);
+        assert_eq!(r.pending_len(), 0);
+        assert_eq!(r.peak_pending(), 3);
+    }
+
+    #[test]
+    fn vwq_mimic_evicts() {
+        let mut r = PartitionReorder::new(2);
+        let mut p = part();
+        // Warm the L2 sector.
+        p.enqueue_rop(RopWork {
+            ops: op(0.0),
+            ack: AckTarget::None,
+        });
+        drain(&mut p);
+        let misses_before = p.stats().l2_misses;
+        r.on_pre_flush(0, 1, &mut p);
+        r.on_pre_flush(1, 1, &mut p);
+        // Out-of-order arrival evicts the sector.
+        r.on_entry(1, 0, op(1.0), &mut p, true);
+        r.on_entry(0, 0, op(1.0), &mut p, true);
+        drain(&mut p);
+        assert!(p.stats().l2_misses > misses_before);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate pre-flush")]
+    fn duplicate_preflush_panics() {
+        let mut r = PartitionReorder::new(2);
+        let mut p = part();
+        r.on_pre_flush(0, 1, &mut p);
+        r.on_pre_flush(0, 1, &mut p);
+    }
+
+    #[test]
+    fn reset_allows_new_epoch() {
+        let mut r = PartitionReorder::new(1);
+        let mut p = part();
+        r.on_pre_flush(0, 1, &mut p);
+        r.on_entry(0, 0, op(1.0), &mut p, false);
+        assert!(r.is_done());
+        r.reset();
+        assert!(!r.is_done());
+        r.on_pre_flush(0, 1, &mut p);
+        r.on_entry(0, 0, op(1.0), &mut p, false);
+        assert!(r.is_done());
+    }
+}

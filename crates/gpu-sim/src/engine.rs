@@ -1,0 +1,1627 @@
+//! The cycle-level simulation engine.
+//!
+//! [`GpuSim`] owns the whole machine — SMs, interconnect, memory partitions,
+//! the functional value memory, the lock manager, and one
+//! [`ExecutionModel`] — and advances it cycle by cycle. Each cycle:
+//!
+//! 1. memory partitions tick (DRAM, L2, ROP commits atomics *in queue
+//!    order* into the value memory);
+//! 2. the interconnect moves packets (with seeded arbitration jitter);
+//! 3. arrived responses wake warps and fill L1s;
+//! 4. the deterministic lock manager serves ticket holders;
+//! 5. every warp scheduler picks and issues one instruction, consulting the
+//!    execution model for gating and atomic routing;
+//! 6. CTAs are dispatched per the model's distribution policy;
+//! 7. the model ticks (flush controllers, quantum state machines) and its
+//!    wake commands are applied.
+//!
+//! A run executes a sequence of [`KernelGrid`]s back to back and returns a
+//! [`RunReport`] with statistics and the final memory contents, whose
+//! [`digest`](crate::values::ValueMem::digest) is the determinism criterion
+//! used throughout the test-suite and benchmarks.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use crate::config::GpuConfig;
+use crate::exec::{
+    AtomicIssue, AtomicRoute, BarrierRelease, ExecutionModel, FenceAction, ModelCtx, SchedCensus,
+    SchedId, StoreRoute, WakeCmd, WarpId,
+};
+use crate::isa::{AtomicAccess, AtomicOp, Instr, MemAccess};
+use crate::kernel::{CtaDistribution, KernelGrid};
+use crate::lock::LockManager;
+use crate::mem::cache::Probe;
+use crate::mem::icnt::Interconnect;
+use crate::mem::packet::{AtomKind, Packet, Payload, RopOp, WarpRef};
+use crate::mem::partition::MemPartition;
+use crate::mem::{partition_of, sector_align};
+use crate::ndet::NdetSource;
+use crate::sched::{SchedKind, WarpView};
+use crate::sm::{Sm, WarpState};
+use crate::stats::SimStats;
+use crate::values::ValueMem;
+
+/// Outcome of one simulation run.
+#[derive(Debug)]
+pub struct RunReport {
+    /// Execution model name.
+    pub model: String,
+    /// Aggregated statistics (cycles, IPC, counters).
+    pub stats: SimStats,
+    /// Final functional memory; `values.digest()` is the determinism check.
+    pub values: ValueMem,
+    /// Cycles consumed by each kernel, in launch order.
+    pub kernel_cycles: Vec<(String, u64)>,
+}
+
+impl RunReport {
+    /// Total cycles across all kernels.
+    pub fn cycles(&self) -> u64 {
+        self.stats.cycles
+    }
+
+    /// Order-independent digest of the final memory (bitwise determinism
+    /// comparisons between runs).
+    pub fn digest(&self) -> u64 {
+        self.values.digest()
+    }
+}
+
+#[derive(Debug)]
+struct Dispatcher {
+    /// Dynamic mode: shared queue of CTA indices.
+    dynamic_queue: VecDeque<usize>,
+    /// Static mode: per-SM queues of CTA indices.
+    static_queues: Vec<VecDeque<usize>>,
+    /// Deterministic unique-id base per CTA.
+    unique_bases: Vec<u64>,
+    is_static: bool,
+    rr: usize,
+}
+
+impl Dispatcher {
+    fn new(grid: &KernelGrid, dist: CtaDistribution, num_sms: usize) -> Self {
+        let mut unique_bases = Vec::with_capacity(grid.ctas.len());
+        let mut base = 0u64;
+        for cta in &grid.ctas {
+            unique_bases.push(base);
+            base += cta.num_warps() as u64;
+        }
+        match dist {
+            CtaDistribution::Dynamic => Self {
+                dynamic_queue: (0..grid.ctas.len()).collect(),
+                static_queues: Vec::new(),
+                unique_bases,
+                is_static: false,
+                rr: 0,
+            },
+            CtaDistribution::Static { active_sms } => {
+                let active = active_sms.clamp(1, num_sms);
+                let mut queues: Vec<VecDeque<usize>> = (0..num_sms).map(|_| VecDeque::new()).collect();
+                for idx in 0..grid.ctas.len() {
+                    queues[idx % active].push_back(idx);
+                }
+                Self {
+                    dynamic_queue: VecDeque::new(),
+                    static_queues: queues,
+                    unique_bases,
+                    is_static: true,
+                    rr: 0,
+                }
+            }
+        }
+    }
+
+    fn all_dispatched(&self) -> bool {
+        if self.is_static {
+            self.static_queues.iter().all(|q| q.is_empty())
+        } else {
+            self.dynamic_queue.is_empty()
+        }
+    }
+}
+
+/// The simulator: one GPU, one execution model, one run.
+///
+/// Construct with [`GpuSim::new`] and consume with [`GpuSim::run`]; build a
+/// fresh simulator for every run (runs are cheap to set up and this keeps
+/// every run's initial state identical by construction).
+#[derive(Debug)]
+pub struct GpuSim {
+    cfg: GpuConfig,
+    model: Box<dyn ExecutionModel>,
+    ndet: NdetSource,
+    values: ValueMem,
+    sms: Vec<Sm>,
+    icnt: Interconnect,
+    partitions: Vec<MemPartition>,
+    locks: LockManager,
+    stats: SimStats,
+    cycle: u64,
+    wakes: Vec<WakeCmd>,
+    census: Vec<SchedCensus>,
+    sched_kind: SchedKind,
+    last_progress_cycle: u64,
+}
+
+/// Cycles of engine inactivity after which the engine declares deadlock.
+const DEADLOCK_HORIZON: u64 = 5_000_000;
+
+impl GpuSim {
+    /// Builds a simulator for `cfg` running `model`, with hardware timing
+    /// perturbations drawn from `ndet`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`GpuConfig::validate`].
+    pub fn new(cfg: GpuConfig, model: Box<dyn ExecutionModel>, ndet: NdetSource) -> Self {
+        cfg.validate().expect("invalid GPU configuration");
+        let sched_kind = model.scheduler_kind();
+        let sms = (0..cfg.num_sms())
+            .map(|id| Sm::new(id, &cfg, sched_kind))
+            .collect();
+        let dram_jitter = if ndet.is_enabled() { 16 } else { 0 };
+        let partitions = (0..cfg.num_mem_partitions)
+            .map(|id| MemPartition::new(id, &cfg, dram_jitter))
+            .collect();
+        let census = vec![SchedCensus::default(); cfg.num_sms() * cfg.num_schedulers_per_sm];
+        Self {
+            icnt: Interconnect::new(&cfg),
+            locks: LockManager::new(&cfg),
+            sms,
+            partitions,
+            values: ValueMem::new(),
+            stats: SimStats::default(),
+            cycle: 0,
+            wakes: Vec::new(),
+            census,
+            sched_kind,
+            model,
+            ndet,
+            cfg,
+            last_progress_cycle: 0,
+        }
+    }
+
+    /// The configuration this simulator was built with.
+    pub fn config(&self) -> &GpuConfig {
+        &self.cfg
+    }
+
+    /// Runs the kernels in order and returns the report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the machine makes no progress for an implausibly long time
+    /// (a model/scheduler deadlock — always a bug, never expected load).
+    pub fn run(mut self, kernels: &[KernelGrid]) -> RunReport {
+        let mut kernel_cycles = Vec::with_capacity(kernels.len());
+        for grid in kernels {
+            let start = self.cycle;
+            self.run_kernel(grid);
+            kernel_cycles.push((grid.name.clone(), self.cycle - start));
+        }
+        self.stats.cycles = self.cycle;
+        for p in &self.partitions {
+            let ps = p.stats();
+            self.stats.l2_accesses += ps.l2_accesses;
+            self.stats.l2_misses += ps.l2_misses;
+            self.stats.bump("rop.ops", ps.rop_ops);
+            self.stats.bump("rop.fill_stall_cycles", ps.rop_fill_stall_cycles);
+            self.stats.bump("dram.accesses", ps.dram_accesses);
+        }
+        RunReport {
+            model: self.model.name(),
+            stats: self.stats,
+            values: self.values,
+            kernel_cycles,
+        }
+    }
+
+    fn run_kernel(&mut self, grid: &KernelGrid) {
+        let dist = self.model.cta_distribution(self.cfg.num_sms());
+        let mut dispatcher = Dispatcher::new(grid, dist, self.cfg.num_sms());
+        // Pre-register deterministic lock tickets.
+        for (idx, cta) in grid.ctas.iter().enumerate() {
+            for (w, program) in cta.warps.iter().enumerate() {
+                self.locks
+                    .prescan_warp(program, dispatcher.unique_bases[idx] + w as u64);
+            }
+        }
+        self.locks.finish_prescan();
+        self.model.on_kernel_start(&grid.name, grid.ctas.len());
+        self.last_progress_cycle = self.cycle;
+
+        loop {
+            self.tick_partitions();
+            self.icnt.tick(self.cycle, &mut self.ndet);
+            self.deliver_responses();
+            self.tick_locks();
+            self.issue_all();
+            self.dispatch(grid, &mut dispatcher);
+            self.model_tick(dispatcher.all_dispatched());
+            self.apply_wakes();
+
+            if self.kernel_done(&dispatcher) {
+                break;
+            }
+            self.advance_cycle();
+            if self.cycle - self.last_progress_cycle >= DEADLOCK_HORIZON {
+                let mut dump = String::new();
+                for (sm_idx, sm) in self.sms.iter().enumerate() {
+                    for (slot, warp) in sm.warps.iter().enumerate() {
+                        if let Some(w) = warp {
+                            dump.push_str(&format!(
+                                "\n  sm {sm_idx} slot {slot} unique {} sched {} batch {} state {:?} pc {}/{} next_atomic {}",
+                                w.unique,
+                                w.sched,
+                                w.batch,
+                                w.state,
+                                w.pc,
+                                w.program.instrs.len(),
+                                w.next_is_atomic(),
+                            ));
+                        }
+                    }
+                }
+                panic!(
+                    "deadlock: no progress since cycle {} (model {}, kernel {}); live warps:{dump}",
+                    self.last_progress_cycle,
+                    self.model.name(),
+                    grid.name
+                );
+            }
+        }
+        self.model.on_kernel_end();
+        for sm in &mut self.sms {
+            for sched in &mut sm.schedulers {
+                sched.on_kernel_boundary();
+            }
+        }
+        self.locks.reset();
+        self.cycle += 1;
+    }
+
+    fn kernel_done(&self, dispatcher: &Dispatcher) -> bool {
+        dispatcher.all_dispatched()
+            && self.sms.iter().all(|sm| sm.live_warps() == 0)
+            && !self.icnt.is_busy()
+            && self.partitions.iter().all(|p| !p.is_busy())
+            && !self.locks.is_busy()
+            && self.model.quiescent()
+    }
+
+    fn advance_cycle(&mut self) {
+        // Conservative fast-forward: only when the memory system is quiet
+        // may we jump to the next warp-ready or lock-service event.
+        let quiet = !self.icnt.is_busy() && self.partitions.iter().all(|p| !p.is_busy());
+        if quiet {
+            let mut target = self.sms.iter().filter_map(Sm::earliest_ready).min();
+            let mut fold = |ev: Option<u64>| {
+                if let Some(e) = ev {
+                    target = Some(target.map_or(e, |t| t.min(e)));
+                }
+            };
+            fold(self.model.next_event_hint());
+            if self.locks.is_busy() {
+                match self.locks.next_event_cycle() {
+                    // A lock can act immediately: no fast-forward.
+                    Some(0) => fold(Some(self.cycle + 1)),
+                    ev => fold(ev),
+                }
+            }
+            if let Some(t) = target {
+                if t > self.cycle + 1 {
+                    self.cycle = t;
+                    return;
+                }
+            }
+        }
+        self.cycle += 1;
+    }
+
+    fn progress(&mut self) {
+        self.last_progress_cycle = self.cycle;
+    }
+
+    // ------------------------------------------------------------------
+    // Memory partitions and response delivery
+    // ------------------------------------------------------------------
+
+    fn tick_partitions(&mut self) {
+        for p in 0..self.partitions.len() {
+            // Route arrived request packets.
+            while let Some(pkt) = self.icnt.pop_arrived_request(p) {
+                self.progress();
+                match pkt.payload {
+                    Payload::PreFlush { sm, expected } => {
+                        self.model
+                            .on_pre_flush(&mut self.partitions[p], sm, expected, self.cycle);
+                    }
+                    Payload::FlushEntry { sm, seq, ops } => {
+                        self.model.on_flush_entry(
+                            &mut self.partitions[p],
+                            sm,
+                            seq,
+                            ops,
+                            self.cycle,
+                        );
+                    }
+                    _ => self.partitions[p].handle_request(pkt, self.cycle),
+                }
+            }
+            let responses = self.partitions[p].tick(self.cycle, &mut self.values, &mut self.ndet);
+            for mut pkt in responses {
+                self.progress();
+                let sm = match &pkt.payload {
+                    Payload::LoadResp { warp, .. }
+                    | Payload::StoreAck { warp }
+                    | Payload::AtomicAck { warp, .. } => warp.sm,
+                    Payload::FlushAck { sm } => *sm,
+                    other => panic!("partition emitted non-response {other:?}"),
+                };
+                pkt.dest = sm / self.cfg.sms_per_cluster;
+                self.icnt.inject_response(p, pkt);
+            }
+            // Flush retirements are also surfaced directly (the ack packets
+            // additionally travel the network for write-back accounting).
+            let _ = self.partitions[p].take_retired_flush_acks();
+        }
+    }
+
+    fn deliver_responses(&mut self) {
+        for cluster in 0..self.cfg.num_clusters {
+            while let Some(pkt) = self.icnt.pop_ejected(cluster) {
+                self.progress();
+                match pkt.payload {
+                    Payload::LoadResp { sector_addr, warp } => {
+                        self.handle_load_resp(sector_addr, warp);
+                    }
+                    Payload::StoreAck { warp } => {
+                        self.complete_write(warp);
+                    }
+                    Payload::AtomicAck { warp, kind } => {
+                        let remaining = self.complete_write(warp);
+                        self.model.on_atomic_ack(warp, kind, remaining, self.cycle);
+                        if kind == AtomKind::Atom {
+                            let sm = &mut self.sms[warp.sm];
+                            if let Some(w) = sm.warps[warp.slot].as_mut() {
+                                if w.state == WarpState::WaitAtom {
+                                    w.state = WarpState::Ready;
+                                    w.next_ready = self.cycle + 1;
+                                }
+                            }
+                        }
+                        self.try_retire(warp.sm, warp.slot);
+                    }
+                    Payload::FlushAck { sm } => {
+                        self.model.on_flush_ack(sm, self.cycle);
+                    }
+                    other => panic!("cluster received non-response {other:?}"),
+                }
+            }
+        }
+    }
+
+    fn handle_load_resp(&mut self, sector_addr: u64, warp: WarpRef) {
+        let sm = &mut self.sms[warp.sm];
+        sm.l1.fill(sector_addr);
+        let Some(waiters) = sm.l1_mshrs.remove(&sector_addr) else {
+            return;
+        };
+        for &slot in &waiters {
+            if let Some(w) = sm.warps[slot].as_mut() {
+                w.outstanding_loads = w.outstanding_loads.saturating_sub(1);
+                if w.outstanding_loads == 0 && w.state == WarpState::WaitMem {
+                    w.state = WarpState::Ready;
+                    w.next_ready = self.cycle + 1;
+                }
+            }
+        }
+        // A woken warp may have nothing left to execute.
+        for slot in waiters {
+            self.try_retire(warp.sm, slot);
+        }
+    }
+
+    fn complete_write(&mut self, warp: WarpRef) -> u32 {
+        let cycle = self.cycle;
+        let sm = &mut self.sms[warp.sm];
+        let mut remaining = 0;
+        if let Some(w) = sm.warps[warp.slot].as_mut() {
+            w.outstanding_writes = w.outstanding_writes.saturating_sub(1);
+            remaining = w.outstanding_writes;
+            if w.outstanding_writes == 0 && w.state == WarpState::WaitDrain {
+                w.state = WarpState::Ready;
+                w.next_ready = cycle + 1;
+            }
+        }
+        self.try_retire(warp.sm, warp.slot);
+        remaining
+    }
+
+    fn tick_locks(&mut self) {
+        let released = self.locks.tick(self.cycle, &mut self.values);
+        for warp in released {
+            self.progress();
+            if let Some(w) = self.sms[warp.sm].warps[warp.slot].as_mut() {
+                if w.state == WarpState::WaitLock {
+                    w.state = WarpState::Ready;
+                    w.next_ready = self.cycle + 1;
+                }
+            }
+            self.try_retire(warp.sm, warp.slot);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Issue
+    // ------------------------------------------------------------------
+
+    fn issue_all(&mut self) {
+        let num_sched = self.cfg.num_schedulers_per_sm;
+        let det_aware = self.sched_kind.is_determinism_aware();
+        let srr_like = self.sched_kind == SchedKind::Srr;
+        for sm_idx in 0..self.sms.len() {
+            for sched in 0..num_sched {
+                if self.sms[sm_idx].schedulers[sched].live == 0 {
+                    continue;
+                }
+                let views = self.build_views(sm_idx, sched, det_aware, srr_like);
+                if views.is_empty() {
+                    continue;
+                }
+                let picked = {
+                    let cycle = self.cycle;
+                    self.sms[sm_idx].schedulers[sched]
+                        .policy
+                        .pick(&views, cycle)
+                };
+                if let Some(slot) = picked {
+                    debug_assert!(
+                        views.iter().any(|v| v.slot == slot && v.ready),
+                        "scheduler picked a non-ready warp"
+                    );
+                    self.issue_one(sm_idx, sched, slot);
+                }
+            }
+        }
+    }
+
+    fn build_views(
+        &mut self,
+        sm_idx: usize,
+        sched: usize,
+        det_aware: bool,
+        srr_like: bool,
+    ) -> Vec<WarpView> {
+        let num_sched = self.cfg.num_schedulers_per_sm;
+        let cycle = self.cycle;
+        let mut views: Vec<WarpView> = Vec::new();
+        let mut any_ready = false;
+        {
+            let sm = &self.sms[sm_idx];
+            let sctx = &sm.schedulers[sched];
+            let mut slot = sched;
+            while slot < sm.warps.len() {
+                if let Some(w) = &sm.warps[slot] {
+                    debug_assert_eq!(w.sched, sched);
+                    let next_is_atomic = w.next_is_atomic();
+                    let mut ready =
+                        w.state == WarpState::Ready && w.next_ready <= cycle && !w.finished();
+                    let mut batch_gated = false;
+                    if ready && det_aware && !sctx.batch_may_issue_atomics(w.batch) {
+                        // Later batches may not issue atomics; under SRR they
+                        // may not issue anything.
+                        if next_is_atomic || srr_like {
+                            ready = false;
+                            batch_gated = true;
+                        }
+                    }
+                    views.push(WarpView {
+                        slot,
+                        unique: w.unique,
+                        arrival: w.arrival,
+                        ready,
+                        next_is_atomic,
+                        at_barrier: w.state == WarpState::WaitBarrier,
+                        flush_wait: w.state == WarpState::WaitFlush,
+                        batch_gated,
+                    });
+                    any_ready |= ready;
+                }
+                slot += num_sched;
+            }
+        }
+        if !any_ready {
+            return Vec::new();
+        }
+        views.sort_unstable_by_key(|v| v.unique);
+        // Model gating (GPUDet quanta / serial mode).
+        for v in views.iter_mut().filter(|v| v.ready) {
+            let warp_id = WarpId {
+                sched: SchedId { sm: sm_idx, sched },
+                slot: v.slot,
+                unique: v.unique,
+            };
+            v.ready = self.model.can_issue(warp_id, v.next_is_atomic, cycle);
+        }
+        views
+    }
+
+    fn issue_one(&mut self, sm_idx: usize, sched: usize, slot: usize) {
+        let cycle = self.cycle;
+        let (program, pc, unique, lanes) = {
+            let w = self.sms[sm_idx].warps[slot].as_ref().expect("picked warp");
+            (
+                Arc::clone(&w.program),
+                w.pc,
+                w.unique,
+                w.program.active_lanes,
+            )
+        };
+        let instr = &program.instrs[pc];
+        let warp_id = WarpId {
+            sched: SchedId { sm: sm_idx, sched },
+            slot,
+            unique,
+        };
+        let warp_ref = WarpRef { sm: sm_idx, slot };
+        let cluster = sm_idx / self.cfg.sms_per_cluster;
+
+        let mut issued = true;
+        let mut thread_instrs = instr.thread_instr_count(lanes);
+        match instr {
+            Instr::Alu { cycles, count } => {
+                let w = self.sms[sm_idx].warps[slot].as_mut().expect("picked warp");
+                if w.alu_rem == 0 {
+                    w.alu_rem = (*count).max(1);
+                }
+                w.alu_rem -= 1;
+                thread_instrs = lanes as u64;
+                if w.alu_rem == 0 {
+                    w.pc += 1;
+                    // Latency tail before the (dependent) next instruction.
+                    w.next_ready = cycle + (*cycles).max(1) as u64;
+                } else {
+                    // Back-to-back issue within the burst.
+                    w.next_ready = cycle + 1;
+                }
+            }
+            Instr::Load { accesses } => {
+                issued = self.issue_load(sm_idx, slot, cluster, accesses);
+            }
+            Instr::Store { accesses } => {
+                issued = self.issue_store(warp_id, cluster, accesses);
+            }
+            Instr::Red { op, accesses } => {
+                issued = self.issue_atomic(warp_id, cluster, *op, accesses, AtomKind::Red);
+            }
+            Instr::Atom { op, accesses } => {
+                issued = self.issue_atomic(warp_id, cluster, *op, accesses, AtomKind::Atom);
+            }
+            Instr::Bar => {
+                self.issue_barrier(sm_idx, slot);
+            }
+            Instr::Fence => {
+                self.issue_fence(warp_id);
+            }
+            Instr::LockedSection {
+                kind,
+                lock_addr,
+                op,
+                accesses,
+                critical_cycles,
+            } => {
+                let occurrence = {
+                    let w = self.sms[sm_idx].warps[slot].as_mut().expect("picked warp");
+                    w.next_lock_occurrence(*lock_addr)
+                };
+                self.locks.acquire(
+                    warp_ref,
+                    unique,
+                    occurrence,
+                    *kind,
+                    *lock_addr,
+                    accesses,
+                    *critical_cycles,
+                    *op,
+                );
+                let w = self.sms[sm_idx].warps[slot].as_mut().expect("picked warp");
+                w.pc += 1;
+                w.state = WarpState::WaitLock;
+            }
+        }
+
+        if issued {
+            self.progress();
+            self.stats.warp_instrs += 1;
+            self.stats.thread_instrs += thread_instrs;
+            self.stats.atomics += instr.atomic_count();
+            let was_atomic = instr.is_atomic();
+            self.sms[sm_idx].schedulers[sched]
+                .policy
+                .on_issue(unique, was_atomic, cycle);
+            self.model.on_issue(warp_id, was_atomic, cycle);
+            self.try_retire(sm_idx, slot);
+        }
+    }
+
+    /// Collects the unique sector addresses of a set of accesses.
+    fn sectors_of(&self, accesses: &[MemAccess]) -> Vec<u64> {
+        let sector = self.cfg.sector_size as u64;
+        let mut sectors: Vec<u64> = accesses
+            .iter()
+            .flat_map(|a| a.addrs.iter().map(|&addr| sector_align(addr, sector)))
+            .collect();
+        sectors.sort_unstable();
+        sectors.dedup();
+        sectors
+    }
+
+    fn issue_load(
+        &mut self,
+        sm_idx: usize,
+        slot: usize,
+        cluster: usize,
+        accesses: &[MemAccess],
+    ) -> bool {
+        let cycle = self.cycle;
+        let sectors = self.sectors_of(accesses);
+        // Probe L1 for each sector.
+        let mut missing: Vec<u64> = Vec::new();
+        {
+            let sm = &mut self.sms[sm_idx];
+            for &s in &sectors {
+                self.stats.l1_accesses += 1;
+                match sm.l1.probe(s) {
+                    Probe::Hit => {}
+                    Probe::SectorMiss | Probe::LineMiss => {
+                        self.stats.l1_misses += 1;
+                        missing.push(s);
+                    }
+                }
+            }
+        }
+        if missing.is_empty() {
+            let w = self.sms[sm_idx].warps[slot].as_mut().expect("picked warp");
+            w.pc += 1;
+            w.next_ready = cycle + self.cfg.l1_hit_latency as u64;
+            return true;
+        }
+        // Structural checks: MSHR space for new sectors, interconnect room.
+        let new_sectors: Vec<u64> = missing
+            .iter()
+            .copied()
+            .filter(|s| !self.sms[sm_idx].l1_mshrs.contains_key(s))
+            .collect();
+        if self.sms[sm_idx].l1_mshrs.len() + new_sectors.len() > self.sms[sm_idx].l1_mshr_capacity {
+            self.stats.bump("stall.l1_mshr", 1);
+            return false;
+        }
+        let flits_needed = new_sectors.len() as u32;
+        if !self.icnt.can_inject_request(cluster, flits_needed) {
+            self.stats.icnt_stall_cycles += 1;
+            return false;
+        }
+        let warp_ref = WarpRef { sm: sm_idx, slot };
+        for &s in &missing {
+            let sm = &mut self.sms[sm_idx];
+            let is_new = !sm.l1_mshrs.contains_key(&s);
+            sm.l1_mshrs.entry(s).or_default().push(slot);
+            if is_new {
+                let pkt = Packet::new(
+                    partition_of(s, self.cfg.num_mem_partitions),
+                    Payload::LoadReq {
+                        sector_addr: s,
+                        warp: warp_ref,
+                    },
+                    self.cfg.icnt_flit_size,
+                );
+                self.stats.mem_transactions += 1;
+                self.icnt.inject_request(cluster, pkt);
+            }
+        }
+        let w = self.sms[sm_idx].warps[slot].as_mut().expect("picked warp");
+        w.outstanding_loads += missing.len() as u32;
+        w.pc += 1;
+        w.state = WarpState::WaitMem;
+        true
+    }
+
+    fn issue_store(
+        &mut self,
+        warp_id: WarpId,
+        cluster: usize,
+        accesses: &[MemAccess],
+    ) -> bool {
+        let cycle = self.cycle;
+        let sm_idx = warp_id.sched.sm;
+        let slot = warp_id.slot;
+        let sectors = self.sectors_of(accesses);
+        if self.model.on_store(warp_id, sectors.len(), cycle) == StoreRoute::Buffered {
+            // Absorbed by a model-side store buffer: no traffic now.
+            let w = self.sms[sm_idx].warps[slot].as_mut().expect("picked warp");
+            w.pc += 1;
+            w.next_ready = cycle + 1;
+            return true;
+        }
+        if !self.icnt.can_inject_request(cluster, 2 * sectors.len() as u32) {
+            self.stats.icnt_stall_cycles += 1;
+            return false;
+        }
+        // Functional write (DRF programs: order vs. other warps irrelevant).
+        for acc in accesses {
+            for &addr in &acc.addrs {
+                // Stores carry data patterns the workloads pre-computed; the
+                // timing model only needs addresses, and reduction outputs
+                // are written by atomics, so store *data* is not modeled.
+                let _ = addr;
+            }
+        }
+        let warp_ref = WarpRef { sm: sm_idx, slot };
+        for &s in &sectors {
+            // Write-through, write-evict at the L1.
+            self.sms[sm_idx].l1.evict_sector(s);
+            let pkt = Packet::new(
+                partition_of(s, self.cfg.num_mem_partitions),
+                Payload::StoreReq {
+                    sector_addr: s,
+                    warp: warp_ref,
+                },
+                self.cfg.icnt_flit_size,
+            );
+            self.stats.mem_transactions += 1;
+            self.icnt.inject_request(cluster, pkt);
+        }
+        let w = self.sms[sm_idx].warps[slot].as_mut().expect("picked warp");
+        w.outstanding_writes += sectors.len() as u32;
+        w.pc += 1;
+        w.next_ready = cycle + 1;
+        true
+    }
+
+    fn issue_atomic(
+        &mut self,
+        warp_id: WarpId,
+        cluster: usize,
+        op: AtomicOp,
+        accesses: &[AtomicAccess],
+        kind: AtomKind,
+    ) -> bool {
+        let cycle = self.cycle;
+        let sm_idx = warp_id.sched.sm;
+        let slot = warp_id.slot;
+        let route = self.model.on_atomic(
+            AtomicIssue {
+                warp: warp_id,
+                op,
+                accesses,
+                kind,
+            },
+            cycle,
+        );
+        match route {
+            AtomicRoute::Buffered { cycles } => {
+                let w = self.sms[sm_idx].warps[slot].as_mut().expect("picked warp");
+                w.pc += 1;
+                w.next_ready = cycle + cycles.max(1) as u64;
+                true
+            }
+            AtomicRoute::StallFlush => {
+                self.set_flush_wait(sm_idx, slot);
+                self.stats.bump("stall.atomic_buffer_full", 1);
+                false
+            }
+            AtomicRoute::ToMemory => {
+                // Fast-fail when the injection queue is jammed, before
+                // building coalescing groups (retried every cycle).
+                if !self.icnt.can_inject_request(cluster, 1) {
+                    self.stats.icnt_stall_cycles += 1;
+                    return false;
+                }
+                // Coalesce into one transaction per sector (baseline GPU).
+                let sector = self.cfg.sector_size as u64;
+                let mut groups: Vec<(u64, Vec<RopOp>)> = Vec::new();
+                for acc in accesses {
+                    let s = sector_align(acc.addr, sector);
+                    let rop = RopOp {
+                        addr: acc.addr,
+                        op,
+                        arg: acc.arg,
+                    };
+                    match groups.iter_mut().find(|(gs, _)| *gs == s) {
+                        Some((_, ops)) => ops.push(rop),
+                        None => groups.push((s, vec![rop])),
+                    }
+                }
+                let total_flits: u32 = groups
+                    .iter()
+                    .map(|(_, ops)| (8 + 9 * ops.len()).div_ceil(self.cfg.icnt_flit_size) as u32)
+                    .sum();
+                if !self.icnt.can_inject_request(cluster, total_flits) {
+                    self.stats.icnt_stall_cycles += 1;
+                    return false;
+                }
+                let warp_ref = WarpRef { sm: sm_idx, slot };
+                let n_groups = groups.len() as u32;
+                for (s, ops) in groups {
+                    let pkt = Packet::new(
+                        partition_of(s, self.cfg.num_mem_partitions),
+                        Payload::AtomicReq {
+                            ops,
+                            warp: warp_ref,
+                            kind,
+                        },
+                        self.cfg.icnt_flit_size,
+                    );
+                    self.stats.mem_transactions += 1;
+                    self.icnt.inject_request(cluster, pkt);
+                }
+                let w = self.sms[sm_idx].warps[slot].as_mut().expect("picked warp");
+                w.outstanding_writes += n_groups;
+                w.pc += 1;
+                match kind {
+                    AtomKind::Red => w.next_ready = cycle + 1,
+                    AtomKind::Atom => w.state = WarpState::WaitAtom,
+                }
+                true
+            }
+        }
+    }
+
+    fn issue_barrier(&mut self, sm_idx: usize, slot: usize) {
+        let cycle = self.cycle;
+        let (cta_key, warp_id) = {
+            let sm = &mut self.sms[sm_idx];
+            let w = sm.warps[slot].as_mut().expect("picked warp");
+            w.pc += 1;
+            w.state = WarpState::WaitBarrier;
+            let (cta_key, sched, unique) = (w.cta_key, w.sched, w.unique);
+            sm.schedulers[sched].barrier_wait += 1;
+            (
+                cta_key,
+                WarpId {
+                    sched: SchedId { sm: sm_idx, sched },
+                    slot,
+                    unique,
+                },
+            )
+        };
+        self.model.on_barrier_wait(warp_id, cycle);
+        {
+            let sm = &mut self.sms[sm_idx];
+            // The policy consumes the warp's token/turn so atomic grants
+            // never deadlock behind the barrier.
+            sm.schedulers[warp_id.sched.sched]
+                .policy
+                .on_barrier_arrival(warp_id.unique);
+            let barrier = sm.barriers.get_mut(&cta_key).expect("barrier state");
+            barrier.waiting_slots.push(slot);
+        }
+        self.try_release_barrier(sm_idx, cta_key);
+    }
+
+    /// Releases a CTA barrier once every *live* warp of the CTA waits at it
+    /// (warps that exited without reaching the barrier no longer count, as
+    /// with CUDA's exited-threads semantics).
+    fn try_release_barrier(&mut self, sm_idx: usize, cta_key: u64) {
+        let cycle = self.cycle;
+        let waiting = {
+            let sm = &mut self.sms[sm_idx];
+            let Some(barrier) = sm.barriers.get_mut(&cta_key) else {
+                return;
+            };
+            if barrier.waiting_slots.is_empty()
+                || (barrier.waiting_slots.len() as u32) < barrier.live_warps
+            {
+                return;
+            }
+            std::mem::take(&mut barrier.waiting_slots)
+        };
+        let waiting_ids: Vec<WarpId> = waiting
+            .iter()
+            .map(|&s| {
+                let w = self.sms[sm_idx].warps[s].as_ref().expect("at barrier");
+                WarpId {
+                    sched: SchedId {
+                        sm: sm_idx,
+                        sched: w.sched,
+                    },
+                    slot: s,
+                    unique: w.unique,
+                }
+            })
+            .collect();
+        let release = self.model.on_barrier_release(sm_idx, &waiting_ids, cycle);
+        for id in &waiting_ids {
+            let sm = &mut self.sms[sm_idx];
+            sm.schedulers[id.sched.sched].barrier_wait -= 1;
+        }
+        match release {
+            BarrierRelease::Immediate => {
+                for s in waiting {
+                    {
+                        let sm = &mut self.sms[sm_idx];
+                        let w = sm.warps[s].as_mut().expect("at barrier");
+                        w.state = WarpState::Ready;
+                        w.next_ready = cycle + 1;
+                        let (sched, unique) = (w.sched, w.unique);
+                        sm.schedulers[sched].policy.on_barrier_released(unique);
+                    }
+                    // The barrier may have been the warp's last instruction.
+                    self.try_retire(sm_idx, s);
+                }
+            }
+            BarrierRelease::WaitFlush => {
+                // The warps stay parked in their schedulers until the flush
+                // wake (the epoch boundary), which keeps un-parking — and
+                // therefore the token/turn grant order — deterministic.
+                for s in waiting {
+                    self.set_flush_wait(sm_idx, s);
+                }
+            }
+        }
+    }
+
+    fn issue_fence(&mut self, warp_id: WarpId) {
+        let cycle = self.cycle;
+        let sm_idx = warp_id.sched.sm;
+        let slot = warp_id.slot;
+        match self.model.on_fence(warp_id, cycle) {
+            FenceAction::DrainWarp => {
+                let w = self.sms[sm_idx].warps[slot].as_mut().expect("picked warp");
+                w.pc += 1;
+                if w.outstanding_writes > 0 {
+                    w.state = WarpState::WaitDrain;
+                } else {
+                    w.next_ready = cycle + 1;
+                }
+            }
+            FenceAction::WaitFlush => {
+                let w = self.sms[sm_idx].warps[slot].as_mut().expect("picked warp");
+                w.pc += 1;
+                self.set_flush_wait(sm_idx, slot);
+            }
+        }
+    }
+
+    fn set_flush_wait(&mut self, sm_idx: usize, slot: usize) {
+        let sm = &mut self.sms[sm_idx];
+        let w = sm.warps[slot].as_mut().expect("warp resident");
+        if w.state != WarpState::WaitFlush {
+            w.state = WarpState::WaitFlush;
+            sm.schedulers[w.sched].flush_wait += 1;
+        }
+    }
+
+    fn wake_flush_wait(&mut self, sm_idx: usize, slot: usize) {
+        let cycle = self.cycle;
+        let sm = &mut self.sms[sm_idx];
+        if let Some(w) = sm.warps[slot].as_mut() {
+            if w.state == WarpState::WaitFlush {
+                w.state = WarpState::Ready;
+                w.next_ready = cycle + 1;
+                let (sched, unique) = (w.sched, w.unique);
+                sm.schedulers[sched].flush_wait -= 1;
+                // Un-park barrier waiters at the epoch boundary (no-op for
+                // warps that were flush-blocked for other reasons).
+                sm.schedulers[sched].policy.on_barrier_released(unique);
+            }
+        }
+        self.try_retire(sm_idx, slot);
+    }
+
+    /// Retires the warp if it has finished its program and drained all
+    /// outstanding transactions.
+    fn try_retire(&mut self, sm_idx: usize, slot: usize) {
+        let retire = {
+            match self.sms[sm_idx].warps[slot].as_mut() {
+                Some(w) if w.finished() => {
+                    if w.outstanding_loads == 0 && w.outstanding_writes == 0 {
+                        // Only a warp that is not waiting on anything may
+                        // retire; a warp whose last instruction parked it
+                        // (barrier, flush, lock) retires after its wake.
+                        w.state == WarpState::Ready
+                    } else {
+                        if w.state == WarpState::Ready {
+                            w.state = WarpState::WaitDrain;
+                        }
+                        false
+                    }
+                }
+                _ => false,
+            }
+        };
+        if !retire {
+            return;
+        }
+        let (unique, sched) = {
+            let w = self.sms[sm_idx].warps[slot].as_ref().expect("finished warp");
+            (w.unique, w.sched)
+        };
+        // Warp-level DAB holds finished warps until their buffer flushes.
+        if !self.model.can_retire(WarpId {
+            sched: SchedId { sm: sm_idx, sched },
+            slot,
+            unique,
+        }) {
+            self.set_flush_wait(sm_idx, slot);
+            return;
+        }
+        self.progress();
+        // `no_more_arrivals` is refreshed by the dispatcher each cycle; the
+        // conservative value here only delays partial-batch completion by a
+        // cycle at worst.
+        let warp = self.sms[sm_idx].retire_warp(slot, false);
+        debug_assert_eq!(warp.unique, unique);
+        self.model.on_warp_exit(WarpId {
+            sched: SchedId {
+                sm: sm_idx,
+                sched,
+            },
+            slot,
+            unique,
+        });
+        // A warp exiting without reaching its CTA's barrier may complete it.
+        self.try_release_barrier(sm_idx, warp.cta_key);
+    }
+
+    // ------------------------------------------------------------------
+    // Dispatch, model tick, wakes
+    // ------------------------------------------------------------------
+
+    fn dispatch(&mut self, grid: &KernelGrid, dispatcher: &mut Dispatcher) {
+        if !self.model.allow_dispatch() {
+            return;
+        }
+        let cycle = self.cycle;
+        if dispatcher.is_static {
+            for sm_idx in 0..self.sms.len() {
+                let Some(&cta_idx) = dispatcher.static_queues[sm_idx].front() else {
+                    continue;
+                };
+                let cta = &grid.ctas[cta_idx];
+                if self.sms[sm_idx].can_accept(cta) {
+                    dispatcher.static_queues[sm_idx].pop_front();
+                    let base = dispatcher.unique_bases[cta_idx];
+                    let slots = self.sms[sm_idx].add_cta(cta, base, cycle);
+                    self.notify_spawns(sm_idx, &slots);
+                    self.progress();
+                }
+            }
+        } else {
+            // Rotating start with non-deterministic perturbation: which SM
+            // grabs the next CTA depends on timing, as on real hardware.
+            let n = self.sms.len();
+            let start = (dispatcher.rr + self.ndet.arbitration_tiebreak(2)) % n;
+            let mut assigned = 0;
+            for i in 0..n {
+                let sm_idx = (start + i) % n;
+                let Some(&cta_idx) = dispatcher.dynamic_queue.front() else {
+                    break;
+                };
+                let cta = &grid.ctas[cta_idx];
+                if self.sms[sm_idx].can_accept(cta) {
+                    dispatcher.dynamic_queue.pop_front();
+                    let base = dispatcher.unique_bases[cta_idx];
+                    let slots = self.sms[sm_idx].add_cta(cta, base, cycle);
+                    self.notify_spawns(sm_idx, &slots);
+                    assigned += 1;
+                    self.progress();
+                }
+            }
+            if assigned > 0 {
+                dispatcher.rr = (dispatcher.rr + 1) % n;
+            }
+        }
+        if dispatcher.all_dispatched() {
+            for sm in &mut self.sms {
+                for sched in &mut sm.schedulers {
+                    sched.advance_completed(true);
+                }
+            }
+        }
+    }
+
+    fn notify_spawns(&mut self, sm_idx: usize, slots: &[usize]) {
+        for &slot in slots {
+            let (sched, unique) = {
+                let w = self.sms[sm_idx].warps[slot].as_ref().expect("spawned");
+                (w.sched, w.unique)
+            };
+            self.model.on_warp_spawn(WarpId {
+                sched: SchedId { sm: sm_idx, sched },
+                slot,
+                unique,
+            });
+            // Empty programs retire immediately.
+            self.try_retire(sm_idx, slot);
+        }
+    }
+
+    fn model_tick(&mut self, all_dispatched: bool) {
+        let num_sched = self.cfg.num_schedulers_per_sm;
+        let det_aware = self.sched_kind.is_determinism_aware();
+        let census = &mut self.census;
+        for (sm_idx, sm) in self.sms.iter_mut().enumerate() {
+            for (s, sched) in sm.schedulers.iter().enumerate() {
+                census[sm_idx * num_sched + s] = SchedCensus {
+                    live: sched.live,
+                    flush_wait: sched.flush_wait,
+                    barrier_wait: sched.barrier_wait,
+                    atomic_stuck: 0,
+                };
+            }
+            if det_aware {
+                // Count ready warps whose next atomic is steadily refused
+                // (policy token/turn/phase or the batch gate): they cannot
+                // change any buffer before a flush, so DAB may seal. First
+                // give the policies a chance to account for the pending
+                // atomics (GTRR's greedy->round-robin switch), so transient
+                // one-cycle refusals are not mistaken for steady ones.
+                let pending: Vec<(usize, u64, u64)> = sm
+                    .warps
+                    .iter()
+                    .flatten()
+                    .filter(|w| w.state == WarpState::Ready && w.next_is_atomic())
+                    .map(|w| (w.sched, w.unique, w.batch))
+                    .collect();
+                for &(sc, unique, _) in &pending {
+                    sm.schedulers[sc].policy.note_atomic_pending(unique);
+                }
+                for &(sc, unique, batch) in &pending {
+                    let sched = &sm.schedulers[sc];
+                    if !sched.batch_may_issue_atomics(batch)
+                        || sched.policy.blocks_atomic_of(unique)
+                    {
+                        census[sm_idx * num_sched + sc].atomic_stuck += 1;
+                    }
+                }
+            }
+        }
+        let mut ctx = ModelCtx::new(
+            self.cycle,
+            &self.cfg,
+            &mut self.icnt,
+            &mut self.stats,
+            &self.census,
+            all_dispatched,
+            &mut self.wakes,
+        );
+        self.model.tick(&mut ctx);
+    }
+
+    fn apply_wakes(&mut self) {
+        let wakes = std::mem::take(&mut self.wakes);
+        for wake in wakes {
+            self.progress();
+            match wake {
+                WakeCmd::FlushWaiters { sm } => {
+                    for slot in 0..self.sms[sm].warps.len() {
+                        self.wake_flush_wait(sm, slot);
+                    }
+                }
+                WakeCmd::Warp { warp } => {
+                    self.wake_flush_wait(warp.sm, warp.slot);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::BaselineModel;
+    use crate::isa::{LockKind, Value, WarpProgram};
+    use crate::kernel::CtaSpec;
+
+    fn sum_grid(warps: usize, lanes: usize, target: u64) -> KernelGrid {
+        let ctas = (0..warps)
+            .map(|wi| {
+                CtaSpec::new(
+                    wi,
+                    vec![WarpProgram::new(
+                        vec![Instr::Red {
+                            op: AtomicOp::AddF32,
+                            accesses: (0..lanes)
+                                .map(|l| AtomicAccess::new(l, target, Value::F32(1.0)))
+                                .collect(),
+                        }],
+                        lanes,
+                    )],
+                )
+            })
+            .collect();
+        KernelGrid::new("sum", ctas)
+    }
+
+    fn run_baseline(grid: KernelGrid) -> RunReport {
+        let sim = GpuSim::new(
+            GpuConfig::tiny(),
+            Box::new(BaselineModel::new()),
+            NdetSource::disabled(),
+        );
+        sim.run(&[grid])
+    }
+
+    #[test]
+    fn atomic_sum_correct() {
+        let report = run_baseline(sum_grid(4, 32, 0x1000));
+        assert_eq!(report.values.read_f32(0x1000), 128.0);
+        assert_eq!(report.stats.atomics, 128);
+        assert!(report.cycles() > 0);
+    }
+
+    #[test]
+    fn alu_burst_counts_instructions() {
+        let grid = KernelGrid::new(
+            "alu",
+            vec![CtaSpec::new(
+                0,
+                vec![WarpProgram::new(vec![Instr::Alu { cycles: 4, count: 10 }], 32)],
+            )],
+        );
+        let report = run_baseline(grid);
+        assert_eq!(report.stats.warp_instrs, 10);
+        assert_eq!(report.stats.thread_instrs, 320);
+    }
+
+    #[test]
+    fn load_store_roundtrip() {
+        let grid = KernelGrid::new(
+            "mem",
+            vec![CtaSpec::new(
+                0,
+                vec![WarpProgram::new(
+                    vec![
+                        Instr::Load {
+                            accesses: vec![MemAccess::per_lane_f32(0x2000, 32)],
+                        },
+                        Instr::Store {
+                            accesses: vec![MemAccess::per_lane_f32(0x3000, 32)],
+                        },
+                        // Second load to the same line hits in L1.
+                        Instr::Load {
+                            accesses: vec![MemAccess::per_lane_f32(0x2000, 32)],
+                        },
+                    ],
+                    32,
+                )],
+            )],
+        );
+        let report = run_baseline(grid);
+        assert!(report.stats.l1_accesses >= 8);
+        assert!(report.stats.l1_misses >= 4);
+        // The refetch hits: misses are only the first 4 sectors.
+        assert_eq!(report.stats.l1_misses, 4);
+        assert!(report.stats.mem_transactions >= 8);
+    }
+
+    #[test]
+    fn barrier_synchronizes_cta() {
+        let prog = |spin: u32| {
+            WarpProgram::new(
+                vec![
+                    Instr::Alu { cycles: 1, count: spin },
+                    Instr::Bar,
+                    Instr::Red {
+                        op: AtomicOp::AddF32,
+                        accesses: vec![AtomicAccess::new(0, 0x40, Value::F32(1.0))],
+                    },
+                ],
+                32,
+            )
+        };
+        let grid = KernelGrid::new(
+            "bar",
+            vec![CtaSpec::new(0, vec![prog(1), prog(500)])],
+        );
+        let report = run_baseline(grid);
+        assert_eq!(report.values.read_f32(0x40), 2.0);
+    }
+
+    #[test]
+    fn fence_waits_for_writes() {
+        let grid = KernelGrid::new(
+            "fence",
+            vec![CtaSpec::new(
+                0,
+                vec![WarpProgram::new(
+                    vec![
+                        Instr::Store {
+                            accesses: vec![MemAccess::per_lane_f32(0x5000, 32)],
+                        },
+                        Instr::Fence,
+                        Instr::Alu { cycles: 1, count: 1 },
+                    ],
+                    32,
+                )],
+            )],
+        );
+        let report = run_baseline(grid);
+        assert_eq!(report.stats.warp_instrs, 3);
+    }
+
+    #[test]
+    fn atom_returns_and_blocks() {
+        let grid = KernelGrid::new(
+            "atom",
+            vec![CtaSpec::new(
+                0,
+                vec![WarpProgram::new(
+                    vec![Instr::Atom {
+                        op: AtomicOp::AddU32,
+                        accesses: vec![AtomicAccess::new(0, 0x60, Value::U32(5))],
+                    }],
+                    1,
+                )],
+            )],
+        );
+        let report = run_baseline(grid);
+        assert_eq!(report.values.read_u32(0x60), 5);
+    }
+
+    #[test]
+    fn locked_section_executes() {
+        let grid = KernelGrid::new(
+            "lock",
+            vec![CtaSpec::new(
+                0,
+                vec![WarpProgram::new(
+                    vec![Instr::LockedSection {
+                        kind: LockKind::TestAndTestAndSet,
+                        lock_addr: 0xF000,
+                        op: AtomicOp::AddF32,
+                        accesses: (0..4)
+                            .map(|l| AtomicAccess::new(l, 0x80, Value::F32(1.0)))
+                            .collect(),
+                        critical_cycles: 5,
+                    }],
+                    4,
+                )],
+            )],
+        );
+        let report = run_baseline(grid);
+        assert_eq!(report.values.read_f32(0x80), 4.0);
+    }
+
+    #[test]
+    fn multi_kernel_values_persist() {
+        let k1 = sum_grid(1, 32, 0x100);
+        let k2 = sum_grid(1, 32, 0x100);
+        let sim = GpuSim::new(
+            GpuConfig::tiny(),
+            Box::new(BaselineModel::new()),
+            NdetSource::disabled(),
+        );
+        let report = sim.run(&[k1, k2]);
+        assert_eq!(report.values.read_f32(0x100), 64.0);
+        assert_eq!(report.kernel_cycles.len(), 2);
+    }
+
+    #[test]
+    fn disabled_ndet_is_bit_repeatable() {
+        let run = || {
+            let sim = GpuSim::new(
+                GpuConfig::tiny(),
+                Box::new(BaselineModel::new()),
+                NdetSource::disabled(),
+            );
+            let r = sim.run(&[sum_grid(8, 32, 0)]);
+            (r.cycles(), r.digest())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn many_ctas_overflow_resident_capacity() {
+        // More CTAs than fit at once: dispatch must drain them all.
+        let report = run_baseline(sum_grid(200, 32, 0x0));
+        assert_eq!(report.values.read_f32(0x0), 200.0 * 32.0);
+    }
+
+    #[test]
+    fn ndet_seeds_change_order_sensitive_results() {
+        // Warps add values of wildly different magnitudes to one cell from
+        // different SMs; with injected timing non-determinism the ROP apply
+        // order — and hence the f32 sum — varies across seeds.
+        let grid = || {
+            let ctas = (0..16usize)
+                .map(|c| {
+                    CtaSpec::new(
+                        c,
+                        vec![WarpProgram::new(
+                            vec![Instr::Red {
+                                op: AtomicOp::AddF32,
+                                accesses: (0..32)
+                                    .map(|l| {
+                                        // 0.1 is not representable: every add
+                                        // rounds, so any reordering perturbs
+                                        // the final bits.
+                                        let v = 0.1f32 * (c * 32 + l + 1) as f32;
+                                        AtomicAccess::new(l, 0x400, Value::F32(v))
+                                    })
+                                    .collect(),
+                            }],
+                            32,
+                        )],
+                    )
+                })
+                .collect();
+            KernelGrid::new("sensitive", ctas)
+        };
+        let digests: Vec<u64> = (0..6u64)
+            .map(|seed| {
+                let sim = GpuSim::new(
+                    GpuConfig::tiny(),
+                    Box::new(BaselineModel::new()),
+                    NdetSource::seeded(seed),
+                );
+                sim.run(&[grid()]).digest()
+            })
+            .collect();
+        assert!(
+            digests.windows(2).any(|w| w[0] != w[1]),
+            "baseline should be non-deterministic across seeds: {digests:?}"
+        );
+    }
+
+    #[test]
+    fn same_seed_same_result() {
+        let grid = sum_grid(16, 32, 0x200);
+        let run = |seed| {
+            let sim = GpuSim::new(
+                GpuConfig::tiny(),
+                Box::new(BaselineModel::new()),
+                NdetSource::seeded(seed),
+            );
+            let r = sim.run(&[grid.clone()]);
+            (r.cycles(), r.digest())
+        };
+        assert_eq!(run(3), run(3));
+    }
+
+    #[test]
+    fn static_distribution_is_timing_independent() {
+        // Under static CTA distribution the per-SM CTA sequences are fixed
+        // regardless of latency jitter; with integer atomics the per-SM
+        // partial sums must be identical across seeds.
+        #[derive(Debug)]
+        struct StaticBase;
+        impl crate::exec::ExecutionModel for StaticBase {
+            fn name(&self) -> String {
+                "static-baseline".into()
+            }
+            fn cta_distribution(&self, num_sms: usize) -> CtaDistribution {
+                CtaDistribution::Static { active_sms: num_sms }
+            }
+        }
+        // Each CTA adds its id into a per-SM-deterministic cell: CTA c adds
+        // to cell (c % 2) — correct only if c always lands on SM c % 2.
+        let grid = || {
+            KernelGrid::new(
+                "static",
+                (0..20)
+                    .map(|c| {
+                        CtaSpec::new(
+                            c,
+                            vec![WarpProgram::new(
+                                vec![Instr::Red {
+                                    op: AtomicOp::AddU32,
+                                    accesses: vec![AtomicAccess::new(
+                                        0,
+                                        0x100 + 4 * (c as u64 % 2),
+                                        Value::U32(1 << c),
+                                    )],
+                                }],
+                                1,
+                            )],
+                        )
+                    })
+                    .collect(),
+            )
+        };
+        let run = |seed| {
+            let sim = GpuSim::new(GpuConfig::tiny(), Box::new(StaticBase), NdetSource::seeded(seed));
+            let r = sim.run(&[grid()]);
+            (r.values.read_u32(0x100), r.values.read_u32(0x104))
+        };
+        assert_eq!(run(1), run(2));
+        let (even, odd) = run(3);
+        assert_eq!(even, (0..20u32).step_by(2).map(|c| 1 << c).sum());
+        assert_eq!(odd, (1..20u32).step_by(2).map(|c| 1 << c).sum());
+    }
+
+    #[test]
+    fn fence_drain_uses_wait_drain_state() {
+        // A fence behind in-flight stores must park the warp in WaitDrain
+        // and resume it only after all acks return.
+        let grid = KernelGrid::new(
+            "drain",
+            vec![CtaSpec::new(
+                0,
+                vec![WarpProgram::new(
+                    vec![
+                        Instr::Store {
+                            accesses: vec![MemAccess::strided(0x7000, 32, 128)],
+                        },
+                        Instr::Fence,
+                        Instr::Red {
+                            op: AtomicOp::AddU32,
+                            accesses: vec![AtomicAccess::new(0, 0x60, Value::U32(1))],
+                        },
+                    ],
+                    32,
+                )],
+            )],
+        );
+        let report = run_baseline(grid);
+        assert_eq!(report.values.read_u32(0x60), 1);
+        // The fence costs at least one memory round trip.
+        assert!(report.cycles() > GpuConfig::tiny().dram_latency as u64);
+    }
+
+    #[test]
+    fn multi_kernel_scheduler_state_resets() {
+        // Two kernels back to back: ages, batches and policy state must
+        // reset at the boundary (no panic, correct results).
+        let grid = |tag: u64| {
+            KernelGrid::new(
+                format!("k{tag}"),
+                (0..40)
+                    .map(|c| {
+                        CtaSpec::new(
+                            c,
+                            vec![WarpProgram::new(
+                                vec![
+                                    Instr::Alu { cycles: 2, count: 3 },
+                                    Instr::Red {
+                                        op: AtomicOp::AddU32,
+                                        accesses: vec![AtomicAccess::new(
+                                            0,
+                                            0x80 + 8 * tag,
+                                            Value::U32(1),
+                                        )],
+                                    },
+                                ],
+                                32,
+                            )],
+                        )
+                    })
+                    .collect(),
+            )
+        };
+        let sim = GpuSim::new(
+            GpuConfig::tiny(),
+            Box::new(BaselineModel::new()),
+            NdetSource::seeded(4),
+        );
+        let r = sim.run(&[grid(0), grid(1)]);
+        assert_eq!(r.values.read_u32(0x80), 40);
+        assert_eq!(r.values.read_u32(0x88), 40);
+    }
+
+    #[test]
+    fn icnt_backpressure_counts_stalls() {
+        // A machine with a starved interconnect accumulates issue stalls
+        // instead of deadlocking.
+        let mut cfg = GpuConfig::tiny();
+        cfg.icnt_input_buffer = 8;
+        cfg.icnt_flits_per_cycle = 1;
+        let grid = sum_grid(64, 32, 0x0);
+        let sim = GpuSim::new(cfg, Box::new(BaselineModel::new()), NdetSource::disabled());
+        let r = sim.run(&[grid]);
+        assert_eq!(r.values.read_f32(0x0), 64.0 * 32.0);
+        assert!(r.stats.icnt_stall_cycles > 0);
+    }
+
+    #[test]
+    fn empty_kernel_completes() {
+        let grid = KernelGrid::new("empty", vec![CtaSpec::new(0, vec![WarpProgram::empty(32)])]);
+        let report = run_baseline(grid);
+        assert_eq!(report.stats.warp_instrs, 0);
+    }
+}

@@ -1,0 +1,463 @@
+//! The warp-level intermediate representation executed by the simulator.
+//!
+//! The simulator is *trace-driven*: workloads pre-lower each kernel into one
+//! instruction stream per warp (a [`WarpProgram`]). An instruction operates on
+//! all active lanes of the warp at once, mirroring SIMT issue. Data-dependent
+//! control flow is resolved by the workload generator (exactly what a
+//! PTX-trace-driven GPGPU-Sim run of the same input would see), so the IR has
+//! no branches; what remains — latencies, memory addresses, atomic operations
+//! and their values — is everything the timing and determinism behaviour of
+//! the paper depends on.
+//!
+//! # Examples
+//!
+//! ```
+//! use gpu_sim::isa::{Instr, MemAccess, AtomicOp, AtomicAccess, Value};
+//!
+//! let program = vec![
+//!     Instr::Alu { cycles: 4, count: 10 },
+//!     Instr::Load { accesses: vec![MemAccess::per_lane_f32(0x1000, 32)] },
+//!     Instr::Red {
+//!         op: AtomicOp::AddF32,
+//!         accesses: (0..32)
+//!             .map(|lane| AtomicAccess::new(lane, 0x2000, Value::F32(1.0)))
+//!             .collect(),
+//!     },
+//! ];
+//! assert_eq!(program.len(), 3);
+//! ```
+
+/// A 32-bit value carried by an atomic operation or store.
+///
+/// The two interpretations share raw bits; [`Value::to_bits`] gives the
+/// canonical encoding used by the functional memory.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Value {
+    /// IEEE-754 single precision payload (`red.add.f32` and friends).
+    F32(f32),
+    /// Unsigned 32-bit integer payload.
+    U32(u32),
+}
+
+impl Value {
+    /// Raw bit pattern of the value.
+    pub fn to_bits(self) -> u32 {
+        match self {
+            Value::F32(v) => v.to_bits(),
+            Value::U32(v) => v,
+        }
+    }
+
+    /// Interprets the value as `f32` (bitwise for `U32`).
+    pub fn as_f32(self) -> f32 {
+        match self {
+            Value::F32(v) => v,
+            Value::U32(v) => f32::from_bits(v),
+        }
+    }
+
+    /// Interprets the value as `u32` (bitwise for `F32`).
+    pub fn as_u32(self) -> u32 {
+        self.to_bits()
+    }
+}
+
+/// The reduction operation performed by a `red`/`atom` instruction.
+///
+/// These correspond to the PTX `red` opcodes the paper's workloads use.
+/// `AddF32` is the non-associative operation whose ordering determinism the
+/// whole design exists to provide; the integer operations are associative and
+/// commutative but still race on their final visibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AtomicOp {
+    /// Floating point addition (`red.add.f32`): non-associative.
+    AddF32,
+    /// Integer addition (`red.add.u32`).
+    AddU32,
+    /// Integer maximum (`red.max.u32`).
+    MaxU32,
+    /// Integer minimum (`red.min.u32`).
+    MinU32,
+    /// Floating point maximum (`red.max.f32`, IEEE total order on payloads).
+    MaxF32,
+    /// Bitwise exchange (`atom.exch.b32`); not fusible.
+    ExchB32,
+}
+
+impl AtomicOp {
+    /// Applies the operation to a current memory cell, returning the new bits.
+    ///
+    /// The application is *bit-exact*: `AddF32` uses hardware `f32` addition
+    /// in the order the simulator commits operations, which is how ordering
+    /// non-determinism becomes value non-determinism.
+    pub fn apply(self, current: u32, arg: Value) -> u32 {
+        match self {
+            AtomicOp::AddF32 => (f32::from_bits(current) + arg.as_f32()).to_bits(),
+            AtomicOp::AddU32 => current.wrapping_add(arg.as_u32()),
+            AtomicOp::MaxU32 => current.max(arg.as_u32()),
+            AtomicOp::MinU32 => current.min(arg.as_u32()),
+            AtomicOp::MaxF32 => {
+                let cur = f32::from_bits(current);
+                let a = arg.as_f32();
+                if a > cur { a.to_bits() } else { current }
+            }
+            AtomicOp::ExchB32 => arg.as_u32(),
+        }
+    }
+
+    /// Whether two buffered operations with this opcode to the same address
+    /// can be fused into one entry (the paper's *atomic fusion*, Section IV-E).
+    ///
+    /// Fusion performs a local reduction, so only operations whose pairwise
+    /// combination is itself expressible as a single entry qualify. `ExchB32`
+    /// is order-sensitive in a way that cannot be combined and is excluded.
+    pub fn fusible(self) -> bool {
+        !matches!(self, AtomicOp::ExchB32)
+    }
+
+    /// Combines two arguments of the same fused entry.
+    ///
+    /// For `AddF32` this is a local floating point reduction whose order is
+    /// the deterministic buffer-fill order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the opcode is not [`fusible`](Self::fusible).
+    pub fn fuse(self, a: Value, b: Value) -> Value {
+        match self {
+            AtomicOp::AddF32 => Value::F32(a.as_f32() + b.as_f32()),
+            AtomicOp::AddU32 => Value::U32(a.as_u32().wrapping_add(b.as_u32())),
+            AtomicOp::MaxU32 => Value::U32(a.as_u32().max(b.as_u32())),
+            AtomicOp::MinU32 => Value::U32(a.as_u32().min(b.as_u32())),
+            AtomicOp::MaxF32 => Value::F32(a.as_f32().max(b.as_f32())),
+            AtomicOp::ExchB32 => panic!("exch atomics cannot be fused"),
+        }
+    }
+}
+
+/// One lane's atomic access: which lane, which address, which argument.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AtomicAccess {
+    /// Lane index within the warp (0..warp_size).
+    pub lane: u8,
+    /// Global memory byte address of the 32-bit cell.
+    pub addr: u64,
+    /// Operation argument.
+    pub arg: Value,
+}
+
+impl AtomicAccess {
+    /// Creates an access for `lane` at byte address `addr`.
+    pub fn new(lane: usize, addr: u64, arg: Value) -> Self {
+        Self {
+            lane: lane as u8,
+            addr,
+            arg,
+        }
+    }
+}
+
+/// A memory access pattern for a load or store: per-lane byte addresses.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemAccess {
+    /// Per-active-lane addresses (inactive lanes simply absent).
+    pub addrs: Vec<u64>,
+}
+
+impl MemAccess {
+    /// Contiguous 4-byte accesses for `lanes` lanes starting at `base`
+    /// (the fully-coalesced pattern).
+    pub fn per_lane_f32(base: u64, lanes: usize) -> Self {
+        Self {
+            addrs: (0..lanes as u64).map(|l| base + 4 * l).collect(),
+        }
+    }
+
+    /// Strided 4-byte accesses: lane `l` touches `base + l * stride`.
+    pub fn strided(base: u64, lanes: usize, stride: u64) -> Self {
+        Self {
+            addrs: (0..lanes as u64).map(|l| base + l * stride).collect(),
+        }
+    }
+
+    /// Unique sectors touched by this access, given a sector size.
+    ///
+    /// Each unique sector becomes one memory transaction (the coalescing
+    /// model of the baseline GPU).
+    pub fn sectors(&self, sector_size: u64) -> Vec<u64> {
+        let mut s: Vec<u64> = self.addrs.iter().map(|a| a / sector_size).collect();
+        s.sort_unstable();
+        s.dedup();
+        s
+    }
+}
+
+/// The lock algorithm variants of the Fig. 2 microbenchmark (Section II-C).
+///
+/// All three are *deterministic* ticket-style locks: each thread's ticket is
+/// its global thread id, so threads enter the critical section in the same
+/// order on every run. They differ in how much spinning traffic and idle time
+/// each acquisition costs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LockKind {
+    /// Centralized Test&Set ticket lock: continuous polling, heavy contention.
+    TestAndSet,
+    /// Test&Set with exponential backoff in software: less traffic, idle gaps.
+    TestAndSetBackoff,
+    /// Test&Test&Set: spin on a read (cache hit) and only attempt the
+    /// Test&Set when the lock looks free.
+    TestAndTestAndSet,
+}
+
+/// One warp-level instruction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Instr {
+    /// `count` back-to-back arithmetic instructions of `cycles` latency each.
+    ///
+    /// Compute bursts are run-length encoded so that workload traces stay
+    /// compact; the simulator still charges issue slots per instruction.
+    Alu { cycles: u32, count: u32 },
+    /// Global memory load; the warp blocks until all transactions return.
+    Load { accesses: Vec<MemAccess> },
+    /// Global memory store; write-through, fire-and-forget after issue.
+    Store { accesses: Vec<MemAccess> },
+    /// PTX `red`: a reduction atomic with no return value. The subject of the
+    /// paper — buffered by DAB, serialized by GPUDet, fire-and-forget on the
+    /// baseline.
+    Red {
+        op: AtomicOp,
+        accesses: Vec<AtomicAccess>,
+    },
+    /// PTX `atom`: an atomic that returns a value to a register. Blocks the
+    /// warp until the old value returns and forces a buffer flush under DAB.
+    Atom {
+        op: AtomicOp,
+        accesses: Vec<AtomicAccess>,
+    },
+    /// CTA-wide barrier (`__syncthreads`), includes a CTA-level memory fence.
+    Bar,
+    /// Device-scope memory fence (`__threadfence`); flushes buffers under DAB.
+    Fence,
+    /// Acquire a deterministic ticket lock for every active lane, in global
+    /// thread-id order, then run a critical section of `critical_cycles` and
+    /// release. Models the Fig. 2 locking microbenchmarks.
+    LockedSection {
+        kind: LockKind,
+        /// Address of the lock variable (determines its home partition).
+        lock_addr: u64,
+        /// The reduction performed inside each lane's critical section.
+        op: AtomicOp,
+        /// The per-lane updates performed inside the critical sections.
+        accesses: Vec<AtomicAccess>,
+        /// Cycles of work inside each critical section.
+        critical_cycles: u32,
+    },
+}
+
+impl Instr {
+    /// Number of dynamic *thread-level* instructions this warp instruction
+    /// represents, used for IPC and atomics-PKI accounting.
+    pub fn thread_instr_count(&self, active_lanes: usize) -> u64 {
+        match self {
+            Instr::Alu { count, .. } => *count as u64 * active_lanes as u64,
+            Instr::Load { accesses } | Instr::Store { accesses } => accesses
+                .iter()
+                .map(|a| a.addrs.len() as u64)
+                .sum::<u64>()
+                .max(active_lanes as u64),
+            Instr::Red { accesses, .. } | Instr::Atom { accesses, .. } => accesses.len() as u64,
+            Instr::Bar | Instr::Fence => active_lanes as u64,
+            // acquire + critical atomic + release per lane
+            Instr::LockedSection { accesses, .. } => accesses.len() as u64 * 3,
+        }
+    }
+
+    /// Whether this instruction is an atomic reduction for scheduling
+    /// purposes (the determinism-aware schedulers order these).
+    pub fn is_atomic(&self) -> bool {
+        matches!(
+            self,
+            Instr::Red { .. } | Instr::Atom { .. } | Instr::LockedSection { .. }
+        )
+    }
+
+    /// Number of atomic (red/atom) thread-level operations in the instruction.
+    pub fn atomic_count(&self) -> u64 {
+        match self {
+            Instr::Red { accesses, .. }
+            | Instr::Atom { accesses, .. }
+            | Instr::LockedSection { accesses, .. } => accesses.len() as u64,
+            _ => 0,
+        }
+    }
+}
+
+/// The instruction stream of one warp, with its active lane count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WarpProgram {
+    /// Dynamic instruction stream, executed in order.
+    pub instrs: Vec<Instr>,
+    /// Number of live lanes in this warp (trailing warps of a CTA may be
+    /// partially populated).
+    pub active_lanes: usize,
+}
+
+impl WarpProgram {
+    /// Creates a program with all `lanes` lanes active.
+    pub fn new(instrs: Vec<Instr>, lanes: usize) -> Self {
+        Self {
+            instrs,
+            active_lanes: lanes,
+        }
+    }
+
+    /// An empty program (a warp that exits immediately).
+    pub fn empty(lanes: usize) -> Self {
+        Self::new(Vec::new(), lanes)
+    }
+
+    /// Total dynamic thread-level instruction count of the program.
+    pub fn thread_instrs(&self) -> u64 {
+        self.instrs
+            .iter()
+            .map(|i| i.thread_instr_count(self.active_lanes))
+            .sum()
+    }
+
+    /// Total atomic operations in the program.
+    pub fn atomics(&self) -> u64 {
+        self.instrs.iter().map(|i| i.atomic_count()).sum()
+    }
+
+    /// Atomics per kilo-instruction (the PKI columns of Tables II and III).
+    pub fn atomics_pki(&self) -> f64 {
+        let ti = self.thread_instrs();
+        if ti == 0 {
+            0.0
+        } else {
+            self.atomics() as f64 * 1000.0 / ti as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_roundtrips() {
+        assert_eq!(Value::F32(1.5).to_bits(), 1.5f32.to_bits());
+        assert_eq!(Value::U32(7).as_u32(), 7);
+        assert_eq!(Value::U32(1.5f32.to_bits()).as_f32(), 1.5);
+    }
+
+    #[test]
+    fn addf32_apply_is_bit_exact() {
+        let a = 0.1f32;
+        let b = 0.2f32;
+        let bits = AtomicOp::AddF32.apply(a.to_bits(), Value::F32(b));
+        assert_eq!(bits, (a + b).to_bits());
+    }
+
+    #[test]
+    fn addf32_order_sensitivity_visible() {
+        // The Fig. 1 phenomenon: different orders give different bits.
+        // (1 + e) + e rounds each addend away; (e + e) + 1 rounds up to 1 + ulp.
+        let e = 1.5 * 2f32.powi(-25);
+        let vals = [1.0f32, e, e];
+        let mut order1 = 0f32.to_bits();
+        for v in vals {
+            order1 = AtomicOp::AddF32.apply(order1, Value::F32(v));
+        }
+        let mut order2 = 0f32.to_bits();
+        for v in [vals[1], vals[2], vals[0]] {
+            order2 = AtomicOp::AddF32.apply(order2, Value::F32(v));
+        }
+        assert_ne!(order1, order2);
+    }
+
+    #[test]
+    fn integer_ops_apply() {
+        assert_eq!(AtomicOp::AddU32.apply(3, Value::U32(4)), 7);
+        assert_eq!(AtomicOp::MaxU32.apply(3, Value::U32(4)), 4);
+        assert_eq!(AtomicOp::MinU32.apply(3, Value::U32(4)), 3);
+        assert_eq!(AtomicOp::ExchB32.apply(3, Value::U32(9)), 9);
+    }
+
+    #[test]
+    fn maxf32_keeps_current_on_smaller() {
+        let cur = 5.0f32.to_bits();
+        assert_eq!(AtomicOp::MaxF32.apply(cur, Value::F32(2.0)), cur);
+        assert_eq!(
+            AtomicOp::MaxF32.apply(cur, Value::F32(9.0)),
+            9.0f32.to_bits()
+        );
+    }
+
+    #[test]
+    fn fusibility() {
+        assert!(AtomicOp::AddF32.fusible());
+        assert!(AtomicOp::MaxU32.fusible());
+        assert!(!AtomicOp::ExchB32.fusible());
+    }
+
+    #[test]
+    fn fuse_matches_apply_composition_for_integers() {
+        let fused = AtomicOp::AddU32.fuse(Value::U32(5), Value::U32(6));
+        let direct =
+            AtomicOp::AddU32.apply(AtomicOp::AddU32.apply(0, Value::U32(5)), Value::U32(6));
+        assert_eq!(fused.as_u32(), direct);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot be fused")]
+    fn fuse_exch_panics() {
+        AtomicOp::ExchB32.fuse(Value::U32(1), Value::U32(2));
+    }
+
+    #[test]
+    fn mem_access_sectors_dedup() {
+        let acc = MemAccess::per_lane_f32(0, 32); // 128 bytes = 4 sectors of 32B
+        assert_eq!(acc.sectors(32).len(), 4);
+        let strided = MemAccess::strided(0, 8, 128);
+        assert_eq!(strided.sectors(32).len(), 8);
+    }
+
+    #[test]
+    fn thread_instr_counts() {
+        let alu = Instr::Alu { cycles: 4, count: 10 };
+        assert_eq!(alu.thread_instr_count(32), 320);
+        let red = Instr::Red {
+            op: AtomicOp::AddF32,
+            accesses: vec![AtomicAccess::new(0, 0, Value::F32(1.0))],
+        };
+        assert_eq!(red.thread_instr_count(32), 1);
+        assert_eq!(red.atomic_count(), 1);
+        assert!(red.is_atomic());
+        assert!(!alu.is_atomic());
+    }
+
+    #[test]
+    fn program_pki() {
+        let prog = WarpProgram::new(
+            vec![
+                Instr::Alu { cycles: 1, count: 999 },
+                Instr::Red {
+                    op: AtomicOp::AddF32,
+                    accesses: vec![AtomicAccess::new(0, 0, Value::F32(1.0))],
+                },
+            ],
+            1,
+        );
+        assert_eq!(prog.thread_instrs(), 1000);
+        assert_eq!(prog.atomics(), 1);
+        assert!((prog.atomics_pki() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_program() {
+        let prog = WarpProgram::empty(32);
+        assert_eq!(prog.thread_instrs(), 0);
+        assert_eq!(prog.atomics_pki(), 0.0);
+    }
+}

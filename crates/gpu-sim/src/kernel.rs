@@ -1,0 +1,196 @@
+//! Kernel grids and CTA distribution policies.
+//!
+//! A workload is a sequence of [`KernelGrid`]s executed back to back (graph
+//! applications like BC launch one kernel per BFS level). Each grid is a
+//! list of CTAs, each CTA a list of per-warp instruction streams produced by
+//! a workload generator.
+//!
+//! CTA distribution is part of the paper's design space: determinism
+//! requires the set of warps assigned to each scheduler to be deterministic
+//! (Section IV-C5), so DAB statically partitions CTAs among SMs, while the
+//! non-deterministic baseline hands the next CTA to whichever SM frees
+//! resources first.
+
+use std::sync::Arc;
+
+use crate::isa::WarpProgram;
+
+/// One cooperative thread array (thread block).
+#[derive(Debug, Clone)]
+pub struct CtaSpec {
+    /// The CTA's index within its grid (`blockIdx` flattened).
+    pub cta_id: usize,
+    /// One program per warp of the CTA.
+    pub warps: Vec<Arc<WarpProgram>>,
+}
+
+impl CtaSpec {
+    /// Creates a CTA from warp programs.
+    pub fn new(cta_id: usize, warps: Vec<WarpProgram>) -> Self {
+        Self {
+            cta_id,
+            warps: warps.into_iter().map(Arc::new).collect(),
+        }
+    }
+
+    /// Creates a CTA whose warps share already-reference-counted programs.
+    pub fn from_shared(cta_id: usize, warps: Vec<Arc<WarpProgram>>) -> Self {
+        Self { cta_id, warps }
+    }
+
+    /// Number of warps in the CTA.
+    pub fn num_warps(&self) -> usize {
+        self.warps.len()
+    }
+
+    /// Number of threads in the CTA.
+    pub fn num_threads(&self) -> usize {
+        self.warps.iter().map(|w| w.active_lanes).sum()
+    }
+}
+
+/// A kernel launch: a named grid of CTAs.
+#[derive(Debug, Clone)]
+pub struct KernelGrid {
+    /// Human-readable kernel name (for reports).
+    pub name: String,
+    /// The CTAs of the grid, in `cta_id` order.
+    pub ctas: Vec<CtaSpec>,
+}
+
+impl KernelGrid {
+    /// Creates a grid; CTAs should be in ascending `cta_id` order.
+    pub fn new(name: impl Into<String>, ctas: Vec<CtaSpec>) -> Self {
+        Self {
+            name: name.into(),
+            ctas,
+        }
+    }
+
+    /// Total warps across all CTAs.
+    pub fn total_warps(&self) -> usize {
+        self.ctas.iter().map(CtaSpec::num_warps).sum()
+    }
+
+    /// Total dynamic thread-level instructions in the grid.
+    pub fn thread_instrs(&self) -> u64 {
+        self.ctas
+            .iter()
+            .flat_map(|c| c.warps.iter())
+            .map(|w| w.thread_instrs())
+            .sum()
+    }
+
+    /// Total atomic operations in the grid.
+    pub fn atomics(&self) -> u64 {
+        self.ctas
+            .iter()
+            .flat_map(|c| c.warps.iter())
+            .map(|w| w.atomics())
+            .sum()
+    }
+
+    /// Atomics per kilo-instruction over the whole grid (Tables II/III).
+    pub fn atomics_pki(&self) -> f64 {
+        let t = self.thread_instrs();
+        if t == 0 {
+            0.0
+        } else {
+            self.atomics() as f64 * 1000.0 / t as f64
+        }
+    }
+}
+
+/// How CTAs are assigned to SMs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CtaDistribution {
+    /// Baseline: a global work queue; whichever SM has room first takes the
+    /// next CTA. Timing-dependent, hence non-deterministic.
+    Dynamic,
+    /// Deterministic static partition: CTA `c` runs on SM `c % active_sms`
+    /// (Section IV-C5). `active_sms` may be smaller than the machine to
+    /// reproduce the Fig. 14 "SM gating" experiment; it is clamped to the
+    /// machine size.
+    Static {
+        /// Number of SMs CTAs are distributed over.
+        active_sms: usize,
+    },
+}
+
+impl CtaDistribution {
+    /// Static distribution over every SM of a machine with `num_sms` SMs.
+    pub fn static_all(num_sms: usize) -> Self {
+        CtaDistribution::Static {
+            active_sms: num_sms,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::{AtomicAccess, AtomicOp, Instr, Value};
+
+    fn red() -> Instr {
+        Instr::Red {
+            op: AtomicOp::AddF32,
+            accesses: vec![AtomicAccess::new(0, 0, Value::F32(1.0))],
+        }
+    }
+
+    #[test]
+    fn cta_counts() {
+        let cta = CtaSpec::new(
+            3,
+            vec![
+                WarpProgram::new(vec![red()], 32),
+                WarpProgram::new(vec![], 16),
+            ],
+        );
+        assert_eq!(cta.num_warps(), 2);
+        assert_eq!(cta.num_threads(), 48);
+    }
+
+    #[test]
+    fn grid_aggregates() {
+        let grid = KernelGrid::new(
+            "k",
+            vec![
+                CtaSpec::new(0, vec![WarpProgram::new(vec![red()], 32)]),
+                CtaSpec::new(
+                    1,
+                    vec![WarpProgram::new(
+                        vec![Instr::Alu { cycles: 1, count: 999 }, red()],
+                        1,
+                    )],
+                ),
+            ],
+        );
+        assert_eq!(grid.total_warps(), 2);
+        assert_eq!(grid.atomics(), 2);
+        assert_eq!(grid.thread_instrs(), 1 + 999 + 1);
+        assert!(grid.atomics_pki() > 0.0);
+    }
+
+    #[test]
+    fn empty_grid_pki_zero() {
+        let grid = KernelGrid::new("empty", vec![]);
+        assert_eq!(grid.atomics_pki(), 0.0);
+    }
+
+    #[test]
+    fn shared_programs_are_cheap() {
+        let prog = Arc::new(WarpProgram::new(vec![red()], 32));
+        let cta = CtaSpec::from_shared(0, vec![prog.clone(), prog.clone()]);
+        assert_eq!(cta.num_warps(), 2);
+        assert!(Arc::ptr_eq(&cta.warps[0], &cta.warps[1]));
+    }
+
+    #[test]
+    fn distribution_constructors() {
+        assert_eq!(
+            CtaDistribution::static_all(80),
+            CtaDistribution::Static { active_sms: 80 }
+        );
+    }
+}

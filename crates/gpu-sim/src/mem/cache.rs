@@ -1,0 +1,296 @@
+//! Sectored set-associative cache timing model.
+//!
+//! Used for both the per-SM L1 data caches and the per-partition L2 slices
+//! (Table I: 128-byte lines, 32-byte sectors, LRU). The cache models *tags
+//! only* — data lives in the functional [`ValueMem`](crate::values::ValueMem)
+//! — so a probe answers "would this access hit?" and a fill updates the tag
+//! state. Sectoring matters for the paper: the baseline GPU coalesces atomics
+//! into one transaction per cache sector, and DAB's flush coalescing merges
+//! buffer entries that fall in the same sector (Section IV-F).
+//!
+//! # Examples
+//!
+//! ```
+//! use gpu_sim::mem::cache::{SectoredCache, Probe};
+//!
+//! let mut c = SectoredCache::new(8 * 1024, 4, 128, 32);
+//! assert_eq!(c.probe(0x100), Probe::LineMiss);
+//! c.fill(0x100);
+//! assert_eq!(c.probe(0x100), Probe::Hit);
+//! // Same line, different sector: the line is resident but the sector is not.
+//! assert_eq!(c.probe(0x120), Probe::SectorMiss);
+//! ```
+
+/// Result of probing the cache for one sector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Probe {
+    /// Line resident and the requested sector valid.
+    Hit,
+    /// Line resident but the requested sector must be fetched.
+    SectorMiss,
+    /// Line not resident; a fill will (possibly) evict the LRU way.
+    LineMiss,
+}
+
+#[derive(Debug, Clone)]
+struct Line {
+    tag: u64,
+    sector_valid: u64, // bitmask over sectors
+    last_use: u64,
+    valid: bool,
+}
+
+/// A sectored, set-associative, LRU cache (tags only).
+#[derive(Debug, Clone)]
+pub struct SectoredCache {
+    sets: Vec<Vec<Line>>,
+    num_sets: usize,
+    line_size: u64,
+    sector_size: u64,
+    sectors_per_line: usize,
+    use_clock: u64,
+    accesses: u64,
+    misses: u64,
+}
+
+impl SectoredCache {
+    /// Creates a cache of `size` bytes, `assoc` ways, `line_size`-byte lines
+    /// and `sector_size`-byte sectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is inconsistent (zero sizes, line not a
+    /// multiple of sector, size not a multiple of `assoc * line_size`).
+    pub fn new(size: usize, assoc: usize, line_size: usize, sector_size: usize) -> Self {
+        assert!(size > 0 && assoc > 0 && line_size > 0 && sector_size > 0);
+        assert!(line_size % sector_size == 0, "line must be whole sectors");
+        assert!(
+            size % (assoc * line_size) == 0,
+            "size must be sets * assoc * line_size"
+        );
+        let num_sets = size / (assoc * line_size);
+        let line = Line {
+            tag: 0,
+            sector_valid: 0,
+            last_use: 0,
+            valid: false,
+        };
+        Self {
+            sets: vec![vec![line; assoc]; num_sets],
+            num_sets,
+            line_size: line_size as u64,
+            sector_size: sector_size as u64,
+            sectors_per_line: line_size / sector_size,
+            use_clock: 0,
+            accesses: 0,
+            misses: 0,
+        }
+    }
+
+    fn decompose(&self, addr: u64) -> (usize, u64, u64) {
+        let line_addr = addr / self.line_size;
+        let set = (line_addr % self.num_sets as u64) as usize;
+        let tag = line_addr / self.num_sets as u64;
+        let sector = (addr % self.line_size) / self.sector_size;
+        (set, tag, sector)
+    }
+
+    /// Probes for the sector containing `addr`, updating LRU and hit/miss
+    /// statistics.
+    pub fn probe(&mut self, addr: u64) -> Probe {
+        self.accesses += 1;
+        self.use_clock += 1;
+        let clock = self.use_clock;
+        let (set, tag, sector) = self.decompose(addr);
+        for line in &mut self.sets[set] {
+            if line.valid && line.tag == tag {
+                line.last_use = clock;
+                if line.sector_valid & (1 << sector) != 0 {
+                    return Probe::Hit;
+                }
+                self.misses += 1;
+                return Probe::SectorMiss;
+            }
+        }
+        self.misses += 1;
+        Probe::LineMiss
+    }
+
+    /// Peeks whether the sector containing `addr` is resident without
+    /// touching LRU state or statistics.
+    pub fn peek(&self, addr: u64) -> Probe {
+        let (set, tag, sector) = self.decompose(addr);
+        for line in &self.sets[set] {
+            if line.valid && line.tag == tag {
+                if line.sector_valid & (1 << sector) != 0 {
+                    return Probe::Hit;
+                }
+                return Probe::SectorMiss;
+            }
+        }
+        Probe::LineMiss
+    }
+
+    /// Fills the sector containing `addr`, allocating the line (evicting the
+    /// LRU way) if needed. Returns `true` if a valid line was evicted.
+    pub fn fill(&mut self, addr: u64) -> bool {
+        self.use_clock += 1;
+        let clock = self.use_clock;
+        let (set, tag, sector) = self.decompose(addr);
+        let ways = &mut self.sets[set];
+        if let Some(line) = ways.iter_mut().find(|l| l.valid && l.tag == tag) {
+            line.sector_valid |= 1 << sector;
+            line.last_use = clock;
+            return false;
+        }
+        // Prefer an invalid way, otherwise evict true-LRU.
+        let victim = if let Some(i) = ways.iter().position(|l| !l.valid) {
+            i
+        } else {
+            ways.iter()
+                .enumerate()
+                .min_by_key(|(_, l)| l.last_use)
+                .map(|(i, _)| i)
+                .expect("associativity is non-zero")
+        };
+        let evicted = ways[victim].valid;
+        ways[victim] = Line {
+            tag,
+            sector_valid: 1 << sector,
+            last_use: clock,
+            valid: true,
+        };
+        evicted
+    }
+
+    /// Invalidates the sector containing `addr` if resident (used to mimic
+    /// the virtual-write-queue experiment where out-of-order flush atomics
+    /// trigger L2 evictions).
+    pub fn evict_sector(&mut self, addr: u64) {
+        let (set, tag, sector) = self.decompose(addr);
+        for line in &mut self.sets[set] {
+            if line.valid && line.tag == tag {
+                line.sector_valid &= !(1 << sector);
+                if line.sector_valid == 0 {
+                    line.valid = false;
+                }
+            }
+        }
+    }
+
+    /// Total probes observed.
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    /// Total probes that missed (sector or line).
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Number of sets in the cache.
+    pub fn num_sets(&self) -> usize {
+        self.num_sets
+    }
+
+    /// Sectors per line.
+    pub fn sectors_per_line(&self) -> usize {
+        self.sectors_per_line
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> SectoredCache {
+        // 2 sets, 2 ways, 128B lines, 32B sectors.
+        SectoredCache::new(512, 2, 128, 32)
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = small();
+        assert_eq!(c.probe(0), Probe::LineMiss);
+        c.fill(0);
+        assert_eq!(c.probe(0), Probe::Hit);
+        assert_eq!(c.accesses(), 2);
+        assert_eq!(c.misses(), 1);
+    }
+
+    #[test]
+    fn sector_miss_on_resident_line() {
+        let mut c = small();
+        c.fill(0); // sector 0 of line 0
+        assert_eq!(c.probe(32), Probe::SectorMiss);
+        c.fill(32);
+        assert_eq!(c.probe(32), Probe::Hit);
+        assert_eq!(c.probe(0), Probe::Hit);
+    }
+
+    #[test]
+    fn lru_eviction() {
+        let mut c = small();
+        // Three lines mapping to set 0: line addresses 0, 2, 4 (2 sets).
+        c.fill(0);
+        c.fill(256);
+        c.probe(0); // make line 0 most recent
+        c.fill(512); // evicts line at 256
+        assert_eq!(c.peek(0), Probe::Hit);
+        assert_eq!(c.peek(256), Probe::LineMiss);
+        assert_eq!(c.peek(512), Probe::Hit);
+    }
+
+    #[test]
+    fn fill_reports_eviction() {
+        let mut c = small();
+        assert!(!c.fill(0));
+        assert!(!c.fill(256));
+        assert!(c.fill(512));
+    }
+
+    #[test]
+    fn different_sets_do_not_conflict() {
+        let mut c = small();
+        c.fill(0); // set 0
+        c.fill(128); // set 1
+        assert_eq!(c.peek(0), Probe::Hit);
+        assert_eq!(c.peek(128), Probe::Hit);
+    }
+
+    #[test]
+    fn evict_sector_clears() {
+        let mut c = small();
+        c.fill(0);
+        c.fill(32);
+        c.evict_sector(0);
+        assert_eq!(c.peek(0), Probe::SectorMiss);
+        assert_eq!(c.peek(32), Probe::Hit);
+        c.evict_sector(32);
+        assert_eq!(c.peek(32), Probe::LineMiss);
+    }
+
+    #[test]
+    fn peek_does_not_count() {
+        let mut c = small();
+        c.peek(0);
+        c.peek(64);
+        assert_eq!(c.accesses(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "whole sectors")]
+    fn bad_geometry_panics() {
+        SectoredCache::new(512, 2, 100, 32);
+    }
+
+    #[test]
+    fn titan_v_l1_geometry() {
+        use crate::config::GpuConfig;
+        let cfg = GpuConfig::titan_v();
+        let c = SectoredCache::new(cfg.l1_size, cfg.l1_assoc, cfg.line_size, cfg.sector_size);
+        // 128KB / (64 * 128B) = 16 sets
+        assert_eq!(c.num_sets(), 16);
+        assert_eq!(c.sectors_per_line(), 4);
+    }
+}

@@ -1,0 +1,419 @@
+//! Interconnection network between compute clusters and memory partitions.
+//!
+//! A simple flit-accurate crossbar: each memory partition pulls request
+//! packets from per-cluster injection FIFOs (head-of-line blocking, rotating
+//! arbitration), and each cluster pulls response packets from per-partition
+//! return FIFOs into its bounded ejection buffer. Transfers are serialized at
+//! [`GpuConfig::icnt_flits_per_cycle`] flits per cycle per endpoint and add a
+//! fixed pipeline latency.
+//!
+//! Arbitration ties are broken through the [`NdetSource`], which is one of
+//! the modeled sources of GPU non-determinism: on the baseline machine the
+//! *arrival order* of atomic transactions at a partition varies from run to
+//! run, so the ROP applies floating-point reductions in a different order.
+//!
+//! [`GpuConfig::icnt_flits_per_cycle`]: crate::config::GpuConfig::icnt_flits_per_cycle
+//! [`NdetSource`]: crate::ndet::NdetSource
+
+use std::collections::VecDeque;
+
+use crate::config::GpuConfig;
+use crate::ndet::NdetSource;
+
+use super::packet::Packet;
+
+#[derive(Debug)]
+struct Transfer {
+    packet: Packet,
+    arrive_cycle: u64,
+}
+
+/// The cluster↔partition interconnect.
+///
+/// Requests: `inject_request` (per cluster) → partition pull → arrive after
+/// serialization + latency → `pop_arrived_request` (per partition).
+/// Responses: `inject_response` (per partition) → cluster pull →
+/// `pop_ejected` (per cluster), bounded by the cluster ejection buffer.
+#[derive(Debug)]
+pub struct Interconnect {
+    num_clusters: usize,
+    num_partitions: usize,
+    flits_per_cycle: usize,
+    latency: u32,
+    input_buffer_flits: usize,
+    ejection_buffer_flits: usize,
+
+    /// Per-cluster request injection FIFOs (toward memory).
+    cluster_out: Vec<VecDeque<Packet>>,
+    /// Per-partition pipelined transfers (packets past arbitration, still
+    /// traversing the network), ordered by arrival cycle.
+    mem_pull: Vec<VecDeque<Transfer>>,
+    /// Cycle at which each partition's input channel frees up
+    /// (serialization occupancy, separate from pipeline latency).
+    mem_free_at: Vec<u64>,
+    /// Per-partition arrived-request queues (the Table I "input buffer").
+    mem_in: Vec<VecDeque<Packet>>,
+    /// Flits currently occupying each partition input buffer (incl. in-flight).
+    mem_in_flits: Vec<usize>,
+    /// Per-partition rotating arbitration pointer over clusters.
+    mem_rr: Vec<usize>,
+
+    /// Per-partition response injection FIFOs (toward clusters).
+    part_out: Vec<VecDeque<Packet>>,
+    /// Per-cluster pipelined transfers toward the cluster.
+    cl_pull: Vec<VecDeque<Transfer>>,
+    /// Cycle at which each cluster's ejection channel frees up.
+    cl_free_at: Vec<u64>,
+    /// Per-cluster ejection buffers.
+    cl_in: Vec<VecDeque<Packet>>,
+    /// Flits occupying each cluster ejection buffer (incl. in-flight).
+    cl_in_flits: Vec<usize>,
+    /// Per-cluster rotating arbitration pointer over partitions.
+    cl_rr: Vec<usize>,
+
+    /// Soft bound on each cluster injection FIFO, in flits.
+    injection_capacity_flits: usize,
+    cluster_out_flits: Vec<usize>,
+
+    packets_moved: u64,
+}
+
+impl Interconnect {
+    /// Builds the interconnect for `cfg`.
+    pub fn new(cfg: &GpuConfig) -> Self {
+        let nc = cfg.num_clusters;
+        let np = cfg.num_mem_partitions;
+        Self {
+            num_clusters: nc,
+            num_partitions: np,
+            flits_per_cycle: cfg.icnt_flits_per_cycle,
+            latency: cfg.icnt_latency,
+            input_buffer_flits: cfg.icnt_input_buffer,
+            ejection_buffer_flits: cfg.cluster_ejection_buffer,
+            cluster_out: (0..nc).map(|_| VecDeque::new()).collect(),
+            mem_pull: (0..np).map(|_| VecDeque::new()).collect(),
+            mem_free_at: vec![0; np],
+            mem_in: (0..np).map(|_| VecDeque::new()).collect(),
+            mem_in_flits: vec![0; np],
+            mem_rr: vec![0; np],
+            part_out: (0..np).map(|_| VecDeque::new()).collect(),
+            cl_pull: (0..nc).map(|_| VecDeque::new()).collect(),
+            cl_free_at: vec![0; nc],
+            cl_in: (0..nc).map(|_| VecDeque::new()).collect(),
+            cl_in_flits: vec![0; nc],
+            cl_rr: vec![0; nc],
+            injection_capacity_flits: cfg.icnt_input_buffer,
+            cluster_out_flits: vec![0; nc],
+            packets_moved: 0,
+        }
+    }
+
+    /// Whether cluster `c` can inject a request of `flits` flits this cycle.
+    pub fn can_inject_request(&self, cluster: usize, flits: u32) -> bool {
+        self.cluster_out_flits[cluster] + flits as usize <= self.injection_capacity_flits
+    }
+
+    /// Injects a request packet at cluster `c`.
+    ///
+    /// Callers should check [`can_inject_request`](Self::can_inject_request)
+    /// first; injection past the bound is allowed but counts as buffer
+    /// over-occupancy that keeps blocking subsequent injections.
+    pub fn inject_request(&mut self, cluster: usize, packet: Packet) {
+        debug_assert!(packet.dest < self.num_partitions);
+        self.cluster_out_flits[cluster] += packet.flits as usize;
+        self.cluster_out[cluster].push_back(packet);
+    }
+
+    /// Injects a response packet at partition `p`.
+    pub fn inject_response(&mut self, partition: usize, packet: Packet) {
+        debug_assert!(packet.dest < self.num_clusters);
+        self.part_out[partition].push_back(packet);
+    }
+
+    /// Pops one request that has fully arrived at partition `p`, if any.
+    pub fn pop_arrived_request(&mut self, partition: usize) -> Option<Packet> {
+        let pkt = self.mem_in[partition].pop_front()?;
+        self.mem_in_flits[partition] -= pkt.flits as usize;
+        Some(pkt)
+    }
+
+    /// Pops one response that has fully arrived at cluster `c`, if any.
+    pub fn pop_ejected(&mut self, cluster: usize) -> Option<Packet> {
+        let pkt = self.cl_in[cluster].pop_front()?;
+        self.cl_in_flits[cluster] -= pkt.flits as usize;
+        Some(pkt)
+    }
+
+    /// Total packets delivered since construction.
+    pub fn packets_moved(&self) -> u64 {
+        self.packets_moved
+    }
+
+    /// Whether any packet is buffered or in flight in either direction.
+    pub fn is_busy(&self) -> bool {
+        self.cluster_out.iter().any(|q| !q.is_empty())
+            || self.part_out.iter().any(|q| !q.is_empty())
+            || self.mem_pull.iter().any(|t| !t.is_empty())
+            || self.cl_pull.iter().any(|t| !t.is_empty())
+            || self.mem_in.iter().any(|q| !q.is_empty())
+            || self.cl_in.iter().any(|q| !q.is_empty())
+    }
+
+    /// Advances the network by one cycle.
+    pub fn tick(&mut self, cycle: u64, ndet: &mut NdetSource) {
+        self.tick_direction_mem(cycle, ndet);
+        self.tick_direction_cluster(cycle, ndet);
+    }
+
+    fn tick_direction_mem(&mut self, cycle: u64, ndet: &mut NdetSource) {
+        for p in 0..self.num_partitions {
+            // Deliver transfers whose pipeline latency has elapsed
+            // (in-flight queue is ordered by arrival cycle).
+            while let Some(t) = self.mem_pull[p].front() {
+                if t.arrive_cycle <= cycle {
+                    let t = self.mem_pull[p].pop_front().expect("checked above");
+                    self.mem_in[p].push_back(t.packet);
+                    self.packets_moved += 1;
+                } else {
+                    break;
+                }
+            }
+            // Start new pulls while the channel has serialization capacity
+            // this cycle: occupancy is `flits / flits_per_cycle`, latency is
+            // pipelined on top.
+            while self.mem_free_at[p] <= cycle {
+                let start = (self.mem_rr[p] + ndet.arbitration_tiebreak(2)) % self.num_clusters;
+                let mut started = false;
+                for i in 0..self.num_clusters {
+                    let c = (start + i) % self.num_clusters;
+                    let Some(head) = self.cluster_out[c].front() else {
+                        continue;
+                    };
+                    if head.dest != p {
+                        continue;
+                    }
+                    let flits = head.flits as usize;
+                    if self.mem_in_flits[p] + flits > self.input_buffer_flits {
+                        // Input buffer full: backpressure this cluster.
+                        continue;
+                    }
+                    let packet = self.cluster_out[c].pop_front().expect("front was Some");
+                    self.cluster_out_flits[c] -= flits;
+                    self.mem_in_flits[p] += flits;
+                    let ser = flits.div_ceil(self.flits_per_cycle) as u64;
+                    let begin = self.mem_free_at[p].max(cycle);
+                    self.mem_free_at[p] = begin + ser;
+                    self.mem_pull[p].push_back(Transfer {
+                        packet,
+                        arrive_cycle: begin + ser + self.latency as u64,
+                    });
+                    self.mem_rr[p] = (c + 1) % self.num_clusters;
+                    started = true;
+                    break;
+                }
+                if !started {
+                    break;
+                }
+            }
+        }
+    }
+
+    fn tick_direction_cluster(&mut self, cycle: u64, ndet: &mut NdetSource) {
+        for c in 0..self.num_clusters {
+            while let Some(t) = self.cl_pull[c].front() {
+                if t.arrive_cycle <= cycle {
+                    let t = self.cl_pull[c].pop_front().expect("checked above");
+                    self.cl_in[c].push_back(t.packet);
+                    self.packets_moved += 1;
+                } else {
+                    break;
+                }
+            }
+            while self.cl_free_at[c] <= cycle {
+                let start = (self.cl_rr[c] + ndet.arbitration_tiebreak(2)) % self.num_partitions;
+                let mut started = false;
+                for i in 0..self.num_partitions {
+                    let p = (start + i) % self.num_partitions;
+                    let Some(head) = self.part_out[p].front() else {
+                        continue;
+                    };
+                    if head.dest != c {
+                        continue;
+                    }
+                    let flits = head.flits as usize;
+                    if self.cl_in_flits[c] + flits > self.ejection_buffer_flits {
+                        continue;
+                    }
+                    let packet = self.part_out[p].pop_front().expect("front was Some");
+                    self.cl_in_flits[c] += flits;
+                    let ser = flits.div_ceil(self.flits_per_cycle) as u64;
+                    let begin = self.cl_free_at[c].max(cycle);
+                    self.cl_free_at[c] = begin + ser;
+                    self.cl_pull[c].push_back(Transfer {
+                        packet,
+                        arrive_cycle: begin + ser + self.latency as u64,
+                    });
+                    self.cl_rr[c] = (p + 1) % self.num_partitions;
+                    started = true;
+                    break;
+                }
+                if !started {
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Earliest cycle at which an in-flight transfer completes, if any.
+    /// Used by the engine's idle fast-forward.
+    pub fn next_event_cycle(&self) -> Option<u64> {
+        self.mem_pull
+            .iter()
+            .chain(self.cl_pull.iter())
+            .filter_map(|q| q.front())
+            .map(|t| t.arrive_cycle)
+            .min()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem::packet::{Payload, WarpRef};
+
+    fn cfg() -> GpuConfig {
+        GpuConfig::tiny()
+    }
+
+    fn load_req(dest: usize) -> Packet {
+        Packet::new(
+            dest,
+            Payload::LoadReq {
+                sector_addr: 0,
+                warp: WarpRef { sm: 0, slot: 0 },
+            },
+            40,
+        )
+    }
+
+    #[test]
+    fn request_traverses() {
+        let c = cfg();
+        let mut icnt = Interconnect::new(&c);
+        let mut ndet = NdetSource::disabled();
+        icnt.inject_request(0, load_req(1));
+        let mut arrived = None;
+        for cycle in 0..100 {
+            icnt.tick(cycle, &mut ndet);
+            if let Some(p) = icnt.pop_arrived_request(1) {
+                arrived = Some((cycle, p));
+                break;
+            }
+        }
+        let (cycle, p) = arrived.expect("packet should arrive");
+        assert_eq!(p.dest, 1);
+        // 1 flit / 2 fpc = 1 cycle serialization + 12 latency.
+        assert!(cycle >= 12 && cycle < 20, "arrival at {cycle}");
+        assert!(!icnt.is_busy());
+    }
+
+    #[test]
+    fn response_traverses() {
+        let c = cfg();
+        let mut icnt = Interconnect::new(&c);
+        let mut ndet = NdetSource::disabled();
+        icnt.inject_response(
+            0,
+            Packet::new(1, Payload::FlushAck { sm: 3 }, c.icnt_flit_size),
+        );
+        let mut got = false;
+        for cycle in 0..100 {
+            icnt.tick(cycle, &mut ndet);
+            if icnt.pop_ejected(1).is_some() {
+                got = true;
+                break;
+            }
+        }
+        assert!(got);
+    }
+
+    #[test]
+    fn fifo_order_preserved_per_cluster() {
+        let c = cfg();
+        let mut icnt = Interconnect::new(&c);
+        let mut ndet = NdetSource::disabled();
+        for i in 0..5u64 {
+            let mut p = load_req(0);
+            if let Payload::LoadReq { sector_addr, .. } = &mut p.payload {
+                *sector_addr = i * 32;
+            }
+            icnt.inject_request(0, p);
+        }
+        let mut order = Vec::new();
+        for cycle in 0..500 {
+            icnt.tick(cycle, &mut ndet);
+            while let Some(p) = icnt.pop_arrived_request(0) {
+                if let Payload::LoadReq { sector_addr, .. } = p.payload {
+                    order.push(sector_addr / 32);
+                }
+            }
+            if order.len() == 5 {
+                break;
+            }
+        }
+        assert_eq!(order, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn injection_backpressure() {
+        let c = cfg();
+        let mut icnt = Interconnect::new(&c);
+        assert!(icnt.can_inject_request(0, 1));
+        for _ in 0..c.icnt_input_buffer {
+            icnt.inject_request(0, load_req(0));
+        }
+        assert!(!icnt.can_inject_request(0, 1));
+    }
+
+    #[test]
+    fn head_of_line_blocking() {
+        // A head packet for a full partition blocks later packets for others.
+        let mut c = cfg();
+        c.icnt_input_buffer = 1; // tiny input buffer: nothing fits
+        let mut icnt = Interconnect::new(&c);
+        let mut ndet = NdetSource::disabled();
+        let mut p = load_req(0);
+        p.flits = 2; // can never fit into a 1-flit input buffer
+        icnt.inject_request(0, p);
+        icnt.inject_request(0, load_req(1));
+        for cycle in 0..50 {
+            icnt.tick(cycle, &mut ndet);
+        }
+        assert!(icnt.pop_arrived_request(1).is_none());
+    }
+
+    #[test]
+    fn ndet_tiebreak_changes_service_order() {
+        // Two clusters contend for one partition; with different seeds the
+        // winner can differ over many trials.
+        let c = cfg();
+        let run = |seed: u64| -> Vec<usize> {
+            let mut icnt = Interconnect::new(&c);
+            let mut ndet = NdetSource::seeded(seed);
+            let mut order = Vec::new();
+            for round in 0..20u64 {
+                icnt.inject_request(0, load_req(0));
+                icnt.inject_request(1, load_req(0));
+                for cycle in round * 100..round * 100 + 100 {
+                    icnt.tick(cycle, &mut ndet);
+                }
+                while icnt.pop_arrived_request(0).is_some() {
+                    order.push(0);
+                }
+            }
+            order
+        };
+        // Identical seeds are reproducible.
+        assert_eq!(run(7), run(7));
+    }
+}

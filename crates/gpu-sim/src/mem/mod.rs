@@ -1,0 +1,71 @@
+//! The memory hierarchy: sectored caches, interconnect, DRAM, and memory
+//! partitions with ROP atomic units.
+//!
+//! Address space is interleaved across partitions at 256-byte granularity
+//! ([`partition_of`]), mirroring GPGPU-Sim's linear address mapping. The
+//! request path is: SM (L1 probe) → cluster injection queue →
+//! [`icnt::Interconnect`] → [`partition::MemPartition`] (L2 slice →
+//! [`dram::Dram`]) → response path back to the cluster.
+
+pub mod cache;
+pub mod dram;
+pub mod icnt;
+pub mod packet;
+pub mod partition;
+
+/// Bytes of consecutive address space mapped to one partition before
+/// interleaving to the next (one cache line: fine-grained interleaving
+/// spreads strided flush traffic across partitions, which is what offset
+/// flushing exploits).
+pub const PARTITION_INTERLEAVE: u64 = 128;
+
+/// The memory partition owning byte address `addr`.
+///
+/// # Examples
+///
+/// ```
+/// use gpu_sim::mem::partition_of;
+///
+/// assert_eq!(partition_of(0, 8), 0);
+/// assert_eq!(partition_of(128, 8), 1);
+/// assert_eq!(partition_of(128 * 8, 8), 0);
+/// ```
+pub fn partition_of(addr: u64, num_partitions: usize) -> usize {
+    ((addr / PARTITION_INTERLEAVE) % num_partitions as u64) as usize
+}
+
+/// Sector-aligns a byte address for `sector_size`-byte sectors.
+pub fn sector_align(addr: u64, sector_size: u64) -> u64 {
+    addr / sector_size * sector_size
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interleaving_wraps() {
+        assert_eq!(partition_of(127, 4), 0);
+        assert_eq!(partition_of(128, 4), 1);
+        assert_eq!(partition_of(256, 4), 2);
+        assert_eq!(partition_of(512, 4), 0);
+    }
+
+    #[test]
+    fn all_partitions_used() {
+        let n = 24;
+        let mut seen = vec![false; n];
+        for i in 0..n as u64 {
+            seen[partition_of(i * PARTITION_INTERLEAVE, n)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn sector_alignment() {
+        assert_eq!(sector_align(0, 32), 0);
+        assert_eq!(sector_align(31, 32), 0);
+        assert_eq!(sector_align(32, 32), 32);
+        assert_eq!(sector_align(100, 32), 96);
+    }
+}

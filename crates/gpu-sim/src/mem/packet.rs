@@ -1,0 +1,209 @@
+//! Memory system packets exchanged between clusters and memory partitions.
+
+use crate::isa::{AtomicOp, Value};
+
+/// Identifies a resident warp: `(sm id, warp slot)`.
+///
+/// Memory responses carry a `WarpRef` so the SM knows which warp to wake.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct WarpRef {
+    /// Global SM index.
+    pub sm: usize,
+    /// Hardware warp slot within the SM.
+    pub slot: usize,
+}
+
+/// One atomic operation as processed by a partition's ROP unit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RopOp {
+    /// Byte address of the 32-bit cell.
+    pub addr: u64,
+    /// Reduction opcode.
+    pub op: AtomicOp,
+    /// Operation argument.
+    pub arg: Value,
+}
+
+/// Whether an atomic request expects its old value back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AtomKind {
+    /// PTX `red`: no return value; the warp does not block.
+    Red,
+    /// PTX `atom`: returns the old value; the warp blocks until the ack.
+    Atom,
+}
+
+/// Packet payloads. Requests travel cluster→partition, responses travel
+/// partition→cluster.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Payload {
+    /// Fetch one sector for an L1 miss.
+    LoadReq {
+        /// Sector-aligned byte address.
+        sector_addr: u64,
+        /// Warp to wake when the data returns.
+        warp: WarpRef,
+    },
+    /// Write-through store of one sector.
+    StoreReq {
+        /// Sector-aligned byte address.
+        sector_addr: u64,
+        /// Warp whose outstanding-write counter the ack decrements.
+        warp: WarpRef,
+    },
+    /// One coalesced atomic transaction: all ops fall in one sector.
+    AtomicReq {
+        /// Operations, applied at the ROP in vector order.
+        ops: Vec<RopOp>,
+        /// Issuing warp (acks decrement its outstanding counters).
+        warp: WarpRef,
+        /// `red` (fire-and-forget) or `atom` (blocking).
+        kind: AtomKind,
+    },
+    /// DAB: announces how many flush transactions `sm` will send to this
+    /// partition in the current flush epoch (Fig. 8a).
+    PreFlush {
+        /// Source SM.
+        sm: usize,
+        /// Number of flush transactions to expect from that SM.
+        expected: u32,
+    },
+    /// DAB: one flush transaction carrying buffer entries (Fig. 8b). The
+    /// partition reorders these into round-robin SM order before the ROP.
+    FlushEntry {
+        /// Source SM.
+        sm: usize,
+        /// Position within the SM's flush stream for this partition
+        /// (0-based); used by the reordering logic.
+        seq: u32,
+        /// The buffered atomic operations (more than one if flush-coalesced).
+        ops: Vec<RopOp>,
+    },
+    /// Response carrying one loaded sector.
+    LoadResp {
+        /// Sector-aligned byte address (fills the L1).
+        sector_addr: u64,
+        /// Warp to wake.
+        warp: WarpRef,
+    },
+    /// Acknowledges a write-through store.
+    StoreAck {
+        /// Warp whose outstanding-write count decrements.
+        warp: WarpRef,
+    },
+    /// Acknowledges an atomic transaction (carries the old value for `atom`).
+    AtomicAck {
+        /// Issuing warp.
+        warp: WarpRef,
+        /// Request kind being acknowledged.
+        kind: AtomKind,
+    },
+    /// DAB: acknowledges that one flush transaction fully retired at the ROP.
+    FlushAck {
+        /// SM whose flush controller counts the ack.
+        sm: usize,
+    },
+}
+
+impl Payload {
+    /// Whether this payload travels from partition to cluster.
+    pub fn is_response(&self) -> bool {
+        matches!(
+            self,
+            Payload::LoadResp { .. }
+                | Payload::StoreAck { .. }
+                | Payload::AtomicAck { .. }
+                | Payload::FlushAck { .. }
+        )
+    }
+}
+
+/// A packet in flight on the interconnect.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Packet {
+    /// Destination memory partition (requests) or cluster (responses).
+    pub dest: usize,
+    /// Size in flits (computed from the payload at injection).
+    pub flits: u32,
+    /// What the packet carries.
+    pub payload: Payload,
+}
+
+impl Packet {
+    /// Builds a packet, computing its flit count from the payload and the
+    /// interconnect flit size.
+    ///
+    /// Sizing model: requests and acks occupy one flit unless they carry
+    /// data; a data sector (32 B) plus header spills into a second flit at
+    /// the Table I flit size of 40 B; atomic transactions carry 9 B per
+    /// operation (5 B address + 4 B argument, as in the paper's buffer entry
+    /// sizing).
+    pub fn new(dest: usize, payload: Payload, flit_size: usize) -> Self {
+        let bytes: usize = match &payload {
+            Payload::LoadReq { .. } => 8,
+            Payload::StoreReq { .. } => 8 + 32,
+            Payload::AtomicReq { ops, .. } => 8 + 9 * ops.len(),
+            Payload::PreFlush { .. } => 8,
+            Payload::FlushEntry { ops, .. } => 8 + 9 * ops.len(),
+            Payload::LoadResp { .. } => 8 + 32,
+            Payload::StoreAck { .. } | Payload::AtomicAck { .. } | Payload::FlushAck { .. } => 8,
+        };
+        let flits = bytes.div_ceil(flit_size).max(1) as u32;
+        Self {
+            dest,
+            flits,
+            payload,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rop(addr: u64) -> RopOp {
+        RopOp {
+            addr,
+            op: AtomicOp::AddF32,
+            arg: Value::F32(1.0),
+        }
+    }
+
+    #[test]
+    fn flit_sizing() {
+        let p = Packet::new(0, Payload::LoadReq { sector_addr: 0, warp: WarpRef { sm: 0, slot: 0 } }, 40);
+        assert_eq!(p.flits, 1);
+        let p = Packet::new(
+            0,
+            Payload::LoadResp { sector_addr: 0, warp: WarpRef { sm: 0, slot: 0 } },
+            40,
+        );
+        assert_eq!(p.flits, 1); // 40 bytes exactly
+        let p = Packet::new(
+            0,
+            Payload::AtomicReq {
+                ops: (0..8).map(|i| rop(i * 4)).collect(),
+                warp: WarpRef { sm: 0, slot: 0 },
+                kind: AtomKind::Red,
+            },
+            40,
+        );
+        // 8 + 72 = 80 bytes -> 2 flits
+        assert_eq!(p.flits, 2);
+    }
+
+    #[test]
+    fn response_classification() {
+        let w = WarpRef { sm: 1, slot: 2 };
+        assert!(Payload::StoreAck { warp: w }.is_response());
+        assert!(!Payload::StoreReq { sector_addr: 0, warp: w }.is_response());
+        assert!(Payload::FlushAck { sm: 0 }.is_response());
+        assert!(!Payload::FlushEntry { sm: 0, seq: 0, ops: vec![] }.is_response());
+    }
+
+    #[test]
+    fn minimum_one_flit() {
+        let p = Packet::new(0, Payload::FlushAck { sm: 3 }, 1024);
+        assert_eq!(p.flits, 1);
+    }
+}

@@ -1,0 +1,626 @@
+//! Memory partition: an L2 slice, a ROP atomic unit, and a DRAM channel.
+//!
+//! Each partition owns a slice of the address space (see
+//! [`super::partition_of`]). Load and store requests probe the L2 slice and
+//! fall through to DRAM on misses. Atomic operations are performed by the
+//! ROP unit — the GPU's raster-operations pipeline, which on real hardware
+//! executes global atomics next to the L2 — in strict queue order, which is
+//! exactly the property the paper's flush protocol relies on: whoever
+//! controls the ROP queue order controls the floating-point reduction order.
+//!
+//! Execution models enqueue atomic work via [`MemPartition::enqueue_rop`]:
+//! the baseline enqueues transactions in (non-deterministic) arrival order,
+//! while DAB's flush logic reorders arrivals into a deterministic round-robin
+//! order first (Fig. 8).
+
+use std::collections::{BTreeMap, VecDeque};
+
+use crate::config::GpuConfig;
+use crate::ndet::NdetSource;
+use crate::values::ValueMem;
+
+use super::cache::{Probe, SectoredCache};
+use super::dram::{Dram, DramUse};
+use super::packet::{AtomKind, Packet, Payload, RopOp, WarpRef};
+
+/// Who gets the acknowledgement when a unit of ROP work retires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AckTarget {
+    /// Acknowledge an atomic transaction to its issuing warp.
+    Warp {
+        /// Issuing warp.
+        warp: WarpRef,
+        /// `red` or `atom` semantics.
+        kind: AtomKind,
+    },
+    /// Acknowledge a DAB flush transaction to its source SM's controller.
+    FlushSm {
+        /// Source SM.
+        sm: usize,
+    },
+    /// No acknowledgement (used by tests and lock modeling).
+    None,
+}
+
+/// One unit of work for the ROP: a vector of atomics plus an ack target.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RopWork {
+    /// Operations applied in vector order.
+    pub ops: Vec<RopOp>,
+    /// Completion notification target.
+    pub ack: AckTarget,
+}
+
+#[derive(Debug)]
+struct RopState {
+    queue: VecDeque<RopWork>,
+    /// Index of the next op within the queue head.
+    op_index: usize,
+    /// Sector the head op is waiting on from DRAM, if any.
+    wait_fill: Option<u64>,
+}
+
+/// Counters exported by a partition for whole-run statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PartitionStats {
+    /// L2 probe count (loads, stores, atomics).
+    pub l2_accesses: u64,
+    /// L2 misses.
+    pub l2_misses: u64,
+    /// Atomic operations retired by the ROP.
+    pub rop_ops: u64,
+    /// Cycles the ROP spent stalled waiting on DRAM fills.
+    pub rop_fill_stall_cycles: u64,
+    /// DRAM accesses performed.
+    pub dram_accesses: u64,
+}
+
+/// A memory sub-partition.
+#[derive(Debug)]
+pub struct MemPartition {
+    id: usize,
+    cfg_l2_hit_latency: u32,
+    cfg_rop_latency: u32,
+    rop_throughput: usize,
+    flit_size: usize,
+    l2: SectoredCache,
+    dram: Dram,
+    rop: RopState,
+    /// L2 MSHRs: sector address → load waiters.
+    mshrs: BTreeMap<u64, Vec<WarpRef>>,
+    mshr_capacity: usize,
+    /// Requests that could not enter DRAM/MSHR yet.
+    retry: VecDeque<Packet>,
+    /// Responses scheduled for a future cycle.
+    pending_responses: Vec<(u64, Packet)>,
+    stats: PartitionStats,
+    sector_size: u64,
+    /// Retired-ack notifications for the execution model (drained by engine).
+    retired_flush_acks: Vec<usize>,
+}
+
+impl MemPartition {
+    /// Builds partition `id` from the configuration. `dram_jitter` is the
+    /// maximum injected DRAM latency perturbation.
+    pub fn new(id: usize, cfg: &GpuConfig, dram_jitter: u32) -> Self {
+        Self {
+            id,
+            cfg_l2_hit_latency: cfg.l2_hit_latency,
+            cfg_rop_latency: cfg.rop_latency,
+            rop_throughput: cfg.rop_throughput,
+            flit_size: cfg.icnt_flit_size,
+            l2: SectoredCache::new(
+                cfg.l2_slice_size(),
+                cfg.l2_assoc,
+                cfg.line_size,
+                cfg.sector_size,
+            ),
+            dram: Dram::new(cfg, dram_jitter),
+            rop: RopState {
+                queue: VecDeque::new(),
+                op_index: 0,
+                wait_fill: None,
+            },
+            mshrs: BTreeMap::new(),
+            mshr_capacity: cfg.l2_mshrs,
+            retry: VecDeque::new(),
+            pending_responses: Vec::new(),
+            stats: PartitionStats::default(),
+            sector_size: cfg.sector_size as u64,
+            retired_flush_acks: Vec::new(),
+        }
+    }
+
+    /// This partition's index.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Statistic counters so far.
+    pub fn stats(&self) -> PartitionStats {
+        self.stats
+    }
+
+    /// Number of ROP work items queued (including the in-progress head).
+    pub fn rop_queue_len(&self) -> usize {
+        self.rop.queue.len()
+    }
+
+    /// Enqueues atomic work for the ROP, in deterministic queue order.
+    pub fn enqueue_rop(&mut self, work: RopWork) {
+        self.rop.queue.push_back(work);
+    }
+
+    /// Evicts the L2 sector containing `addr`; used by the virtual-write-
+    /// queue feasibility experiment (Section V) where each out-of-order
+    /// flush atomic repurposes an L2 sector as reorder buffering.
+    pub fn evict_sector_for_vwq(&mut self, addr: u64) {
+        self.l2.evict_sector(addr);
+    }
+
+    /// Handles one arrived request packet (from the interconnect).
+    ///
+    /// `FlushEntry`/`PreFlush` packets must be routed to the execution model
+    /// by the engine instead; passing one here panics.
+    ///
+    /// # Panics
+    ///
+    /// Panics on response payloads or DAB flush payloads.
+    pub fn handle_request(&mut self, pkt: Packet, cycle: u64) {
+        match &pkt.payload {
+            Payload::LoadReq { .. } | Payload::StoreReq { .. } => {
+                self.try_mem_request(pkt, cycle);
+            }
+            Payload::AtomicReq { ops, warp, kind } => {
+                self.enqueue_rop(RopWork {
+                    ops: ops.clone(),
+                    ack: AckTarget::Warp {
+                        warp: *warp,
+                        kind: *kind,
+                    },
+                });
+            }
+            other => panic!("partition cannot handle payload {other:?}"),
+        }
+    }
+
+    fn try_mem_request(&mut self, pkt: Packet, cycle: u64) {
+        match pkt.payload {
+            Payload::LoadReq { sector_addr, warp } => {
+                self.stats.l2_accesses += 1;
+                match self.l2.probe(sector_addr) {
+                    Probe::Hit => {
+                        self.schedule_response(
+                            cycle + self.cfg_l2_hit_latency as u64,
+                            Packet::new(
+                                warp.sm_cluster_hint(),
+                                Payload::LoadResp { sector_addr, warp },
+                                self.flit_size,
+                            ),
+                        );
+                    }
+                    Probe::SectorMiss | Probe::LineMiss => {
+                        self.stats.l2_misses += 1;
+                        let sector = sector_addr / self.sector_size * self.sector_size;
+                        if let Some(waiters) = self.mshrs.get_mut(&sector) {
+                            waiters.push(warp);
+                        } else if self.mshrs.len() < self.mshr_capacity
+                            && self.dram.push(DramUse::FillForLoad {
+                                sector_addr: sector,
+                            })
+                        {
+                            self.stats.dram_accesses += 1;
+                            self.mshrs.insert(sector, vec![warp]);
+                        } else {
+                            // Structural stall: retry next cycle.
+                            self.retry
+                                .push_back(Packet::new(0, Payload::LoadReq { sector_addr, warp }, self.flit_size));
+                        }
+                    }
+                }
+            }
+            Payload::StoreReq { sector_addr, warp } => {
+                self.stats.l2_accesses += 1;
+                let hit = matches!(self.l2.probe(sector_addr), Probe::Hit);
+                if !hit {
+                    self.stats.l2_misses += 1;
+                    // Write-through, write-no-allocate: forward to DRAM.
+                    if !self.dram.push(DramUse::Write) {
+                        self.retry
+                            .push_back(Packet::new(0, Payload::StoreReq { sector_addr, warp }, self.flit_size));
+                        return;
+                    }
+                    self.stats.dram_accesses += 1;
+                }
+                self.schedule_response(
+                    cycle + self.cfg_l2_hit_latency as u64,
+                    Packet::new(
+                        warp.sm_cluster_hint(),
+                        Payload::StoreAck { warp },
+                        self.flit_size,
+                    ),
+                );
+            }
+            ref other => panic!("not a memory request: {other:?}"),
+        }
+    }
+
+    fn schedule_response(&mut self, at: u64, pkt: Packet) {
+        self.pending_responses.push((at, pkt));
+    }
+
+    /// Advances the partition one cycle, applying retired atomics to
+    /// `values`. Returns response packets that are ready for injection into
+    /// the interconnect (destination field = cluster, filled by the caller
+    /// via the SM→cluster map).
+    pub fn tick(
+        &mut self,
+        cycle: u64,
+        values: &mut ValueMem,
+        ndet: &mut NdetSource,
+    ) -> Vec<Packet> {
+        // 1. DRAM completions.
+        for usage in self.dram.tick(cycle, ndet) {
+            match usage {
+                DramUse::FillForLoad { sector_addr } => {
+                    self.l2.fill(sector_addr);
+                    if let Some(waiters) = self.mshrs.remove(&sector_addr) {
+                        for warp in waiters {
+                            self.schedule_response(
+                                cycle,
+                                Packet::new(
+                                    warp.sm_cluster_hint(),
+                                    Payload::LoadResp { sector_addr, warp },
+                                    self.flit_size,
+                                ),
+                            );
+                        }
+                    }
+                }
+                DramUse::FillForRop { sector_addr } => {
+                    self.l2.fill(sector_addr);
+                    if self.rop.wait_fill == Some(sector_addr) {
+                        self.rop.wait_fill = None;
+                    }
+                }
+                DramUse::Write => {}
+            }
+        }
+
+        // 2. Retry structurally-stalled requests.
+        for _ in 0..self.retry.len() {
+            let Some(pkt) = self.retry.pop_front() else {
+                break;
+            };
+            self.try_mem_request(pkt, cycle);
+        }
+
+        // 3. ROP: retire up to `rop_throughput` atomic ops.
+        self.tick_rop(cycle, values);
+
+        // 4. Emit due responses.
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < self.pending_responses.len() {
+            if self.pending_responses[i].0 <= cycle {
+                out.push(self.pending_responses.swap_remove(i).1);
+            } else {
+                i += 1;
+            }
+        }
+        out
+    }
+
+    fn tick_rop(&mut self, cycle: u64, values: &mut ValueMem) {
+        if self.rop.wait_fill.is_some() {
+            self.stats.rop_fill_stall_cycles += 1;
+            return;
+        }
+        for _ in 0..self.rop_throughput {
+            let Some(head) = self.rop.queue.front() else {
+                return;
+            };
+            if self.rop.op_index >= head.ops.len() {
+                // Empty work vector: retire immediately.
+                self.retire_rop_head(cycle);
+                continue;
+            }
+            let op = head.ops[self.rop.op_index];
+            // The atomic is a read-modify-write at the L2.
+            self.stats.l2_accesses += 1;
+            match self.l2.probe(op.addr) {
+                Probe::Hit => {}
+                Probe::SectorMiss | Probe::LineMiss => {
+                    self.stats.l2_misses += 1;
+                    let sector = op.addr / self.sector_size * self.sector_size;
+                    if self.dram.push(DramUse::FillForRop {
+                        sector_addr: sector,
+                    }) {
+                        self.stats.dram_accesses += 1;
+                        self.rop.wait_fill = Some(sector);
+                    }
+                    // If DRAM is full we simply retry next cycle.
+                    return;
+                }
+            }
+            values.apply_atomic(op.addr, op.op, op.arg);
+            self.stats.rop_ops += 1;
+            self.rop.op_index += 1;
+            let head_len = self.rop.queue.front().map(|w| w.ops.len()).unwrap_or(0);
+            if self.rop.op_index >= head_len {
+                self.retire_rop_head(cycle);
+            }
+        }
+    }
+
+    fn retire_rop_head(&mut self, cycle: u64) {
+        let work = self.rop.queue.pop_front().expect("head exists");
+        self.rop.op_index = 0;
+        // The ROP is pipelined: it retires `rop_throughput` ops per cycle,
+        // and each completed transaction acknowledges after the pipeline
+        // latency.
+        match work.ack {
+            AckTarget::Warp { warp, kind } => {
+                self.schedule_response(
+                    cycle + self.cfg_rop_latency as u64,
+                    Packet::new(
+                        warp.sm_cluster_hint(),
+                        Payload::AtomicAck { warp, kind },
+                        self.flit_size,
+                    ),
+                );
+            }
+            AckTarget::FlushSm { sm } => {
+                self.retired_flush_acks.push(sm);
+                self.schedule_response(
+                    cycle + self.cfg_rop_latency as u64,
+                    Packet::new(0, Payload::FlushAck { sm }, self.flit_size),
+                );
+            }
+            AckTarget::None => {}
+        }
+    }
+
+    /// Drains the list of SMs whose flush transactions retired this cycle
+    /// (consumed by the engine to notify the execution model immediately,
+    /// in addition to the FlushAck packets that travel the network).
+    pub fn take_retired_flush_acks(&mut self) -> Vec<usize> {
+        std::mem::take(&mut self.retired_flush_acks)
+    }
+
+    /// Whether the partition still has queued or in-flight work.
+    pub fn is_busy(&self) -> bool {
+        !self.rop.queue.is_empty()
+            || self.rop.wait_fill.is_some()
+            || !self.retry.is_empty()
+            || !self.pending_responses.is_empty()
+            || !self.mshrs.is_empty()
+            || self.dram.is_busy()
+    }
+
+    /// Earliest future event cycle, for engine fast-forwarding.
+    pub fn next_event_cycle(&self) -> Option<u64> {
+        let mut next = self.dram.next_event_cycle();
+        if !self.rop.queue.is_empty() && self.rop.wait_fill.is_none() {
+            next = Some(next.map_or(0, |n| n.min(0)));
+        }
+        if let Some(m) = self.pending_responses.iter().map(|(c, _)| *c).min() {
+            next = Some(next.map_or(m, |n| n.min(m)));
+        }
+        if !self.retry.is_empty() {
+            return Some(0); // retry every cycle
+        }
+        next
+    }
+}
+
+impl WarpRef {
+    /// Placeholder destination used when building a response before the
+    /// engine rewrites it with the real SM→cluster mapping.
+    fn sm_cluster_hint(&self) -> usize {
+        self.sm
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::{AtomicOp, Value};
+
+    fn part() -> MemPartition {
+        MemPartition::new(0, &GpuConfig::tiny(), 0)
+    }
+
+    fn op(addr: u64, v: f32) -> RopOp {
+        RopOp {
+            addr,
+            op: AtomicOp::AddF32,
+            arg: Value::F32(v),
+        }
+    }
+
+    fn run_until_idle(p: &mut MemPartition, values: &mut ValueMem) -> Vec<Packet> {
+        let mut ndet = NdetSource::disabled();
+        let mut out = Vec::new();
+        for cycle in 0..100_000 {
+            out.extend(p.tick(cycle, values, &mut ndet));
+            if !p.is_busy() {
+                break;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn rop_applies_in_queue_order() {
+        let mut p = part();
+        let mut values = ValueMem::new();
+        // Two work items; the f32 sum depends on order.
+        p.enqueue_rop(RopWork {
+            ops: vec![op(0x100, 1.0e8), op(0x100, 1.0)],
+            ack: AckTarget::None,
+        });
+        p.enqueue_rop(RopWork {
+            ops: vec![op(0x100, -1.0e8)],
+            ack: AckTarget::None,
+        });
+        run_until_idle(&mut p, &mut values);
+        let expected = ((1.0e8f32 + 1.0) + -1.0e8) as f32;
+        assert_eq!(values.read_f32(0x100), expected);
+        assert_eq!(p.stats().rop_ops, 3);
+    }
+
+    #[test]
+    fn rop_acks_warp() {
+        let mut p = part();
+        let mut values = ValueMem::new();
+        let warp = WarpRef { sm: 1, slot: 3 };
+        p.enqueue_rop(RopWork {
+            ops: vec![op(0, 1.0)],
+            ack: AckTarget::Warp {
+                warp,
+                kind: AtomKind::Red,
+            },
+        });
+        let out = run_until_idle(&mut p, &mut values);
+        assert!(out
+            .iter()
+            .any(|pkt| matches!(pkt.payload, Payload::AtomicAck { warp: w, .. } if w == warp)));
+    }
+
+    #[test]
+    fn rop_flush_ack_and_drain() {
+        let mut p = part();
+        let mut values = ValueMem::new();
+        p.enqueue_rop(RopWork {
+            ops: vec![op(0, 1.0)],
+            ack: AckTarget::FlushSm { sm: 5 },
+        });
+        let mut ndet = NdetSource::disabled();
+        let mut acks = Vec::new();
+        for cycle in 0..100_000 {
+            p.tick(cycle, &mut values, &mut ndet);
+            acks.extend(p.take_retired_flush_acks());
+            if !p.is_busy() {
+                break;
+            }
+        }
+        assert_eq!(acks, vec![5]);
+    }
+
+    #[test]
+    fn load_miss_then_hit() {
+        let mut p = part();
+        let mut values = ValueMem::new();
+        let warp = WarpRef { sm: 0, slot: 0 };
+        let pkt = Packet::new(0, Payload::LoadReq { sector_addr: 0x80, warp }, 40);
+        p.handle_request(pkt, 0);
+        let out = run_until_idle(&mut p, &mut values);
+        assert_eq!(out.len(), 1);
+        assert_eq!(p.stats().l2_misses, 1);
+        assert_eq!(p.stats().dram_accesses, 1);
+
+        // Second access hits.
+        let pkt = Packet::new(0, Payload::LoadReq { sector_addr: 0x80, warp }, 40);
+        p.handle_request(pkt, 0);
+        let out = run_until_idle(&mut p, &mut values);
+        assert_eq!(out.len(), 1);
+        assert_eq!(p.stats().l2_misses, 1, "second access should hit");
+    }
+
+    #[test]
+    fn mshr_merges_same_sector() {
+        let mut p = part();
+        let mut values = ValueMem::new();
+        for slot in 0..3 {
+            let warp = WarpRef { sm: 0, slot };
+            p.handle_request(
+                Packet::new(0, Payload::LoadReq { sector_addr: 0x80, warp }, 40),
+                0,
+            );
+        }
+        let out = run_until_idle(&mut p, &mut values);
+        assert_eq!(out.len(), 3, "all waiters woken");
+        assert_eq!(p.stats().dram_accesses, 1, "one fill serves all");
+    }
+
+    #[test]
+    fn store_write_through() {
+        let mut p = part();
+        let mut values = ValueMem::new();
+        let warp = WarpRef { sm: 0, slot: 0 };
+        p.handle_request(
+            Packet::new(0, Payload::StoreReq { sector_addr: 0x40, warp }, 40),
+            0,
+        );
+        let out = run_until_idle(&mut p, &mut values);
+        assert!(out
+            .iter()
+            .any(|pkt| matches!(pkt.payload, Payload::StoreAck { .. })));
+        assert_eq!(p.stats().dram_accesses, 1);
+    }
+
+    #[test]
+    fn atomic_request_via_handle() {
+        let mut p = part();
+        let mut values = ValueMem::new();
+        let warp = WarpRef { sm: 0, slot: 0 };
+        p.handle_request(
+            Packet::new(
+                0,
+                Payload::AtomicReq {
+                    ops: vec![op(0x10, 2.0)],
+                    warp,
+                    kind: AtomKind::Atom,
+                },
+                40,
+            ),
+            0,
+        );
+        run_until_idle(&mut p, &mut values);
+        assert_eq!(values.read_f32(0x10), 2.0);
+    }
+
+    #[test]
+    fn rop_miss_goes_to_dram_first() {
+        let mut p = part();
+        let mut values = ValueMem::new();
+        p.enqueue_rop(RopWork {
+            ops: vec![op(0x200, 1.0)],
+            ack: AckTarget::None,
+        });
+        run_until_idle(&mut p, &mut values);
+        assert_eq!(values.read_f32(0x200), 1.0);
+        assert_eq!(p.stats().dram_accesses, 1);
+        assert!(p.stats().rop_fill_stall_cycles > 0);
+    }
+
+    #[test]
+    fn vwq_eviction() {
+        let mut p = part();
+        let mut values = ValueMem::new();
+        p.enqueue_rop(RopWork {
+            ops: vec![op(0x300, 1.0)],
+            ack: AckTarget::None,
+        });
+        run_until_idle(&mut p, &mut values);
+        let misses_before = p.stats().l2_misses;
+        p.evict_sector_for_vwq(0x300);
+        p.enqueue_rop(RopWork {
+            ops: vec![op(0x300, 1.0)],
+            ack: AckTarget::None,
+        });
+        run_until_idle(&mut p, &mut values);
+        assert!(p.stats().l2_misses > misses_before, "eviction causes a re-miss");
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot handle")]
+    fn flush_entry_rejected() {
+        let mut p = part();
+        p.handle_request(
+            Packet::new(0, Payload::FlushEntry { sm: 0, seq: 0, ops: vec![] }, 40),
+            0,
+        );
+    }
+}

@@ -1,0 +1,181 @@
+//! Seeded non-determinism injection.
+//!
+//! A software simulator is inherently deterministic, but real GPUs are not:
+//! unknowable cache state from prior kernels, DRAM refresh, and racy
+//! arbitration perturb latencies and orderings from run to run. Following the
+//! paper's methodology (Section V: "we extended the baseline GPGPU-Sim and
+//! DAB to model non-determinism in GPUs"), [`NdetSource`] injects small,
+//! seed-controlled perturbations at the points where real hardware timing
+//! varies: memory latencies and arbitration tie-breaks.
+//!
+//! Running the same workload with two different seeds models two executions
+//! on real hardware. A *deterministic* architecture (DAB, GPUDet) must
+//! produce bitwise-identical results regardless of the seed; the baseline
+//! will not on order-sensitive kernels.
+//!
+//! # Examples
+//!
+//! ```
+//! use gpu_sim::ndet::NdetSource;
+//!
+//! let mut a = NdetSource::seeded(1);
+//! let mut b = NdetSource::seeded(1);
+//! assert_eq!(a.latency_jitter(8), b.latency_jitter(8));
+//!
+//! let mut off = NdetSource::disabled();
+//! assert_eq!(off.latency_jitter(8), 0);
+//! ```
+
+/// Source of timing perturbations, driven by a seed (xorshift64*).
+///
+/// A disabled source returns neutral values everywhere, which makes the
+/// simulation perfectly repeatable *including timing* — useful for debugging
+/// the simulator itself.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NdetSource {
+    state: u64,
+    enabled: bool,
+}
+
+impl NdetSource {
+    /// A source that injects perturbations derived from `seed`.
+    pub fn seeded(seed: u64) -> Self {
+        Self {
+            // xorshift must not start at 0.
+            state: seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1,
+            enabled: true,
+        }
+    }
+
+    /// A source that injects nothing (fully repeatable timing).
+    pub fn disabled() -> Self {
+        Self {
+            state: 1,
+            enabled: false,
+        }
+    }
+
+    /// Whether this source injects perturbations.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// Extra cycles to add to a memory access, in `0..=max_extra`.
+    ///
+    /// Models DRAM refresh collisions, replay, and cross-kernel cache state.
+    pub fn latency_jitter(&mut self, max_extra: u32) -> u32 {
+        if !self.enabled || max_extra == 0 {
+            return 0;
+        }
+        (self.next() % (max_extra as u64 + 1)) as u32
+    }
+
+    /// Breaks an arbitration tie among `n` equally-eligible requesters.
+    ///
+    /// Returns an index in `0..n`. A disabled source always picks 0, which is
+    /// the fixed-priority arbiter a deterministic machine would use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn arbitration_tiebreak(&mut self, n: usize) -> usize {
+        assert!(n > 0, "cannot arbitrate among zero requesters");
+        if !self.enabled || n == 1 {
+            return 0;
+        }
+        (self.next() % n as u64) as usize
+    }
+
+    /// Returns `true` with probability `num/denom`; used to occasionally
+    /// reorder otherwise-FIFO queue service.
+    pub fn chance(&mut self, num: u32, denom: u32) -> bool {
+        if !self.enabled || denom == 0 {
+            return false;
+        }
+        (self.next() % denom as u64) < num as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = NdetSource::seeded(42);
+        let mut b = NdetSource::seeded(42);
+        for _ in 0..100 {
+            assert_eq!(a.latency_jitter(16), b.latency_jitter(16));
+            assert_eq!(a.arbitration_tiebreak(7), b.arbitration_tiebreak(7));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = NdetSource::seeded(1);
+        let mut b = NdetSource::seeded(2);
+        let sa: Vec<u32> = (0..64).map(|_| a.latency_jitter(1000)).collect();
+        let sb: Vec<u32> = (0..64).map(|_| b.latency_jitter(1000)).collect();
+        assert_ne!(sa, sb);
+    }
+
+    #[test]
+    fn disabled_is_neutral() {
+        let mut s = NdetSource::disabled();
+        assert!(!s.is_enabled());
+        for _ in 0..10 {
+            assert_eq!(s.latency_jitter(100), 0);
+            assert_eq!(s.arbitration_tiebreak(5), 0);
+            assert!(!s.chance(1, 2));
+        }
+    }
+
+    #[test]
+    fn jitter_bounded() {
+        let mut s = NdetSource::seeded(3);
+        for _ in 0..1000 {
+            assert!(s.latency_jitter(8) <= 8);
+        }
+    }
+
+    #[test]
+    fn tiebreak_in_range() {
+        let mut s = NdetSource::seeded(9);
+        for _ in 0..1000 {
+            assert!(s.arbitration_tiebreak(4) < 4);
+        }
+    }
+
+    #[test]
+    fn tiebreak_covers_all_choices() {
+        let mut s = NdetSource::seeded(5);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[s.arbitration_tiebreak(4)] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero requesters")]
+    fn tiebreak_zero_panics() {
+        NdetSource::seeded(1).arbitration_tiebreak(0);
+    }
+
+    #[test]
+    fn zero_seed_is_valid() {
+        let mut s = NdetSource::seeded(0);
+        // Must not get stuck at zero state.
+        let vals: Vec<u32> = (0..16).map(|_| s.latency_jitter(1 << 20)).collect();
+        assert!(vals.iter().any(|&v| v != 0));
+    }
+}

@@ -1,0 +1,518 @@
+//! Streaming multiprocessor state: warp contexts, CTA occupancy, barriers,
+//! and the deterministic batch accounting of Section IV-C5.
+//!
+//! The SM is a passive data structure; the [`engine`](crate::engine) drives
+//! issue and memory traffic. What lives here is the state the paper's
+//! determinism argument rests on:
+//!
+//! - every warp carries a deterministic `unique` id (derived from its CTA
+//!   and intra-CTA index, never from timing), which all determinism-aware
+//!   schedulers order by;
+//! - warps arriving at a scheduler are grouped into *batches* (hardware-slot
+//!   generations); atomics from batch *b+1* may not issue until every warp
+//!   of batch *b* has exited, so buffer fill order stays deterministic even
+//!   though slot reuse timing is not.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use crate::config::GpuConfig;
+use crate::isa::{Instr, WarpProgram};
+use crate::kernel::CtaSpec;
+use crate::mem::cache::SectoredCache;
+use crate::sched::{make_scheduler, SchedKind, WarpScheduler};
+
+/// Execution state of a warp context.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WarpState {
+    /// May issue once `next_ready` is reached.
+    Ready,
+    /// Blocked until all outstanding load sectors return.
+    WaitMem,
+    /// Arrived at a CTA barrier, waiting for siblings.
+    WaitBarrier,
+    /// Waiting for the execution model to wake it (DAB flush, GPUDet token).
+    WaitFlush,
+    /// Waiting for the deterministic lock manager.
+    WaitLock,
+    /// Blocked on a returning `atom` acknowledgement.
+    WaitAtom,
+    /// Draining outstanding writes (fence, or exit with writes in flight).
+    WaitDrain,
+}
+
+/// A resident warp.
+#[derive(Debug)]
+pub struct WarpCtx {
+    /// Deterministic kernel-wide warp id (`cta_id * warps_per_cta + idx`).
+    pub unique: u64,
+    /// Runtime CTA instance key within this SM (for barrier bookkeeping).
+    pub cta_key: u64,
+    /// Owning scheduler index.
+    pub sched: usize,
+    /// Per-scheduler batch (hardware-slot generation) of this warp.
+    pub batch: u64,
+    /// Per-scheduler arrival sequence (the GTO age).
+    pub arrival: u64,
+    /// The warp's instruction stream.
+    pub program: Arc<WarpProgram>,
+    /// Next instruction index.
+    pub pc: usize,
+    /// Remaining issues of the current run-length-encoded ALU burst.
+    pub alu_rem: u32,
+    /// Execution state.
+    pub state: WarpState,
+    /// Earliest cycle the warp may issue again.
+    pub next_ready: u64,
+    /// Outstanding load sectors (blocks the warp).
+    pub outstanding_loads: u32,
+    /// Outstanding store/atomic acks (drained by fences, not blocking).
+    pub outstanding_writes: u32,
+    /// Occurrence counters per lock address, for deterministic tickets.
+    pub lock_occurrences: Vec<(u64, u32)>,
+}
+
+impl WarpCtx {
+    /// The warp's next instruction, if any.
+    pub fn next_instr(&self) -> Option<&Instr> {
+        self.program.instrs.get(self.pc)
+    }
+
+    /// Whether the next instruction is an atomic reduction.
+    pub fn next_is_atomic(&self) -> bool {
+        self.next_instr().is_some_and(Instr::is_atomic)
+    }
+
+    /// Whether the warp has retired every instruction.
+    pub fn finished(&self) -> bool {
+        self.pc >= self.program.instrs.len()
+    }
+
+    /// Bumps and returns the occurrence index for a locked section on
+    /// `lock_addr` (deterministic ticket component).
+    pub fn next_lock_occurrence(&mut self, lock_addr: u64) -> u32 {
+        if let Some(entry) = self.lock_occurrences.iter_mut().find(|e| e.0 == lock_addr) {
+            let occ = entry.1;
+            entry.1 += 1;
+            occ
+        } else {
+            self.lock_occurrences.push((lock_addr, 1));
+            0
+        }
+    }
+}
+
+/// Per-scheduler bookkeeping: policy instance, arrival/batch accounting, and
+/// census counters.
+#[derive(Debug)]
+pub struct SchedulerCtx {
+    /// The scheduling policy.
+    pub policy: Box<dyn WarpScheduler>,
+    /// Hardware slots this scheduler manages (`max_warps / num_schedulers`).
+    pub width: usize,
+    /// Warps ever arrived (drives batch assignment).
+    pub arrivals: u64,
+    /// Arrivals per batch.
+    batch_sizes: BTreeMap<u64, u32>,
+    /// Exits per batch.
+    batch_exits: BTreeMap<u64, u32>,
+    /// All batches `< completed_batches` have fully exited.
+    pub completed_batches: u64,
+    /// Live warps (census).
+    pub live: u32,
+    /// Flush-waiting warps (census).
+    pub flush_wait: u32,
+    /// Warps waiting at an incomplete CTA barrier (census).
+    pub barrier_wait: u32,
+}
+
+impl SchedulerCtx {
+    fn new(kind: SchedKind, width: usize, atomic_exec_latency: u32) -> Self {
+        Self {
+            policy: make_scheduler(kind, atomic_exec_latency),
+            width,
+            arrivals: 0,
+            batch_sizes: BTreeMap::new(),
+            batch_exits: BTreeMap::new(),
+            completed_batches: 0,
+            live: 0,
+            flush_wait: 0,
+            barrier_wait: 0,
+        }
+    }
+
+    /// Registers a warp arrival and returns `(batch, arrival_seq)`.
+    pub fn register_arrival(&mut self) -> (u64, u64) {
+        let arrival = self.arrivals;
+        let batch = arrival / self.width as u64;
+        self.arrivals += 1;
+        *self.batch_sizes.entry(batch).or_insert(0) += 1;
+        self.live += 1;
+        (batch, arrival)
+    }
+
+    /// Registers a warp exit and updates completed-batch accounting.
+    ///
+    /// `no_more_arrivals` is true once the kernel has dispatched every CTA:
+    /// only then may a partially-filled batch complete.
+    pub fn register_exit(&mut self, batch: u64, no_more_arrivals: bool) {
+        *self.batch_exits.entry(batch).or_insert(0) += 1;
+        self.live -= 1;
+        self.advance_completed(no_more_arrivals);
+    }
+
+    /// Re-evaluates batch completion (also called when dispatch finishes).
+    pub fn advance_completed(&mut self, no_more_arrivals: bool) {
+        loop {
+            let b = self.completed_batches;
+            let size = self.batch_sizes.get(&b).copied().unwrap_or(0);
+            let exits = self.batch_exits.get(&b).copied().unwrap_or(0);
+            let fully_populated = size as usize == self.width || no_more_arrivals;
+            if size > 0 && exits == size && fully_populated {
+                self.completed_batches += 1;
+            } else if size == 0 && no_more_arrivals && b < self.arrivals.div_ceil(self.width as u64)
+            {
+                self.completed_batches += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Whether a warp of `batch` may issue atomics now (all earlier batches
+    /// fully exited).
+    pub fn batch_may_issue_atomics(&self, batch: u64) -> bool {
+        batch <= self.completed_batches
+    }
+
+    /// Resets per-kernel accounting.
+    pub fn on_kernel_boundary(&mut self) {
+        debug_assert_eq!(self.live, 0, "kernel boundary with live warps");
+        self.arrivals = 0;
+        self.batch_sizes.clear();
+        self.batch_exits.clear();
+        self.completed_batches = 0;
+        self.flush_wait = 0;
+        self.barrier_wait = 0;
+        self.policy.on_kernel_boundary();
+    }
+}
+
+/// CTA barrier bookkeeping.
+#[derive(Debug, Default)]
+pub struct BarrierState {
+    /// Warps currently waiting at the barrier (slots).
+    pub waiting_slots: Vec<usize>,
+    /// Live warps of the CTA (barrier releases when all arrive).
+    pub live_warps: u32,
+}
+
+/// One streaming multiprocessor.
+#[derive(Debug)]
+pub struct Sm {
+    /// Global SM index.
+    pub id: usize,
+    /// Owning cluster.
+    pub cluster: usize,
+    /// L1 data cache (tags).
+    pub l1: SectoredCache,
+    /// L1 MSHRs: sector address → waiting slots.
+    pub l1_mshrs: BTreeMap<u64, Vec<usize>>,
+    /// MSHR capacity.
+    pub l1_mshr_capacity: usize,
+    /// Hardware warp slots.
+    pub warps: Vec<Option<WarpCtx>>,
+    /// Warp schedulers (slot `s` belongs to scheduler `s % schedulers`).
+    pub schedulers: Vec<SchedulerCtx>,
+    /// Barrier state per resident CTA.
+    pub barriers: BTreeMap<u64, BarrierState>,
+    /// Resident thread count (occupancy limit).
+    pub resident_threads: usize,
+    /// Resident CTA count (occupancy limit).
+    pub resident_ctas: usize,
+    /// Next runtime CTA key.
+    next_cta_key: u64,
+    max_threads: usize,
+    max_ctas: usize,
+    num_schedulers: usize,
+}
+
+impl Sm {
+    /// Builds an SM with the given scheduling policy in every scheduler.
+    pub fn new(id: usize, cfg: &GpuConfig, sched_kind: SchedKind) -> Self {
+        let num_schedulers = cfg.num_schedulers_per_sm;
+        let width = cfg.warps_per_scheduler();
+        Self {
+            id,
+            cluster: id / cfg.sms_per_cluster,
+            l1: SectoredCache::new(cfg.l1_size, cfg.l1_assoc, cfg.line_size, cfg.sector_size),
+            l1_mshrs: BTreeMap::new(),
+            l1_mshr_capacity: cfg.l1_mshrs,
+            warps: (0..cfg.max_warps_per_sm).map(|_| None).collect(),
+            schedulers: (0..num_schedulers)
+                .map(|_| SchedulerCtx::new(sched_kind, width, cfg.alu_latency))
+                .collect(),
+            barriers: BTreeMap::new(),
+            resident_threads: 0,
+            resident_ctas: 0,
+            next_cta_key: 0,
+            max_threads: cfg.max_threads_per_sm,
+            max_ctas: cfg.max_ctas_per_sm,
+            num_schedulers,
+        }
+    }
+
+    /// Whether the SM has room for `cta` (warp slots per scheduler, threads,
+    /// CTA count).
+    pub fn can_accept(&self, cta: &CtaSpec) -> bool {
+        if self.resident_ctas >= self.max_ctas {
+            return false;
+        }
+        if self.resident_threads + cta.num_threads() > self.max_threads {
+            return false;
+        }
+        // Each warp w of the CTA goes to scheduler w % S; count free slots
+        // per scheduler.
+        let mut needed = vec![0usize; self.num_schedulers];
+        for (w, _) in cta.warps.iter().enumerate() {
+            needed[w % self.num_schedulers] += 1;
+        }
+        for sched in 0..self.num_schedulers {
+            let free = self
+                .warps
+                .iter()
+                .enumerate()
+                .filter(|(slot, w)| slot % self.num_schedulers == sched && w.is_none())
+                .count();
+            if free < needed[sched] {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Places a CTA onto the SM; returns the slots used.
+    ///
+    /// `unique_base` is the deterministic id of the CTA's first warp.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the CTA does not fit (callers check
+    /// [`can_accept`](Self::can_accept) first).
+    pub fn add_cta(&mut self, cta: &CtaSpec, unique_base: u64, cycle: u64) -> Vec<usize> {
+        assert!(self.can_accept(cta), "CTA does not fit on SM {}", self.id);
+        let cta_key = self.next_cta_key;
+        self.next_cta_key += 1;
+        self.resident_ctas += 1;
+        self.resident_threads += cta.num_threads();
+        self.barriers.insert(
+            cta_key,
+            BarrierState {
+                waiting_slots: Vec::new(),
+                live_warps: cta.warps.len() as u32,
+            },
+        );
+        let mut slots = Vec::with_capacity(cta.warps.len());
+        for (w, program) in cta.warps.iter().enumerate() {
+            let sched = w % self.num_schedulers;
+            let slot = self
+                .warps
+                .iter()
+                .enumerate()
+                .position(|(s, ctx)| s % self.num_schedulers == sched && ctx.is_none())
+                .expect("can_accept guaranteed a free slot");
+            let unique = unique_base + w as u64;
+            let (batch, arrival) = self.schedulers[sched].register_arrival();
+            self.schedulers[sched].policy.on_warp_arrive(unique);
+            self.warps[slot] = Some(WarpCtx {
+                unique,
+                cta_key,
+                sched,
+                batch,
+                arrival,
+                program: Arc::clone(program),
+                pc: 0,
+                alu_rem: 0,
+                state: WarpState::Ready,
+                next_ready: cycle,
+                outstanding_loads: 0,
+                outstanding_writes: 0,
+                lock_occurrences: Vec::new(),
+            });
+            slots.push(slot);
+        }
+        slots
+    }
+
+    /// Retires the warp in `slot`, updating scheduler, barrier, and
+    /// occupancy accounting. Returns the warp's context.
+    pub fn retire_warp(&mut self, slot: usize, no_more_arrivals: bool) -> WarpCtx {
+        let warp = self.warps[slot].take().expect("slot occupied");
+        let sched = &mut self.schedulers[warp.sched];
+        sched.policy.on_warp_exit(warp.unique);
+        sched.register_exit(warp.batch, no_more_arrivals);
+        self.resident_threads -= warp.program.active_lanes;
+        let barrier = self
+            .barriers
+            .get_mut(&warp.cta_key)
+            .expect("CTA barrier state exists");
+        barrier.live_warps -= 1;
+        if barrier.live_warps == 0 {
+            self.barriers.remove(&warp.cta_key);
+            self.resident_ctas -= 1;
+        }
+        warp
+    }
+
+    /// Number of live warps on the SM.
+    pub fn live_warps(&self) -> usize {
+        self.warps.iter().filter(|w| w.is_some()).count()
+    }
+
+    /// Earliest `next_ready` among issuable warps, for fast-forwarding.
+    /// Warps blocked on memory/barriers/flushes have no bound (they are
+    /// woken by events).
+    pub fn earliest_ready(&self) -> Option<u64> {
+        self.warps
+            .iter()
+            .flatten()
+            .filter(|w| w.state == WarpState::Ready)
+            .map(|w| w.next_ready)
+            .min()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::{AtomicAccess, AtomicOp, Value};
+
+    fn cta(warps: usize, lanes: usize) -> CtaSpec {
+        CtaSpec::new(
+            0,
+            (0..warps)
+                .map(|_| {
+                    WarpProgram::new(
+                        vec![Instr::Red {
+                            op: AtomicOp::AddF32,
+                            accesses: vec![AtomicAccess::new(0, 0, Value::F32(1.0))],
+                        }],
+                        lanes,
+                    )
+                })
+                .collect(),
+        )
+    }
+
+    fn sm() -> Sm {
+        Sm::new(0, &GpuConfig::tiny(), SchedKind::Gto)
+    }
+
+    #[test]
+    fn cta_admission_and_slots() {
+        let mut sm = sm();
+        let cta = cta(8, 32);
+        assert!(sm.can_accept(&cta));
+        let slots = sm.add_cta(&cta, 100, 0);
+        assert_eq!(slots.len(), 8);
+        assert_eq!(sm.live_warps(), 8);
+        assert_eq!(sm.resident_threads, 256);
+        assert_eq!(sm.resident_ctas, 1);
+        // Warps spread across 4 schedulers: 2 each.
+        for sched in 0..4 {
+            assert_eq!(sm.schedulers[sched].live, 2);
+        }
+    }
+
+    #[test]
+    fn thread_occupancy_limit() {
+        let mut sm = sm();
+        // 2048 threads max: 8 CTAs of 8x32 = 256 threads each.
+        for i in 0..8 {
+            let c = cta(8, 32);
+            assert!(sm.can_accept(&c), "cta {i} should fit");
+            sm.add_cta(&c, i * 8, 0);
+        }
+        assert!(!sm.can_accept(&cta(8, 32)));
+    }
+
+    #[test]
+    fn warp_slot_limit_per_scheduler() {
+        let mut sm = sm();
+        // 64 slots, 16 per scheduler. A 64-warp, 1-lane-per-warp load fills
+        // every slot.
+        let big = cta(64, 1);
+        assert!(sm.can_accept(&big));
+        sm.add_cta(&big, 0, 0);
+        assert!(!sm.can_accept(&cta(1, 1)));
+    }
+
+    #[test]
+    fn retire_restores_capacity() {
+        let mut sm = sm();
+        let c = cta(8, 32);
+        let slots = sm.add_cta(&c, 0, 0);
+        for slot in slots {
+            sm.retire_warp(slot, false);
+        }
+        assert_eq!(sm.live_warps(), 0);
+        assert_eq!(sm.resident_ctas, 0);
+        assert_eq!(sm.resident_threads, 0);
+        assert!(sm.can_accept(&cta(8, 32)));
+    }
+
+    #[test]
+    fn batch_assignment_by_arrival() {
+        let mut sched = SchedulerCtx::new(SchedKind::Gwat, 2, 4);
+        assert_eq!(sched.register_arrival(), (0, 0));
+        assert_eq!(sched.register_arrival(), (0, 1));
+        assert_eq!(sched.register_arrival(), (1, 2));
+        assert!(sched.batch_may_issue_atomics(0));
+        assert!(!sched.batch_may_issue_atomics(1));
+        // Batch 0 fully exits → batch 1 unblocked.
+        sched.register_exit(0, false);
+        assert!(!sched.batch_may_issue_atomics(1));
+        sched.register_exit(0, false);
+        assert!(sched.batch_may_issue_atomics(1));
+    }
+
+    #[test]
+    fn partial_batch_completes_only_after_dispatch_done() {
+        let mut sched = SchedulerCtx::new(SchedKind::Gwat, 4, 4);
+        let (b, _) = sched.register_arrival();
+        assert_eq!(b, 0);
+        sched.register_exit(0, false);
+        // One of a potential four exited; more may arrive → batch 0 open.
+        assert!(!sched.batch_may_issue_atomics(1));
+        sched.advance_completed(true);
+        // Dispatch finished → the partial batch can complete.
+        assert!(sched.batch_may_issue_atomics(1));
+    }
+
+    #[test]
+    fn warp_ctx_helpers() {
+        let mut sm = sm();
+        let c = cta(1, 32);
+        let slots = sm.add_cta(&c, 7, 0);
+        let warp = sm.warps[slots[0]].as_mut().expect("warp resident");
+        assert_eq!(warp.unique, 7);
+        assert!(warp.next_is_atomic());
+        assert!(!warp.finished());
+        warp.pc = 1;
+        assert!(warp.finished());
+        assert_eq!(warp.next_lock_occurrence(0x10), 0);
+        assert_eq!(warp.next_lock_occurrence(0x10), 1);
+        assert_eq!(warp.next_lock_occurrence(0x20), 0);
+    }
+
+    #[test]
+    fn earliest_ready_tracks_minimum() {
+        let mut sm = sm();
+        let c = cta(2, 32);
+        let slots = sm.add_cta(&c, 0, 5);
+        assert_eq!(sm.earliest_ready(), Some(5));
+        sm.warps[slots[0]].as_mut().expect("resident").next_ready = 20;
+        sm.warps[slots[1]].as_mut().expect("resident").state = WarpState::WaitMem;
+        assert_eq!(sm.earliest_ready(), Some(20));
+    }
+}

@@ -1,0 +1,192 @@
+//! Simulation statistics: cycles, IPC, stall and execution-mode breakdowns.
+//!
+//! The fixed fields cover what every execution model reports (Fig. 10-style
+//! normalized execution time, IPC correlation for Fig. 9). Model-specific
+//! accounting — GPUDet's parallel/commit/serial mode split (Fig. 3), DAB's
+//! overhead breakdown (Fig. 15) — goes through the ordered
+//! [`counters`](SimStats::counters) map so models can define their own
+//! categories without widening this struct.
+//!
+//! # Examples
+//!
+//! ```
+//! use gpu_sim::stats::SimStats;
+//!
+//! let mut stats = SimStats::default();
+//! stats.cycles = 1000;
+//! stats.thread_instrs = 32_000;
+//! assert_eq!(stats.ipc(), 32.0);
+//! stats.bump("dab.flushes", 3);
+//! assert_eq!(stats.counter("dab.flushes"), 3);
+//! ```
+
+use std::collections::BTreeMap;
+
+/// Aggregated statistics from one simulation run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SimStats {
+    /// Total core cycles simulated until kernel completion.
+    pub cycles: u64,
+    /// Dynamic thread-level instructions retired.
+    pub thread_instrs: u64,
+    /// Warp-level instructions issued.
+    pub warp_instrs: u64,
+    /// Atomic (red/atom) thread-level operations retired.
+    pub atomics: u64,
+    /// Memory transactions sent to the interconnect.
+    pub mem_transactions: u64,
+    /// L1 data cache accesses / misses.
+    pub l1_accesses: u64,
+    /// L1 data cache misses.
+    pub l1_misses: u64,
+    /// L2 accesses / misses (summed over slices).
+    pub l2_accesses: u64,
+    /// L2 misses.
+    pub l2_misses: u64,
+    /// Cycles in which at least one scheduler had a ready warp but could not
+    /// issue because of interconnect backpressure.
+    pub icnt_stall_cycles: u64,
+    /// Named model-specific counters (deterministically ordered).
+    pub counters: BTreeMap<&'static str, u64>,
+}
+
+impl SimStats {
+    /// Instructions per cycle over the whole run (thread-level, matching how
+    /// GPGPU-Sim reports IPC for Fig. 9).
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.thread_instrs as f64 / self.cycles as f64
+        }
+    }
+
+    /// L1 miss rate in `[0, 1]`, or 0 if the L1 was never accessed.
+    pub fn l1_miss_rate(&self) -> f64 {
+        if self.l1_accesses == 0 {
+            0.0
+        } else {
+            self.l1_misses as f64 / self.l1_accesses as f64
+        }
+    }
+
+    /// L2 miss rate in `[0, 1]`, or 0 if the L2 was never accessed.
+    pub fn l2_miss_rate(&self) -> f64 {
+        if self.l2_accesses == 0 {
+            0.0
+        } else {
+            self.l2_misses as f64 / self.l2_accesses as f64
+        }
+    }
+
+    /// Atomics per kilo-instruction actually observed in the run.
+    pub fn atomics_pki(&self) -> f64 {
+        if self.thread_instrs == 0 {
+            0.0
+        } else {
+            self.atomics as f64 * 1000.0 / self.thread_instrs as f64
+        }
+    }
+
+    /// Adds `n` to the named counter, creating it at zero if absent.
+    pub fn bump(&mut self, name: &'static str, n: u64) {
+        *self.counters.entry(name).or_insert(0) += n;
+    }
+
+    /// Reads a named counter (0 if never bumped).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Merges another stats object into this one (summing every field).
+    pub fn merge(&mut self, other: &SimStats) {
+        self.cycles += other.cycles;
+        self.thread_instrs += other.thread_instrs;
+        self.warp_instrs += other.warp_instrs;
+        self.atomics += other.atomics;
+        self.mem_transactions += other.mem_transactions;
+        self.l1_accesses += other.l1_accesses;
+        self.l1_misses += other.l1_misses;
+        self.l2_accesses += other.l2_accesses;
+        self.l2_misses += other.l2_misses;
+        self.icnt_stall_cycles += other.icnt_stall_cycles;
+        for (k, v) in &other.counters {
+            *self.counters.entry(k).or_insert(0) += v;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ipc_zero_cycles() {
+        assert_eq!(SimStats::default().ipc(), 0.0);
+    }
+
+    #[test]
+    fn ipc_computes() {
+        let stats = SimStats {
+            cycles: 10,
+            thread_instrs: 250,
+            ..Default::default()
+        };
+        assert_eq!(stats.ipc(), 25.0);
+    }
+
+    #[test]
+    fn miss_rates() {
+        let stats = SimStats {
+            l1_accesses: 100,
+            l1_misses: 25,
+            l2_accesses: 25,
+            l2_misses: 5,
+            ..Default::default()
+        };
+        assert_eq!(stats.l1_miss_rate(), 0.25);
+        assert_eq!(stats.l2_miss_rate(), 0.2);
+        assert_eq!(SimStats::default().l1_miss_rate(), 0.0);
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let mut stats = SimStats::default();
+        stats.bump("x", 2);
+        stats.bump("x", 3);
+        assert_eq!(stats.counter("x"), 5);
+        assert_eq!(stats.counter("missing"), 0);
+    }
+
+    #[test]
+    fn merge_sums_everything() {
+        let mut a = SimStats {
+            cycles: 1,
+            thread_instrs: 2,
+            ..Default::default()
+        };
+        a.bump("m", 1);
+        let mut b = SimStats {
+            cycles: 10,
+            thread_instrs: 20,
+            ..Default::default()
+        };
+        b.bump("m", 2);
+        b.bump("n", 7);
+        a.merge(&b);
+        assert_eq!(a.cycles, 11);
+        assert_eq!(a.thread_instrs, 22);
+        assert_eq!(a.counter("m"), 3);
+        assert_eq!(a.counter("n"), 7);
+    }
+
+    #[test]
+    fn observed_pki() {
+        let stats = SimStats {
+            thread_instrs: 2000,
+            atomics: 3,
+            ..Default::default()
+        };
+        assert!((stats.atomics_pki() - 1.5).abs() < 1e-12);
+    }
+}

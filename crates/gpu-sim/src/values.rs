@@ -1,0 +1,191 @@
+//! Functional (value) memory, kept separate from the timing model.
+//!
+//! The simulator is timing-directed but *value-accurate for atomics*: every
+//! `red`/`atom` operation is applied to this memory in the exact order the
+//! simulated hardware commits it. Because `f32` addition is non-associative,
+//! a different commit order produces different bits — which is precisely the
+//! non-determinism the paper studies. Comparing [`ValueMem::digest`]s between
+//! runs is how the test-suite decides whether an execution model is
+//! deterministic.
+//!
+//! # Examples
+//!
+//! ```
+//! use gpu_sim::values::ValueMem;
+//! use gpu_sim::isa::{AtomicOp, Value};
+//!
+//! let mut mem = ValueMem::new();
+//! mem.apply_atomic(0x100, AtomicOp::AddF32, Value::F32(1.0));
+//! mem.apply_atomic(0x100, AtomicOp::AddF32, Value::F32(2.0));
+//! assert_eq!(mem.read_f32(0x100), 3.0);
+//! ```
+
+use std::collections::HashMap;
+
+use crate::isa::{AtomicOp, Value};
+
+/// Sparse 32-bit-cell global memory holding program values.
+///
+/// Addresses are byte addresses; each cell covers the aligned 4-byte word
+/// containing the address. Unwritten cells read as zero, matching
+/// `cudaMemset`-style initialization of reduction outputs.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ValueMem {
+    cells: HashMap<u64, u32>,
+    atomics_applied: u64,
+}
+
+impl ValueMem {
+    /// Creates an empty (all-zero) memory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn word(addr: u64) -> u64 {
+        addr & !3
+    }
+
+    /// Reads the raw bits of the word containing `addr`.
+    pub fn read_bits(&self, addr: u64) -> u32 {
+        self.cells.get(&Self::word(addr)).copied().unwrap_or(0)
+    }
+
+    /// Reads the word containing `addr` as `f32`.
+    pub fn read_f32(&self, addr: u64) -> f32 {
+        f32::from_bits(self.read_bits(addr))
+    }
+
+    /// Reads the word containing `addr` as `u32`.
+    pub fn read_u32(&self, addr: u64) -> u32 {
+        self.read_bits(addr)
+    }
+
+    /// Writes raw bits to the word containing `addr` (a plain store).
+    pub fn write_bits(&mut self, addr: u64, bits: u32) {
+        self.cells.insert(Self::word(addr), bits);
+    }
+
+    /// Writes an `f32` to the word containing `addr`.
+    pub fn write_f32(&mut self, addr: u64, v: f32) {
+        self.write_bits(addr, v.to_bits());
+    }
+
+    /// Applies one atomic operation, in commit order, returning the *old*
+    /// bits (the value an `atom` instruction would return).
+    pub fn apply_atomic(&mut self, addr: u64, op: AtomicOp, arg: Value) -> u32 {
+        let w = Self::word(addr);
+        let old = self.cells.get(&w).copied().unwrap_or(0);
+        self.cells.insert(w, op.apply(old, arg));
+        self.atomics_applied += 1;
+        old
+    }
+
+    /// Number of atomics applied since creation (ROP commit count).
+    pub fn atomics_applied(&self) -> u64 {
+        self.atomics_applied
+    }
+
+    /// Number of distinct words ever written.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether no word has been written.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Order-independent digest of the full memory contents.
+    ///
+    /// Two runs of a *deterministic* execution model must produce equal
+    /// digests; two runs of the non-deterministic baseline on an
+    /// order-sensitive kernel generally will not. The digest folds each
+    /// `(address, bits)` pair with an FNV-style mix and combines pairs with
+    /// addition so that map iteration order does not matter.
+    pub fn digest(&self) -> u64 {
+        let mut acc: u64 = 0;
+        for (&addr, &bits) in &self.cells {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for byte in addr.to_le_bytes().iter().chain(bits.to_le_bytes().iter()) {
+                h ^= *byte as u64;
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+            acc = acc.wrapping_add(h);
+        }
+        acc
+    }
+
+    /// Reads a contiguous `f32` array of `len` words starting at `base`.
+    pub fn read_f32_slice(&self, base: u64, len: usize) -> Vec<f32> {
+        (0..len as u64).map(|i| self.read_f32(base + 4 * i)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_default() {
+        let mem = ValueMem::new();
+        assert_eq!(mem.read_bits(0x40), 0);
+        assert_eq!(mem.read_f32(0x40), 0.0);
+        assert!(mem.is_empty());
+    }
+
+    #[test]
+    fn word_alignment() {
+        let mut mem = ValueMem::new();
+        mem.write_bits(0x43, 7); // unaligned address hits word 0x40
+        assert_eq!(mem.read_bits(0x40), 7);
+        assert_eq!(mem.read_bits(0x41), 7);
+        assert_eq!(mem.len(), 1);
+    }
+
+    #[test]
+    fn atomic_returns_old_value() {
+        let mut mem = ValueMem::new();
+        let old = mem.apply_atomic(0x10, AtomicOp::AddU32, Value::U32(5));
+        assert_eq!(old, 0);
+        let old = mem.apply_atomic(0x10, AtomicOp::AddU32, Value::U32(3));
+        assert_eq!(old, 5);
+        assert_eq!(mem.read_u32(0x10), 8);
+        assert_eq!(mem.atomics_applied(), 2);
+    }
+
+    #[test]
+    fn digest_detects_order_difference() {
+        let mut a = ValueMem::new();
+        let mut b = ValueMem::new();
+        let e = 1.5 * 2f32.powi(-25);
+        let vals = [1.0f32, e, e];
+        for v in vals {
+            a.apply_atomic(0, AtomicOp::AddF32, Value::F32(v));
+        }
+        for v in [vals[1], vals[2], vals[0]] {
+            b.apply_atomic(0, AtomicOp::AddF32, Value::F32(v));
+        }
+        assert_ne!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn digest_equal_for_equal_contents() {
+        let mut a = ValueMem::new();
+        let mut b = ValueMem::new();
+        for i in 0..100u64 {
+            a.write_bits(i * 4, i as u32);
+        }
+        for i in (0..100u64).rev() {
+            b.write_bits(i * 4, i as u32);
+        }
+        assert_eq!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn read_slice() {
+        let mut mem = ValueMem::new();
+        mem.write_f32(0x100, 1.0);
+        mem.write_f32(0x104, 2.0);
+        assert_eq!(mem.read_f32_slice(0x100, 3), vec![1.0, 2.0, 0.0]);
+    }
+}

@@ -1,0 +1,155 @@
+//! Property-based tests on the simulator substrate's core invariants.
+
+use proptest::prelude::*;
+
+use gpu_sim::config::GpuConfig;
+use gpu_sim::isa::{AtomicOp, Value};
+use gpu_sim::mem::cache::{Probe, SectoredCache};
+use gpu_sim::mem::icnt::Interconnect;
+use gpu_sim::mem::packet::{Packet, Payload, WarpRef};
+use gpu_sim::mem::{partition_of, sector_align, PARTITION_INTERLEAVE};
+use gpu_sim::ndet::NdetSource;
+use gpu_sim::values::ValueMem;
+
+proptest! {
+    /// Filling a sector makes it resident until evicted; a re-probe
+    /// immediately after a fill always hits.
+    #[test]
+    fn cache_fill_then_probe_hits(addrs in proptest::collection::vec(0u64..1_000_000, 1..200)) {
+        let mut cache = SectoredCache::new(8 * 1024, 4, 128, 32);
+        for &a in &addrs {
+            cache.fill(a);
+            prop_assert_eq!(cache.peek(a), Probe::Hit);
+            prop_assert_eq!(cache.probe(a), Probe::Hit);
+        }
+    }
+
+    /// The cache never reports more hits than accesses, and misses +
+    /// hits account for every probe.
+    #[test]
+    fn cache_stats_consistent(ops in proptest::collection::vec((0u64..100_000, any::<bool>()), 1..300)) {
+        let mut cache = SectoredCache::new(4 * 1024, 2, 128, 32);
+        let mut probes = 0u64;
+        for (addr, fill) in ops {
+            if fill {
+                cache.fill(addr);
+            } else {
+                cache.probe(addr);
+                probes += 1;
+            }
+        }
+        prop_assert_eq!(cache.accesses(), probes);
+        prop_assert!(cache.misses() <= cache.accesses());
+    }
+
+    /// Integer atomic digests are permutation-invariant (associative ops),
+    /// so any deterministic architecture must reproduce them exactly.
+    #[test]
+    fn values_integer_digest_order_invariant(
+        mut ops in proptest::collection::vec((0u64..64, any::<u32>()), 1..100),
+        rotation in 0usize..100
+    ) {
+        let mut a = ValueMem::new();
+        for &(addr, v) in &ops {
+            a.apply_atomic(addr * 4, AtomicOp::AddU32, Value::U32(v));
+        }
+        let r = rotation % ops.len();
+        ops.rotate_left(r);
+        let mut b = ValueMem::new();
+        for &(addr, v) in &ops {
+            b.apply_atomic(addr * 4, AtomicOp::AddU32, Value::U32(v));
+        }
+        prop_assert_eq!(a.digest(), b.digest());
+    }
+
+    /// Fusing two integer arguments then applying equals applying both.
+    #[test]
+    fn fuse_equals_apply_composition(cur in any::<u32>(), x in any::<u32>(), y in any::<u32>()) {
+        for op in [AtomicOp::AddU32, AtomicOp::MaxU32, AtomicOp::MinU32] {
+            let fused = op.apply(cur, op.fuse(Value::U32(x), Value::U32(y)));
+            let direct = op.apply(op.apply(cur, Value::U32(x)), Value::U32(y));
+            prop_assert_eq!(fused, direct, "op {:?}", op);
+        }
+    }
+
+    /// Address mapping helpers are total and consistent.
+    #[test]
+    fn address_mapping_properties(addr in 0u64..(u64::MAX / 2), parts in 1usize..64) {
+        let p = partition_of(addr, parts);
+        prop_assert!(p < parts);
+        // Every address within one interleave chunk maps to one partition.
+        let chunk = addr / PARTITION_INTERLEAVE * PARTITION_INTERLEAVE;
+        prop_assert_eq!(partition_of(chunk, parts), partition_of(chunk + PARTITION_INTERLEAVE - 1, parts));
+        let s = sector_align(addr, 32);
+        prop_assert!(s <= addr && addr - s < 32);
+        prop_assert_eq!(s % 32, 0);
+    }
+
+    /// Every injected packet is delivered exactly once, and packets from
+    /// one cluster to one partition arrive in injection order.
+    #[test]
+    fn icnt_delivers_everything_in_per_flow_order(
+        flows in proptest::collection::vec((0usize..2, 0usize..2, 1u32..4), 1..60),
+        seed in any::<u64>(),
+    ) {
+        let cfg = GpuConfig::tiny();
+        let mut icnt = Interconnect::new(&cfg);
+        let mut ndet = NdetSource::seeded(seed);
+        // Tag packets by their per-flow sequence via the sector address.
+        let mut flow_seq = std::collections::HashMap::new();
+        let mut injected = 0usize;
+        let mut pending: Vec<(usize, Packet)> = Vec::new();
+        for (cluster, partition, _flits) in &flows {
+            let seq = flow_seq.entry((*cluster, *partition)).or_insert(0u64);
+            let pkt = Packet::new(
+                *partition,
+                Payload::LoadReq {
+                    sector_addr: (*cluster as u64) << 32 | *seq,
+                    warp: WarpRef { sm: *cluster, slot: 0 },
+                },
+                cfg.icnt_flit_size,
+            );
+            *seq += 1;
+            pending.push((*cluster, pkt));
+            injected += 1;
+        }
+        let mut received: Vec<Vec<u64>> = vec![Vec::new(); 2];
+        let mut delivered = 0usize;
+        let mut queue = pending.into_iter();
+        for cycle in 0..200_000u64 {
+            // Inject as capacity allows.
+            for _ in 0..4 {
+                if let Some((cluster, pkt)) = queue.next() {
+                    icnt.inject_request(cluster, pkt);
+                } else {
+                    break;
+                }
+            }
+            icnt.tick(cycle, &mut ndet);
+            for p in 0..2 {
+                while let Some(pkt) = icnt.pop_arrived_request(p) {
+                    if let Payload::LoadReq { sector_addr, .. } = pkt.payload {
+                        received[p].push(sector_addr);
+                        delivered += 1;
+                    }
+                }
+            }
+            if delivered == injected && !icnt.is_busy() {
+                break;
+            }
+        }
+        prop_assert_eq!(delivered, injected, "all packets delivered");
+        // Per (cluster, partition) flow: sequence numbers strictly increase.
+        for p in 0..2 {
+            let mut last: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+            for &tag in &received[p] {
+                let cluster = tag >> 32;
+                let seq = tag & 0xffff_ffff;
+                if let Some(&prev) = last.get(&cluster) {
+                    prop_assert!(seq > prev, "flow order violated");
+                }
+                last.insert(cluster, seq);
+            }
+        }
+    }
+}

@@ -1,0 +1,446 @@
+//! Push-based Betweenness Centrality trace generator (Pannotia-style).
+//!
+//! BC performs a level-synchronous graph traversal: one kernel launch per
+//! BFS level (Section II-B), each with one thread per graph node. Threads
+//! whose node is on the current frontier push `sigma` updates to next-level
+//! neighbors with `atomicAdd` (forward pass), then dependency (`delta`)
+//! updates flow back level by level (backward pass). Threads off the
+//! frontier exit after a few instructions — the paper notes that "many
+//! threads and warps may exit without executing any atomics", which is what
+//! lets GTRR run mostly greedy on BC (Section VI-A1).
+//!
+//! The generator runs the reference algorithm on the host (as a
+//! PTX-trace-driven simulation would) and emits the memory/atomic
+//! instruction stream each warp would execute; argument values come from
+//! the level-synchronous reference, so the *simulated* reduction results
+//! differ across runs exactly when the architecture commits atomics in a
+//! different order.
+
+use gpu_sim::isa::{AtomicAccess, AtomicOp, Instr, MemAccess, Value, WarpProgram};
+use gpu_sim::kernel::{CtaSpec, KernelGrid};
+
+use crate::graph::{brandes_delta, brandes_sigma, Graph};
+
+/// Base address of the BFS level array.
+pub const LEVEL_BASE: u64 = 0x3000_0000;
+/// Base address of the sigma (shortest-path count) array.
+pub const SIGMA_BASE: u64 = 0x3400_0000;
+/// Base address of the delta (dependency) array.
+pub const DELTA_BASE: u64 = 0x3800_0000;
+/// Base address of the adjacency (edge) array.
+pub const ADJ_BASE: u64 = 0x4000_0000;
+
+const CTA_THREADS: usize = 256;
+/// Cap on edges traced per node (bounds trace size on extreme hubs).
+const DEGREE_CAP: usize = 4096;
+
+/// Byte address of `sigma[v]`.
+pub fn sigma_addr(v: usize) -> u64 {
+    SIGMA_BASE + 4 * v as u64
+}
+
+/// Byte address of `delta[v]`.
+pub fn delta_addr(v: usize) -> u64 {
+    DELTA_BASE + 4 * v as u64
+}
+
+struct LanePushes {
+    lane: usize,
+    node: usize,
+    /// (target address, argument, adjacency index) per pushed edge.
+    pushes: Vec<(u64, f32, u64)>,
+}
+
+/// Builds one level-kernel from per-lane push lists.
+fn level_kernel(
+    name: String,
+    num_nodes: usize,
+    actives: &[LanePushes],
+    filler_per_thread: u32,
+) -> KernelGrid {
+    let num_ctas = num_nodes.div_ceil(CTA_THREADS);
+    let mut by_warp: std::collections::BTreeMap<usize, Vec<&LanePushes>> =
+        std::collections::BTreeMap::new();
+    for lp in actives {
+        by_warp.entry(lp.node / 32).or_default().push(lp);
+    }
+    let mut ctas = Vec::with_capacity(num_ctas);
+    for c in 0..num_ctas {
+        let base_thread = c * CTA_THREADS;
+        let mut warps = Vec::new();
+        let mut t = base_thread;
+        while t < (base_thread + CTA_THREADS).min(num_nodes) {
+            let lanes = 32.min(num_nodes - t);
+            let warp_idx = t / 32;
+            let mut instrs = vec![
+                Instr::Alu { cycles: 4, count: 2 },
+                // Read this warp's slice of the level array.
+                Instr::Load {
+                    accesses: vec![MemAccess::per_lane_f32(LEVEL_BASE + 4 * t as u64, lanes)],
+                },
+            ];
+            if let Some(active) = by_warp.get(&warp_idx) {
+                // Read sigma for the frontier lanes.
+                instrs.push(Instr::Load {
+                    accesses: vec![MemAccess {
+                        addrs: active.iter().map(|lp| sigma_addr(lp.node)).collect(),
+                    }],
+                });
+                let max_rounds = active.iter().map(|lp| lp.pushes.len()).max().unwrap_or(0);
+                for round in 0..max_rounds {
+                    // Load the neighbor ids for this edge round (irregular).
+                    let edge_addrs: Vec<u64> = active
+                        .iter()
+                        .filter_map(|lp| lp.pushes.get(round))
+                        .map(|&(_, _, eidx)| ADJ_BASE + 4 * eidx)
+                        .collect();
+                    instrs.push(Instr::Load {
+                        accesses: vec![MemAccess { addrs: edge_addrs }],
+                    });
+                    // Push the reduction updates.
+                    let accesses: Vec<AtomicAccess> = active
+                        .iter()
+                        .filter_map(|lp| {
+                            lp.pushes
+                                .get(round)
+                                .map(|&(addr, arg, _)| AtomicAccess::new(lp.lane, addr, Value::F32(arg)))
+                        })
+                        .collect();
+                    instrs.push(Instr::Red {
+                        op: AtomicOp::AddF32,
+                        accesses,
+                    });
+                }
+            }
+            if filler_per_thread > 0 {
+                instrs.push(Instr::Alu {
+                    cycles: 1,
+                    count: filler_per_thread,
+                });
+            }
+            warps.push(WarpProgram::new(instrs, lanes));
+            t += 32;
+        }
+        ctas.push(CtaSpec::new(c, warps));
+    }
+    KernelGrid::new(name, ctas)
+}
+
+fn forward_pushes(graph: &Graph, levels: &[u32], sigma: &[f32], depth: u32) -> Vec<LanePushes> {
+    let mut offsets = Vec::with_capacity(graph.num_nodes());
+    let mut off = 0u64;
+    for u in 0..graph.num_nodes() {
+        offsets.push(off);
+        off += graph.degree(u) as u64;
+    }
+    let mut actives = Vec::new();
+    for u in 0..graph.num_nodes() {
+        if levels[u] != depth {
+            continue;
+        }
+        let mut pushes = Vec::new();
+        for (e, &v) in graph.adj[u].iter().take(DEGREE_CAP).enumerate() {
+            if levels[v as usize] == depth + 1 {
+                pushes.push((sigma_addr(v as usize), sigma[u], offsets[u] + e as u64));
+            }
+        }
+        if !pushes.is_empty() {
+            actives.push(LanePushes {
+                lane: u % 32,
+                node: u,
+                pushes,
+            });
+        }
+    }
+    actives
+}
+
+fn backward_pushes(
+    graph: &Graph,
+    levels: &[u32],
+    sigma: &[f32],
+    delta: &[f32],
+    depth: u32,
+) -> Vec<LanePushes> {
+    // Thread per node u on level `depth` pushes delta contributions from its
+    // level-(depth+1) successors back onto delta[u] — but as the push-based
+    // variant does it, the *successor* thread owns the atomic. Build a
+    // reverse view: for every edge u@depth -> v@depth+1, thread v pushes
+    // sigma[u]/sigma[v]*(1+delta[v]) onto delta[u].
+    let mut offsets = Vec::with_capacity(graph.num_nodes());
+    let mut off = 0u64;
+    for u in 0..graph.num_nodes() {
+        offsets.push(off);
+        off += graph.degree(u) as u64;
+    }
+    let mut per_v: std::collections::BTreeMap<usize, Vec<(u64, f32, u64)>> =
+        std::collections::BTreeMap::new();
+    for u in 0..graph.num_nodes() {
+        if levels[u] != depth {
+            continue;
+        }
+        for (e, &v) in graph.adj[u].iter().take(DEGREE_CAP).enumerate() {
+            let v = v as usize;
+            if levels[v] == depth + 1 && sigma[v] > 0.0 {
+                let arg = sigma[u] / sigma[v] * (1.0 + delta[v]);
+                per_v
+                    .entry(v)
+                    .or_default()
+                    .push((delta_addr(u), arg, offsets[u] + e as u64));
+            }
+        }
+    }
+    per_v
+        .into_iter()
+        .map(|(v, pushes)| LanePushes {
+            lane: v % 32,
+            node: v,
+            pushes,
+        })
+        .collect()
+}
+
+/// Statistics about a generated BC trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceInfo {
+    /// Kernels launched (2 per BFS level: forward + backward).
+    pub kernels: usize,
+    /// Total atomic operations.
+    pub atomics: u64,
+    /// Total dynamic thread instructions.
+    pub thread_instrs: u64,
+    /// Achieved atomics-per-kiloinstruction.
+    pub pki: f64,
+}
+
+/// Generates the full BC trace (forward + backward kernels per level),
+/// calibrated toward `target_pki` atomics-per-kiloinstruction with filler
+/// arithmetic, bounded by a 25M-instruction CI-scale trace budget.
+///
+/// The source node is the highest-out-degree node, so the traversal covers
+/// the bulk of the graph.
+pub fn bc_trace(graph: &Graph, name: &str, target_pki: f64) -> (Vec<KernelGrid>, TraceInfo) {
+    bc_trace_with_budget(graph, name, target_pki, 25_000_000)
+}
+
+/// Like [`bc_trace`] with an explicit whole-trace instruction budget.
+/// Paper-scale runs pass an effectively unbounded budget for full PKI
+/// fidelity; the sparsest-atomic graphs genuinely need billions of
+/// instructions, as in the paper.
+pub fn bc_trace_with_budget(
+    graph: &Graph,
+    name: &str,
+    target_pki: f64,
+    max_total_instrs: u64,
+) -> (Vec<KernelGrid>, TraceInfo) {
+    let source = (0..graph.num_nodes())
+        .max_by_key(|&u| graph.degree(u))
+        .expect("non-empty graph");
+    let levels = graph.bfs_levels(source);
+    let sigma = brandes_sigma(graph, &levels);
+    let delta = brandes_delta(graph, &levels, &sigma);
+    let max_level = levels
+        .iter()
+        .filter(|&&l| l != u32::MAX)
+        .max()
+        .copied()
+        .unwrap_or(0);
+
+    // First pass: build without filler, count atomics + structural instrs.
+    let mut grids = Vec::new();
+    for depth in 0..max_level {
+        let actives = forward_pushes(graph, &levels, &sigma, depth);
+        grids.push(level_kernel(
+            format!("{name}_fwd_l{depth}"),
+            graph.num_nodes(),
+            &actives,
+            0,
+        ));
+    }
+    for depth in (0..max_level).rev() {
+        let actives = backward_pushes(graph, &levels, &sigma, &delta, depth);
+        grids.push(level_kernel(
+            format!("{name}_bwd_l{depth}"),
+            graph.num_nodes(),
+            &actives,
+            0,
+        ));
+    }
+    let atomics: u64 = grids.iter().map(KernelGrid::atomics).sum();
+    let structural: u64 = grids.iter().map(KernelGrid::thread_instrs).sum();
+
+    // Calibrate filler so total instructions hit atomics * 1000 / pki,
+    // bounded to keep the trace simulable.
+    let total_threads: u64 = grids
+        .iter()
+        .map(|g| g.ctas.iter().map(|c| c.num_threads() as u64).sum::<u64>())
+        .sum();
+    let target_instrs = if target_pki > 0.0 {
+        (atomics as f64 * 1000.0 / target_pki) as u64
+    } else {
+        structural
+    };
+    // The per-thread filler and the whole-trace budget bound
+    // ultra-sparse-atomic graphs (CNR's 0.004 PKI would otherwise need
+    // billions of filler instructions at CI scale); the achieved PKI is
+    // reported alongside the target.
+    const MAX_FILLER: u64 = 4_000_000;
+    let budget_cap = max_total_instrs.saturating_sub(structural) / total_threads.max(1);
+    let filler = if target_instrs > structural && total_threads > 0 {
+        ((target_instrs - structural) / total_threads)
+            .min(MAX_FILLER)
+            .min(budget_cap) as u32
+    } else {
+        0
+    };
+    if filler > 0 {
+        // Rebuild with filler.
+        grids.clear();
+        for depth in 0..max_level {
+            let actives = forward_pushes(graph, &levels, &sigma, depth);
+            grids.push(level_kernel(
+                format!("{name}_fwd_l{depth}"),
+                graph.num_nodes(),
+                &actives,
+                filler,
+            ));
+        }
+        for depth in (0..max_level).rev() {
+            let actives = backward_pushes(graph, &levels, &sigma, &delta, depth);
+            grids.push(level_kernel(
+                format!("{name}_bwd_l{depth}"),
+                graph.num_nodes(),
+                &actives,
+                filler,
+            ));
+        }
+    }
+    let thread_instrs: u64 = grids.iter().map(KernelGrid::thread_instrs).sum();
+    let info = TraceInfo {
+        kernels: grids.len(),
+        atomics,
+        thread_instrs,
+        pki: if thread_instrs == 0 {
+            0.0
+        } else {
+            atomics as f64 * 1000.0 / thread_instrs as f64
+        },
+    };
+    (grids, info)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::config::GpuConfig;
+    use gpu_sim::engine::GpuSim;
+    use gpu_sim::exec::BaselineModel;
+    use gpu_sim::ndet::NdetSource;
+
+    fn small_graph() -> Graph {
+        Graph::uniform(256, 2048, 5)
+    }
+
+    #[test]
+    fn trace_has_forward_and_backward_kernels() {
+        let g = small_graph();
+        let (grids, info) = bc_trace(&g, "bc_t", 6.0);
+        assert!(info.kernels >= 2);
+        assert_eq!(grids.len(), info.kernels);
+        assert!(info.atomics > 0);
+        assert!(grids.iter().any(|g| g.name.contains("fwd")));
+        assert!(grids.iter().any(|g| g.name.contains("bwd")));
+    }
+
+    #[test]
+    fn pki_calibration_reasonable() {
+        let g = small_graph();
+        let (_, info) = bc_trace(&g, "bc_t", 4.0);
+        assert!(
+            info.pki > 1.0 && info.pki < 40.0,
+            "calibrated PKI should be near target: {}",
+            info.pki
+        );
+    }
+
+    #[test]
+    fn simulated_sigma_matches_reference_sum() {
+        // Integer-exact check: the total of all forward sigma pushes equals
+        // sum(sigma) - sigma(source) when starting from zeroed memory.
+        let g = small_graph();
+        let source = (0..g.num_nodes()).max_by_key(|&u| g.degree(u)).unwrap();
+        let levels = g.bfs_levels(source);
+        let sigma = brandes_sigma(&g, &levels);
+        let (grids, _) = bc_trace(&g, "bc_t", 6.0);
+        let forward: Vec<_> = grids
+            .iter()
+            .filter(|g| g.name.contains("fwd"))
+            .cloned()
+            .collect();
+        let sim = GpuSim::new(
+            GpuConfig::tiny(),
+            Box::new(BaselineModel::new()),
+            NdetSource::disabled(),
+        );
+        let report = sim.run(&forward);
+        // Each reachable non-source node's sigma cell accumulated exactly
+        // sigma[v] (sums of reference pushes).
+        let mut checked = 0;
+        for v in 0..g.num_nodes() {
+            if levels[v] != u32::MAX && levels[v] != 0 && sigma[v] > 0.0 {
+                let got = report.values.read_f32(sigma_addr(v));
+                assert!(
+                    (got - sigma[v]).abs() <= 0.01 * sigma[v].max(1.0),
+                    "sigma[{v}]: got {got}, want {}",
+                    sigma[v]
+                );
+                checked += 1;
+            }
+        }
+        assert!(checked > 50, "should verify many nodes, got {checked}");
+    }
+
+    #[test]
+    fn many_warps_have_no_atomics() {
+        let g = Graph::power_law(2048, 8192, 0.7, 3);
+        let (grids, _) = bc_trace(&g, "bc_t", 4.0);
+        // In any one level kernel most warps are off-frontier.
+        let g0 = &grids[0];
+        let atomic_warps: usize = g0
+            .ctas
+            .iter()
+            .flat_map(|c| c.warps.iter())
+            .filter(|w| w.atomics() > 0)
+            .count();
+        let total_warps = g0.total_warps();
+        assert!(
+            atomic_warps * 2 < total_warps,
+            "frontier warps should be a minority: {atomic_warps}/{total_warps}"
+        );
+    }
+
+    #[test]
+    fn budget_caps_trace_size() {
+        let g = Graph::power_law(2048, 16384, 0.7, 5);
+        let (_, tight) = bc_trace_with_budget(&g, "bc_t", 0.01, 5_000_000);
+        assert!(
+            tight.thread_instrs <= 5_500_000,
+            "budget exceeded: {}",
+            tight.thread_instrs
+        );
+        let (_, loose) = bc_trace_with_budget(&g, "bc_t", 0.01, 200_000_000);
+        assert!(loose.thread_instrs > tight.thread_instrs);
+        assert!(loose.pki < tight.pki, "more filler lowers PKI toward target");
+    }
+
+    #[test]
+    fn degree_cap_bounds_trace() {
+        // A star graph: hub with huge degree.
+        let mut adj = vec![Vec::new(); 10_000];
+        adj[0] = (1..10_000u32).collect();
+        let g = Graph { adj };
+        let (grids, info) = bc_trace(&g, "star", 4.0);
+        assert!(info.atomics <= DEGREE_CAP as u64 * 2);
+        assert!(!grids.is_empty());
+    }
+}

@@ -1,0 +1,419 @@
+//! Graph substrate: generators, Table II configurations, and host-side
+//! reference algorithms (BFS, Brandes sigma/delta, PageRank).
+//!
+//! The paper evaluates Pannotia's push-based BC and PageRank on SNAP/DIMACS
+//! graphs (Table II). Those exact edge lists are not redistributable here,
+//! so each is substituted by a *seeded synthetic graph matched to its
+//! node/edge counts and degree character*: uniform random for the dense
+//! `1k`/`2k` inputs, power-law (Chung-Lu style) for the web/co-authorship
+//! graphs. The figures depend on size, sparsity, frontier shape and
+//! atomics-per-kiloinstruction — all preserved by the substitution (see
+//! DESIGN.md).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::scale::Scale;
+
+/// A directed graph in adjacency-list form.
+#[derive(Debug, Clone)]
+pub struct Graph {
+    /// Out-neighbor lists, indexed by node.
+    pub adj: Vec<Vec<u32>>,
+}
+
+impl Graph {
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of directed edges.
+    pub fn num_edges(&self) -> usize {
+        self.adj.iter().map(Vec::len).sum()
+    }
+
+    /// Out-degree of `u`.
+    pub fn degree(&self, u: usize) -> usize {
+        self.adj[u].len()
+    }
+
+    /// Uniform random multigraph-free digraph with `n` nodes and (about)
+    /// `m` edges, deterministic in `seed`.
+    pub fn uniform(n: usize, m: usize, seed: u64) -> Self {
+        assert!(n > 1, "need at least two nodes");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
+        let per_node = m / n;
+        for (u, list) in adj.iter_mut().enumerate() {
+            for _ in 0..per_node {
+                let mut v = rng.gen_range(0..n as u32);
+                if v as usize == u {
+                    v = (v + 1) % n as u32;
+                }
+                list.push(v);
+            }
+        }
+        Self { adj }
+    }
+
+    /// Power-law digraph (Chung-Lu style): node `i`'s expected degree is
+    /// proportional to `(i+1)^-alpha`, rescaled so total edges ≈ `m`.
+    /// Endpoints are drawn from the same skewed distribution, giving the
+    /// hub-heavy structure of web/co-authorship graphs.
+    pub fn power_law(n: usize, m: usize, alpha: f64, seed: u64) -> Self {
+        assert!(n > 1, "need at least two nodes");
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Degree weights.
+        let weights: Vec<f64> = (0..n).map(|i| ((i + 1) as f64).powf(-alpha)).collect();
+        let total: f64 = weights.iter().sum();
+        // Cumulative distribution for endpoint sampling.
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for w in &weights {
+            acc += w / total;
+            cdf.push(acc);
+        }
+        let sample = |rng: &mut StdRng, cdf: &[f64]| -> u32 {
+            let x: f64 = rng.gen();
+            cdf.partition_point(|&c| c < x).min(cdf.len() - 1) as u32
+        };
+        let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for (u, list) in adj.iter_mut().enumerate() {
+            let expect = weights[u] / total * m as f64;
+            let deg = expect.floor() as usize
+                + usize::from(rng.gen::<f64>() < expect.fract());
+            for _ in 0..deg {
+                let mut v = sample(&mut rng, &cdf);
+                if v as usize == u {
+                    v = (v + 1) % n as u32;
+                }
+                list.push(v);
+            }
+        }
+        Self { adj }
+    }
+
+    /// BFS levels from `source` (`u32::MAX` = unreachable).
+    pub fn bfs_levels(&self, source: usize) -> Vec<u32> {
+        let mut level = vec![u32::MAX; self.num_nodes()];
+        level[source] = 0;
+        let mut frontier = vec![source as u32];
+        let mut depth = 0;
+        while !frontier.is_empty() {
+            let mut next = Vec::new();
+            for &u in &frontier {
+                for &v in &self.adj[u as usize] {
+                    if level[v as usize] == u32::MAX {
+                        level[v as usize] = depth + 1;
+                        next.push(v);
+                    }
+                }
+            }
+            frontier = next;
+            depth += 1;
+        }
+        level
+    }
+}
+
+/// Host-side Brandes forward pass: shortest-path counts `sigma` computed
+/// level-synchronously (the deterministic reference for the BC traces).
+pub fn brandes_sigma(graph: &Graph, levels: &[u32]) -> Vec<f32> {
+    let n = graph.num_nodes();
+    let mut sigma = vec![0f32; n];
+    let source = levels.iter().position(|&l| l == 0).expect("source exists");
+    sigma[source] = 1.0;
+    let max_level = levels.iter().filter(|&&l| l != u32::MAX).max().copied().unwrap_or(0);
+    for depth in 0..max_level {
+        for u in 0..n {
+            if levels[u] != depth {
+                continue;
+            }
+            for &v in &graph.adj[u] {
+                if levels[v as usize] == depth + 1 {
+                    sigma[v as usize] += sigma[u];
+                }
+            }
+        }
+    }
+    sigma
+}
+
+/// Host-side Brandes backward pass: dependency accumulation `delta`.
+pub fn brandes_delta(graph: &Graph, levels: &[u32], sigma: &[f32]) -> Vec<f32> {
+    let n = graph.num_nodes();
+    let mut delta = vec![0f32; n];
+    let max_level = levels.iter().filter(|&&l| l != u32::MAX).max().copied().unwrap_or(0);
+    for depth in (0..max_level).rev() {
+        for u in 0..n {
+            if levels[u] != depth {
+                continue;
+            }
+            for &v in &graph.adj[u] {
+                let v = v as usize;
+                if levels[v] == depth + 1 && sigma[v] > 0.0 {
+                    delta[u] += sigma[u] / sigma[v] * (1.0 + delta[v]);
+                }
+            }
+        }
+    }
+    delta
+}
+
+/// Host-side PageRank push iteration: `next[v] += rank[u] / deg(u)`.
+pub fn pagerank_push(graph: &Graph, rank: &[f32]) -> Vec<f32> {
+    let n = graph.num_nodes();
+    let mut next = vec![0f32; n];
+    for u in 0..n {
+        let deg = graph.degree(u);
+        if deg == 0 {
+            continue;
+        }
+        let contrib = rank[u] / deg as f32;
+        for &v in &graph.adj[u] {
+            next[v as usize] += contrib;
+        }
+    }
+    let damping = 0.85f32;
+    for v in next.iter_mut() {
+        *v = (1.0 - damping) / n as f32 + damping * *v;
+    }
+    next
+}
+
+/// One Table II row: a named graph configuration.
+#[derive(Debug, Clone)]
+pub struct GraphConfig {
+    /// Short name used in the figures (`1k`, `FA`, `ama`, …).
+    pub name: &'static str,
+    /// Benchmark this graph drives (`BC` or `PRK`).
+    pub benchmark: &'static str,
+    /// Nodes at full (paper) scale.
+    pub full_nodes: usize,
+    /// Edges at full (paper) scale.
+    pub full_edges: usize,
+    /// Atomics-per-kiloinstruction reported by Table II (calibration
+    /// target for the trace generators).
+    pub target_pki: f64,
+    /// Power-law exponent (0 = uniform random).
+    pub alpha: f64,
+    /// Divisor applied to nodes/edges at CI scale.
+    pub ci_divisor: usize,
+}
+
+impl GraphConfig {
+    /// Nodes at the given scale.
+    pub fn nodes(&self, scale: Scale) -> usize {
+        scale.shrink(self.full_nodes, self.ci_divisor).max(64)
+    }
+
+    /// Edges at the given scale.
+    pub fn edges(&self, scale: Scale) -> usize {
+        scale.shrink(self.full_edges, self.ci_divisor).max(256)
+    }
+
+    /// Builds the synthetic stand-in graph at the given scale.
+    pub fn build(&self, scale: Scale) -> Graph {
+        let n = self.nodes(scale);
+        let m = self.edges(scale);
+        let seed = 0xDAB0 + self.name.len() as u64 * 131 + self.full_nodes as u64;
+        if self.alpha == 0.0 {
+            Graph::uniform(n, m, seed)
+        } else {
+            Graph::power_law(n, m, self.alpha, seed)
+        }
+    }
+}
+
+/// The Table II graph suite.
+pub fn table2_configs() -> Vec<GraphConfig> {
+    vec![
+        GraphConfig {
+            name: "1k",
+            benchmark: "BC",
+            full_nodes: 1024,
+            full_edges: 131_072,
+            target_pki: 6.92,
+            alpha: 0.0,
+            ci_divisor: 4,
+        },
+        GraphConfig {
+            name: "2k",
+            benchmark: "BC",
+            full_nodes: 2048,
+            full_edges: 1_048_576,
+            target_pki: 12.4,
+            alpha: 0.0,
+            ci_divisor: 16,
+        },
+        GraphConfig {
+            name: "FA",
+            benchmark: "BC",
+            full_nodes: 10_617,
+            full_edges: 72_176,
+            target_pki: 4.12,
+            alpha: 0.6,
+            ci_divisor: 4,
+        },
+        GraphConfig {
+            name: "fol",
+            benchmark: "BC",
+            full_nodes: 13_356,
+            full_edges: 120_238,
+            target_pki: 4.14,
+            alpha: 0.6,
+            ci_divisor: 4,
+        },
+        GraphConfig {
+            name: "ama",
+            benchmark: "BC",
+            full_nodes: 262_111,
+            full_edges: 1_234_877,
+            target_pki: 0.70,
+            alpha: 0.5,
+            ci_divisor: 64,
+        },
+        GraphConfig {
+            name: "CNR",
+            benchmark: "BC",
+            full_nodes: 325_557,
+            full_edges: 3_216_152,
+            target_pki: 0.004,
+            alpha: 0.8,
+            ci_divisor: 128,
+        },
+        GraphConfig {
+            name: "coA",
+            benchmark: "PRK",
+            full_nodes: 299_067,
+            full_edges: 1_955_352,
+            target_pki: 47.2,
+            alpha: 0.5,
+            ci_divisor: 32,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_graph_shape() {
+        let g = Graph::uniform(100, 1000, 1);
+        assert_eq!(g.num_nodes(), 100);
+        assert_eq!(g.num_edges(), 1000);
+        assert!(g.adj.iter().all(|l| l.len() == 10));
+        // No self loops.
+        for (u, list) in g.adj.iter().enumerate() {
+            assert!(list.iter().all(|&v| v as usize != u));
+        }
+    }
+
+    #[test]
+    fn power_law_graph_is_skewed() {
+        let g = Graph::power_law(1000, 10_000, 0.7, 2);
+        let total = g.num_edges();
+        assert!(total > 5_000 && total < 15_000, "edges={total}");
+        // The top decile of nodes should hold a disproportionate share.
+        let top: usize = (0..100).map(|u| g.degree(u)).sum();
+        assert!(
+            top * 3 > total,
+            "power-law head should be heavy: top={top} total={total}"
+        );
+    }
+
+    #[test]
+    fn generators_are_seed_deterministic() {
+        let a = Graph::power_law(500, 5000, 0.6, 42);
+        let b = Graph::power_law(500, 5000, 0.6, 42);
+        assert_eq!(a.adj, b.adj);
+        let c = Graph::power_law(500, 5000, 0.6, 43);
+        assert_ne!(a.adj, c.adj);
+    }
+
+    #[test]
+    fn bfs_levels_sane() {
+        // 0 -> 1 -> 2, 0 -> 2, 3 isolated
+        let g = Graph {
+            adj: vec![vec![1, 2], vec![2], vec![], vec![]],
+        };
+        let levels = g.bfs_levels(0);
+        assert_eq!(levels, vec![0, 1, 1, u32::MAX]);
+    }
+
+    #[test]
+    fn brandes_reference_on_diamond() {
+        // 0 -> {1,2} -> 3
+        let g = Graph {
+            adj: vec![vec![1, 2], vec![3], vec![3], vec![]],
+        };
+        let levels = g.bfs_levels(0);
+        let sigma = brandes_sigma(&g, &levels);
+        assert_eq!(sigma, vec![1.0, 1.0, 1.0, 2.0]);
+        let delta = brandes_delta(&g, &levels, &sigma);
+        // delta[1] = delta[2] = 1/2 * (1 + 0); delta[0] = 1*(1+0.5)*2 = ...
+        assert!((delta[1] - 0.5).abs() < 1e-6);
+        assert!((delta[2] - 0.5).abs() < 1e-6);
+        assert!((delta[0] - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn pagerank_push_conserves_mass_roughly() {
+        let g = Graph::uniform(64, 512, 7);
+        let rank = vec![1.0 / 64.0; 64];
+        let next = pagerank_push(&g, &rank);
+        let total: f32 = next.iter().sum();
+        assert!((total - 1.0).abs() < 0.05, "total={total}");
+    }
+
+    #[test]
+    fn table2_covers_paper_rows() {
+        let configs = table2_configs();
+        assert_eq!(configs.len(), 7);
+        let bc = configs.iter().filter(|c| c.benchmark == "BC").count();
+        assert_eq!(bc, 6);
+        let cnr = configs.iter().find(|c| c.name == "CNR").expect("CNR row");
+        assert_eq!(cnr.full_nodes, 325_557);
+        assert_eq!(cnr.full_edges, 3_216_152);
+    }
+
+    #[test]
+    fn bfs_levels_are_edge_consistent() {
+        // For every edge u->v with u reachable: level[v] <= level[u] + 1.
+        let g = Graph::power_law(800, 6400, 0.6, 17);
+        let src = (0..g.num_nodes()).max_by_key(|&u| g.degree(u)).expect("nodes");
+        let levels = g.bfs_levels(src);
+        for u in 0..g.num_nodes() {
+            if levels[u] == u32::MAX {
+                continue;
+            }
+            for &v in &g.adj[u] {
+                assert!(
+                    levels[v as usize] <= levels[u] + 1,
+                    "edge {u}->{v} violates BFS levels"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn brandes_sigma_counts_paths_on_chain() {
+        // 0 -> 1 -> 2 -> 3: exactly one shortest path each.
+        let g = Graph {
+            adj: vec![vec![1], vec![2], vec![3], vec![]],
+        };
+        let levels = g.bfs_levels(0);
+        let sigma = brandes_sigma(&g, &levels);
+        assert_eq!(sigma, vec![1.0; 4]);
+    }
+
+    #[test]
+    fn scaled_builds_are_smaller() {
+        let cfg = &table2_configs()[4]; // ama
+        let ci = cfg.build(Scale::Ci);
+        assert!(ci.num_nodes() < cfg.full_nodes / 8);
+        assert_eq!(cfg.nodes(Scale::Paper), cfg.full_nodes);
+    }
+}

@@ -1,0 +1,38 @@
+//! # Atomic-intensive GPU workload generators
+//!
+//! The workloads of the DAB paper's evaluation (Section V), pre-lowered to
+//! the simulator's warp-level trace IR:
+//!
+//! - [`microbench`] — the Section II-C atomic-sum vs. ticket-lock
+//!   microbenchmarks (Fig. 2) and the determinism-validation kernel;
+//! - [`graph`] — graph generators matched to Table II plus host-side
+//!   reference algorithms (BFS, Brandes, PageRank);
+//! - [`bc`] — push-based Betweenness Centrality traces (one kernel per BFS
+//!   level, forward and backward passes);
+//! - [`pagerank`] — push-based PageRank iteration traces;
+//! - [`conv`] — cuDNN backward-filter Algorithm-0 traces for the Table III
+//!   ResNet layers;
+//! - [`suite`] — the assembled benchmark suite the figures iterate over;
+//! - [`scale`] — CI-scale vs. paper-scale sizing.
+//!
+//! # Examples
+//!
+//! ```
+//! use dab_workloads::scale::Scale;
+//! use dab_workloads::suite::conv_suite;
+//!
+//! let suite = conv_suite(Scale::Ci);
+//! assert_eq!(suite.len(), 9);
+//! assert!(suite.iter().all(|b| b.atomics() > 0));
+//! ```
+
+pub mod bc;
+pub mod conv;
+pub mod graph;
+pub mod microbench;
+pub mod pagerank;
+pub mod scale;
+pub mod suite;
+
+pub use scale::Scale;
+pub use suite::{Benchmark, Family};

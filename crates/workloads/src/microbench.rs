@@ -1,0 +1,269 @@
+//! The Section II-C microbenchmarks: atomic-sum vs. deterministic locks.
+//!
+//! The paper's motivating microbenchmark sums an array into a single output
+//! cell. The non-deterministic version uses one `atomicAdd` per element; the
+//! deterministic software alternatives guard the addition with ticket-style
+//! locks (Test&Set, Test&Set + backoff, Test&Test&Set) whose fixed ticket
+//! order makes the floating-point reduction order reproducible — at the cost
+//! of serializing every update (Fig. 2).
+//!
+//! A third kernel, [`order_sensitive_grid`], is the validation workload of
+//! Section V: its output bits depend on the order atomics commit, so running
+//! it twice under different timing seeds distinguishes deterministic from
+//! non-deterministic architectures.
+
+use gpu_sim::isa::{AtomicAccess, AtomicOp, Instr, LockKind, MemAccess, Value, WarpProgram};
+use gpu_sim::kernel::{CtaSpec, KernelGrid};
+
+/// Base address of the input array.
+pub const INPUT_BASE: u64 = 0x1000_0000;
+/// Address of the reduction output cell.
+pub const OUTPUT_ADDR: u64 = 0x2000_0000;
+/// Address of the lock variable (its home partition serializes the locks).
+pub const LOCK_ADDR: u64 = 0x2100_0000;
+
+/// Threads per CTA used by the microbenchmarks.
+const CTA_THREADS: usize = 256;
+
+/// Deterministic per-element value: not exactly representable in binary, so
+/// every addition rounds and the final bits depend on the reduction order.
+pub fn element_value(i: usize) -> f32 {
+    0.1f32 + 0.001f32 * ((i % 997) as f32)
+}
+
+/// The host-side reference sum in ascending element order (what the
+/// deterministic ticket locks compute).
+pub fn reference_sum(n: usize) -> f32 {
+    let mut acc = 0f32;
+    for i in 0..n {
+        acc += element_value(i);
+    }
+    acc
+}
+
+fn cta_warps(n: usize, cta: usize, make_tail: impl Fn(usize, Vec<u64>, Vec<f32>) -> Vec<Instr>) -> Vec<WarpProgram> {
+    let base_thread = cta * CTA_THREADS;
+    let mut warps = Vec::new();
+    let mut t = base_thread;
+    while t < (base_thread + CTA_THREADS).min(n) {
+        let lanes = 32.min(n - t);
+        let addrs: Vec<u64> = (0..lanes).map(|l| INPUT_BASE + 4 * (t + l) as u64).collect();
+        let vals: Vec<f32> = (0..lanes).map(|l| element_value(t + l)).collect();
+        let mut instrs = vec![
+            // Index arithmetic.
+            Instr::Alu { cycles: 4, count: 4 },
+            // Load the elements.
+            Instr::Load {
+                accesses: vec![MemAccess { addrs: addrs.clone() }],
+            },
+        ];
+        instrs.extend(make_tail(t, addrs, vals));
+        warps.push(WarpProgram::new(instrs, lanes));
+        t += 32;
+    }
+    warps
+}
+
+fn grid_over(n: usize, name: &str, make_tail: impl Fn(usize, Vec<u64>, Vec<f32>) -> Vec<Instr> + Copy) -> KernelGrid {
+    let num_ctas = n.div_ceil(CTA_THREADS);
+    let ctas = (0..num_ctas)
+        .map(|c| CtaSpec::new(c, cta_warps(n, c, make_tail)))
+        .collect();
+    KernelGrid::new(name, ctas)
+}
+
+/// The non-deterministic reduction: every thread `atomicAdd`s its element
+/// into [`OUTPUT_ADDR`].
+///
+/// # Examples
+///
+/// ```
+/// use dab_workloads::microbench::atomic_sum_grid;
+///
+/// let grid = atomic_sum_grid(1024, 0x2000_0000);
+/// assert_eq!(grid.atomics(), 1024);
+/// ```
+pub fn atomic_sum_grid(n: usize, output: u64) -> KernelGrid {
+    grid_over(n, &format!("atomic_sum_{n}"), move |_t, _addrs, vals| {
+        vec![Instr::Red {
+            op: AtomicOp::AddF32,
+            accesses: vals
+                .iter()
+                .enumerate()
+                .map(|(l, &v)| AtomicAccess::new(l, output, Value::F32(v)))
+                .collect(),
+        }]
+    })
+}
+
+/// The deterministic locking reduction: every thread acquires the global
+/// ticket lock (in thread-id order), adds its element, and releases.
+pub fn lock_sum_grid(n: usize, kind: LockKind) -> KernelGrid {
+    let name = match kind {
+        LockKind::TestAndSet => format!("lock_ts_{n}"),
+        LockKind::TestAndSetBackoff => format!("lock_bo_{n}"),
+        LockKind::TestAndTestAndSet => format!("lock_tts_{n}"),
+    };
+    grid_over(n, &name, move |_t, _addrs, vals| {
+        vec![Instr::LockedSection {
+            kind,
+            lock_addr: LOCK_ADDR,
+            op: AtomicOp::AddF32,
+            accesses: vals
+                .iter()
+                .enumerate()
+                .map(|(l, &v)| AtomicAccess::new(l, OUTPUT_ADDR, Value::F32(v)))
+                .collect(),
+            critical_cycles: 8,
+        }]
+    })
+}
+
+/// The Section V determinism-validation kernel: output bits are sensitive to
+/// the global ordering of atomic commits. Each of `ctas` CTAs has one warp
+/// adding per-thread values of mixed magnitudes to one cell, plus a second
+/// reduction over a small strided array to exercise fusion paths.
+pub fn order_sensitive_grid(ctas: usize) -> KernelGrid {
+    let specs = (0..ctas)
+        .map(|c| {
+            CtaSpec::new(
+                c,
+                vec![WarpProgram::new(
+                    vec![
+                        Instr::Alu { cycles: 4, count: 8 },
+                        Instr::Red {
+                            op: AtomicOp::AddF32,
+                            accesses: (0..32)
+                                .map(|l| {
+                                    let v = element_value(c * 32 + l) * ((c % 7 + 1) as f32);
+                                    AtomicAccess::new(l, OUTPUT_ADDR, Value::F32(v))
+                                })
+                                .collect(),
+                        },
+                        Instr::Red {
+                            op: AtomicOp::AddF32,
+                            accesses: (0..32)
+                                .map(|l| {
+                                    AtomicAccess::new(
+                                        l,
+                                        OUTPUT_ADDR + 0x100 + 4 * (l as u64 % 16),
+                                        Value::F32(element_value(l)),
+                                    )
+                                })
+                                .collect(),
+                        },
+                    ],
+                    32,
+                )],
+            )
+        })
+        .collect();
+    KernelGrid::new(format!("order_sensitive_{ctas}"), specs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::config::GpuConfig;
+    use gpu_sim::engine::GpuSim;
+    use gpu_sim::exec::BaselineModel;
+    use gpu_sim::ndet::NdetSource;
+
+    #[test]
+    fn atomic_sum_counts() {
+        let grid = atomic_sum_grid(1000, OUTPUT_ADDR);
+        assert_eq!(grid.atomics(), 1000);
+        assert_eq!(grid.ctas.len(), 4);
+        // Last CTA is partially populated.
+        assert_eq!(grid.ctas[3].num_threads(), 1000 - 3 * 256);
+    }
+
+    #[test]
+    fn atomic_sum_result_close_to_reference() {
+        let grid = atomic_sum_grid(512, OUTPUT_ADDR);
+        let sim = GpuSim::new(
+            GpuConfig::tiny(),
+            Box::new(BaselineModel::new()),
+            NdetSource::disabled(),
+        );
+        let r = sim.run(&[grid]);
+        let got = r.values.read_f32(OUTPUT_ADDR);
+        let want = reference_sum(512);
+        assert!((got - want).abs() / want < 1e-4, "got {got}, want ~{want}");
+    }
+
+    #[test]
+    fn lock_sum_matches_reference_bitwise() {
+        // Ticket order == ascending element order == reference order.
+        let grid = lock_sum_grid(256, LockKind::TestAndTestAndSet);
+        let sim = GpuSim::new(
+            GpuConfig::tiny(),
+            Box::new(BaselineModel::new()),
+            NdetSource::seeded(11),
+        );
+        let r = sim.run(&[grid]);
+        assert_eq!(
+            r.values.read_f32(OUTPUT_ADDR).to_bits(),
+            reference_sum(256).to_bits()
+        );
+    }
+
+    #[test]
+    fn locks_much_slower_than_atomics() {
+        let run = |grid| {
+            GpuSim::new(
+                GpuConfig::tiny(),
+                Box::new(BaselineModel::new()),
+                NdetSource::seeded(1),
+            )
+            .run(&[grid])
+            .cycles()
+        };
+        let atomic = run(atomic_sum_grid(1024, OUTPUT_ADDR));
+        let lock = run(lock_sum_grid(1024, LockKind::TestAndSet));
+        assert!(
+            lock > atomic * 4,
+            "locks should be far slower: atomic={atomic} lock={lock}"
+        );
+    }
+
+    #[test]
+    fn lock_variants_ordered_by_cost() {
+        let run = |kind| {
+            GpuSim::new(
+                GpuConfig::tiny(),
+                Box::new(BaselineModel::new()),
+                NdetSource::seeded(1),
+            )
+            .run(&[lock_sum_grid(2048, kind)])
+            .cycles()
+        };
+        let ts = run(LockKind::TestAndSet);
+        let bo = run(LockKind::TestAndSetBackoff);
+        let tts = run(LockKind::TestAndTestAndSet);
+        assert!(ts > bo, "TS ({ts}) should exceed BO ({bo})");
+        assert!(bo > tts, "BO ({bo}) should exceed TTS ({tts})");
+    }
+
+    #[test]
+    fn order_sensitive_grid_is_order_sensitive() {
+        let digests: Vec<u64> = (0..5u64)
+            .map(|seed| {
+                GpuSim::new(
+                    GpuConfig::tiny(),
+                    Box::new(BaselineModel::new()),
+                    NdetSource::seeded(seed),
+                )
+                .run(&[order_sensitive_grid(16)])
+                .digest()
+            })
+            .collect();
+        assert!(digests.windows(2).any(|w| w[0] != w[1]), "{digests:?}");
+    }
+
+    #[test]
+    fn element_values_vary() {
+        assert_ne!(element_value(0), element_value(1));
+        assert!(element_value(5) > 0.0);
+    }
+}

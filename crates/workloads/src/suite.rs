@@ -1,0 +1,152 @@
+//! The evaluation benchmark suite: every workload the paper's figures run.
+
+use gpu_sim::kernel::KernelGrid;
+
+use crate::bc::bc_trace_with_budget;
+use crate::conv::{conv_trace, table3_layers};
+use crate::graph::table2_configs;
+use crate::pagerank::pagerank_trace_with_pki;
+use crate::scale::Scale;
+
+/// Which family a benchmark belongs to (figures group by family).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Family {
+    /// Graph applications (BC, PageRank) — Figs. 11a/12a/13a.
+    Graph,
+    /// Convolution layers — Figs. 11b/12b/13b/14/16/17.
+    Conv,
+}
+
+/// One named, ready-to-run benchmark.
+#[derive(Debug, Clone)]
+pub struct Benchmark {
+    /// Short figure label (`1k`, `cnv2_1`, …).
+    pub name: String,
+    /// Family grouping.
+    pub family: Family,
+    /// The kernel launches, in order.
+    pub kernels: Vec<KernelGrid>,
+}
+
+impl Benchmark {
+    /// Total atomics across the kernels.
+    pub fn atomics(&self) -> u64 {
+        self.kernels.iter().map(KernelGrid::atomics).sum()
+    }
+
+    /// Total dynamic thread instructions across the kernels.
+    pub fn thread_instrs(&self) -> u64 {
+        self.kernels.iter().map(KernelGrid::thread_instrs).sum()
+    }
+
+    /// Achieved atomics per kilo-instruction.
+    pub fn pki(&self) -> f64 {
+        let t = self.thread_instrs();
+        if t == 0 {
+            0.0
+        } else {
+            self.atomics() as f64 * 1000.0 / t as f64
+        }
+    }
+}
+
+/// PageRank iterations at each scale.
+fn prk_iterations(scale: Scale) -> usize {
+    match scale {
+        Scale::Ci => 2,
+        Scale::Paper => 3,
+    }
+}
+
+/// Whole-trace instruction budget for BC filler calibration. CI scale caps
+/// traces at 25M instructions; paper scale allows full PKI fidelity (the
+/// sparse-atomic graphs legitimately need very long runs, as in the paper).
+fn bc_budget(scale: Scale) -> u64 {
+    match scale {
+        Scale::Ci => 25_000_000,
+        Scale::Paper => u64::MAX / 2,
+    }
+}
+
+/// The graph-application suite (Table II): BC on six graphs, PageRank on
+/// coAuthor.
+pub fn graph_suite(scale: Scale) -> Vec<Benchmark> {
+    table2_configs()
+        .iter()
+        .map(|cfg| {
+            let graph = cfg.build(scale);
+            let (kernels, name) = if cfg.benchmark == "PRK" {
+                let (k, _) =
+                    pagerank_trace_with_pki(&graph, cfg.name, prk_iterations(scale), cfg.target_pki);
+                (k, format!("PRK_{}", cfg.name))
+            } else {
+                let (k, _) =
+                    bc_trace_with_budget(&graph, cfg.name, cfg.target_pki, bc_budget(scale));
+                (k, format!("BC_{}", cfg.name))
+            };
+            Benchmark {
+                name,
+                family: Family::Graph,
+                kernels,
+            }
+        })
+        .collect()
+}
+
+/// The convolution suite (Table III): nine ResNet backward-filter layers.
+pub fn conv_suite(scale: Scale) -> Vec<Benchmark> {
+    table3_layers()
+        .iter()
+        .map(|layer| Benchmark {
+            name: layer.name.to_string(),
+            family: Family::Conv,
+            kernels: vec![conv_trace(layer, scale)],
+        })
+        .collect()
+}
+
+/// The full evaluation suite (graphs then convolutions), as in Fig. 10.
+pub fn full_suite(scale: Scale) -> Vec<Benchmark> {
+    let mut v = graph_suite(scale);
+    v.extend(conv_suite(scale));
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suites_have_expected_members() {
+        let graphs = graph_suite(Scale::Ci);
+        assert_eq!(graphs.len(), 7);
+        assert!(graphs.iter().any(|b| b.name == "PRK_coA"));
+        assert!(graphs.iter().all(|b| b.family == Family::Graph));
+
+        let convs = conv_suite(Scale::Ci);
+        assert_eq!(convs.len(), 9);
+        assert!(convs.iter().all(|b| b.family == Family::Conv));
+
+        assert_eq!(full_suite(Scale::Ci).len(), 16);
+    }
+
+    #[test]
+    fn every_benchmark_has_atomics() {
+        for b in full_suite(Scale::Ci) {
+            assert!(b.atomics() > 0, "{} must exercise atomics", b.name);
+            assert!(b.pki() > 0.0);
+        }
+    }
+
+    #[test]
+    fn ci_scale_is_bounded() {
+        for b in full_suite(Scale::Ci) {
+            assert!(
+                b.thread_instrs() < 60_000_000,
+                "{} too large for CI scale: {} instrs",
+                b.name,
+                b.thread_instrs()
+            );
+        }
+    }
+}

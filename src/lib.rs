@@ -1,0 +1,36 @@
+//! # dab-repro — Deterministic Atomic Buffering, reproduced
+//!
+//! This crate re-exports the whole reproduction of *Deterministic Atomic
+//! Buffering* (Chou et al., MICRO 2020) as one convenient façade:
+//!
+//! - [`gpu_sim`] — the from-scratch cycle-level GPU simulator substrate;
+//! - [`dab`] — the paper's contribution: atomic buffers, determinism-aware
+//!   warp scheduling, and the deterministic global flush protocol;
+//! - [`gpudet`] — the GPUDet prior-work baseline (quanta, store buffers,
+//!   serialized atomics);
+//! - [`workloads`] — the atomic-intensive workload generators (atomic-sum
+//!   and ticket-lock microbenchmarks, BC, PageRank, cuDNN-style backward
+//!   convolutions).
+//!
+//! See `examples/` for runnable entry points and `crates/bench` for the
+//! harnesses that regenerate every table and figure of the paper.
+//!
+//! # Examples
+//!
+//! ```
+//! use dab_repro::gpu_sim::{GpuConfig, GpuSim, NdetSource};
+//! use dab_repro::dab::{DabConfig, DabModel};
+//! use dab_repro::workloads::microbench::{atomic_sum_grid, reference_sum};
+//!
+//! let cfg = GpuConfig::tiny();
+//! let grid = atomic_sum_grid(1024, 0x10_0000);
+//! let dab = DabModel::new(&cfg, DabConfig::default());
+//! let report = GpuSim::new(cfg, Box::new(dab), NdetSource::seeded(1)).run(&[grid]);
+//! let sum = report.values.read_f32(0x10_0000);
+//! assert!((sum - reference_sum(1024)).abs() < 0.05);
+//! ```
+
+pub use dab;
+pub use dab_workloads as workloads;
+pub use gpu_sim;
+pub use gpudet;

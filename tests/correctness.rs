@@ -1,0 +1,169 @@
+//! Cross-crate functional correctness: the simulated reductions must match
+//! the host-side reference algorithms (within floating-point reordering
+//! tolerance for `f32`, exactly for integers and the order-fixed locks).
+
+use dab_repro::dab::{DabConfig, DabModel};
+use dab_repro::gpu_sim::config::GpuConfig;
+use dab_repro::gpu_sim::engine::{GpuSim, RunReport};
+use dab_repro::gpu_sim::exec::{BaselineModel, ExecutionModel};
+use dab_repro::gpu_sim::isa::LockKind;
+use dab_repro::gpu_sim::kernel::KernelGrid;
+use dab_repro::gpu_sim::ndet::NdetSource;
+use dab_repro::gpudet::{GpuDetConfig, GpuDetModel};
+use dab_repro::workloads::bc::{bc_trace, delta_addr, sigma_addr};
+use dab_repro::workloads::conv::{conv_trace, layer_by_name, WGRAD_BASE};
+use dab_repro::workloads::graph::{brandes_delta, brandes_sigma, Graph};
+use dab_repro::workloads::microbench::{
+    atomic_sum_grid, lock_sum_grid, reference_sum, OUTPUT_ADDR,
+};
+use dab_repro::workloads::pagerank::{pagerank_trace, rank_next_addr};
+use dab_repro::workloads::scale::Scale;
+
+fn gpu() -> GpuConfig {
+    GpuConfig::tiny()
+}
+
+fn all_models() -> Vec<Box<dyn ExecutionModel>> {
+    vec![
+        Box::new(BaselineModel::new()),
+        Box::new(DabModel::new(&gpu(), DabConfig::paper_default())),
+        Box::new(GpuDetModel::new(&gpu(), GpuDetConfig::default())),
+    ]
+}
+
+fn run(model: Box<dyn ExecutionModel>, kernels: &[KernelGrid]) -> RunReport {
+    GpuSim::new(gpu(), model, NdetSource::seeded(17)).run(kernels)
+}
+
+fn close(got: f32, want: f32, rel: f32) -> bool {
+    (got - want).abs() <= want.abs().max(1.0) * rel
+}
+
+#[test]
+fn atomic_sum_close_to_reference_under_every_model() {
+    let n = 2048;
+    let want = reference_sum(n);
+    for model in all_models() {
+        let name = model.name();
+        let report = run(model, &[atomic_sum_grid(n, OUTPUT_ADDR)]);
+        let got = report.values.read_f32(OUTPUT_ADDR);
+        assert!(close(got, want, 1e-4), "{name}: got {got}, want ~{want}");
+    }
+}
+
+#[test]
+fn lock_sums_are_bitwise_reference_under_every_model() {
+    // Ticket order == element order: the result is the reference, bit for
+    // bit, on every architecture and seed.
+    let n = 512;
+    let want = reference_sum(n).to_bits();
+    for model in all_models() {
+        let name = model.name();
+        let report = run(model, &[lock_sum_grid(n, LockKind::TestAndTestAndSet)]);
+        assert_eq!(
+            report.values.read_f32(OUTPUT_ADDR).to_bits(),
+            want,
+            "{name}: lock sum must be bit-exact"
+        );
+    }
+}
+
+#[test]
+fn bc_sigma_and_delta_match_brandes_reference() {
+    let graph = Graph::power_law(1024, 8192, 0.6, 21);
+    let source = (0..graph.num_nodes())
+        .max_by_key(|&u| graph.degree(u))
+        .expect("non-empty");
+    let levels = graph.bfs_levels(source);
+    let sigma = brandes_sigma(&graph, &levels);
+    let delta = brandes_delta(&graph, &levels, &sigma);
+    let (kernels, _) = bc_trace(&graph, "bc", 4.0);
+    let report = run(
+        Box::new(DabModel::new(&gpu(), DabConfig::paper_default())),
+        &kernels,
+    );
+    let mut sigma_checked = 0;
+    let mut delta_checked = 0;
+    for v in 0..graph.num_nodes() {
+        if levels[v] == u32::MAX {
+            continue;
+        }
+        if levels[v] != 0 && sigma[v] > 0.0 {
+            let got = report.values.read_f32(sigma_addr(v));
+            assert!(
+                close(got, sigma[v], 0.01),
+                "sigma[{v}]: got {got}, want {}",
+                sigma[v]
+            );
+            sigma_checked += 1;
+        }
+        if delta[v] > 0.0 {
+            let got = report.values.read_f32(delta_addr(v));
+            assert!(
+                close(got, delta[v], 0.02),
+                "delta[{v}]: got {got}, want {}",
+                delta[v]
+            );
+            delta_checked += 1;
+        }
+    }
+    assert!(sigma_checked > 100, "checked {sigma_checked} sigmas");
+    assert!(delta_checked > 50, "checked {delta_checked} deltas");
+}
+
+#[test]
+fn pagerank_first_iteration_matches_reference() {
+    let graph = Graph::uniform(512, 4096, 5);
+    let n = graph.num_nodes();
+    let rank0 = 1.0f32 / n as f32;
+    let mut want = vec![0f32; n];
+    for u in 0..n {
+        let contrib = rank0 / graph.degree(u) as f32;
+        for &v in &graph.adj[u] {
+            want[v as usize] += contrib;
+        }
+    }
+    let (kernels, _) = pagerank_trace(&graph, "prk", 1);
+    let report = run(
+        Box::new(DabModel::new(&gpu(), DabConfig::paper_default())),
+        &kernels,
+    );
+    for v in (0..n).step_by(13) {
+        let got = report.values.read_f32(rank_next_addr(v, 0));
+        assert!(
+            close(got, want[v], 0.01),
+            "rank_next[{v}]: got {got}, want {}",
+            want[v]
+        );
+    }
+}
+
+#[test]
+fn conv_gradient_accumulates_every_cta_partial() {
+    let layer = layer_by_name("cnv2_3").expect("layer");
+    let grid = conv_trace(&layer, Scale::Ci);
+    let num_ctas = grid.ctas.len();
+    // Word 0 of the (single) region accumulates lane 0 of every CTA.
+    let want: f32 = (0..num_ctas)
+        .map(|cta| 0.001f32 * ((cta % 31 + 1) as f32))
+        .sum();
+    for model in all_models() {
+        let name = model.name();
+        let report = run(model, std::slice::from_ref(&grid));
+        let got = report.values.read_f32(WGRAD_BASE);
+        assert!(close(got, want, 1e-3), "{name}: wgrad[0]={got}, want ~{want}");
+    }
+}
+
+#[test]
+fn statistics_are_consistent() {
+    let grid = atomic_sum_grid(1024, OUTPUT_ADDR);
+    let report = run(Box::new(BaselineModel::new()), &[grid.clone()]);
+    assert_eq!(report.stats.atomics, 1024);
+    assert_eq!(report.stats.counter("rop.ops"), 1024);
+    assert!(report.stats.warp_instrs > 0);
+    assert!(report.stats.thread_instrs >= report.stats.warp_instrs);
+    assert!(report.stats.ipc() > 0.0);
+    assert_eq!(report.kernel_cycles.len(), 1);
+    assert!(report.kernel_cycles[0].1 <= report.cycles());
+}

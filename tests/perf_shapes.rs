@@ -1,0 +1,125 @@
+//! Coarse performance-shape invariants across models — the qualitative
+//! relationships every figure of the paper depends on. These are generous
+//! bounds (the exact ratios vary with scale), but the *orderings* must hold
+//! or a figure has silently inverted.
+
+use dab_repro::dab::{DabConfig, DabModel, Relaxation};
+use dab_repro::gpu_sim::config::GpuConfig;
+use dab_repro::gpu_sim::engine::GpuSim;
+use dab_repro::gpu_sim::exec::{BaselineModel, ExecutionModel};
+use dab_repro::gpu_sim::isa::LockKind;
+use dab_repro::gpu_sim::kernel::KernelGrid;
+use dab_repro::gpu_sim::ndet::NdetSource;
+use dab_repro::gpu_sim::sched::SchedKind;
+use dab_repro::gpudet::{GpuDetConfig, GpuDetModel};
+use dab_repro::workloads::bc::bc_trace;
+use dab_repro::workloads::graph::Graph;
+use dab_repro::workloads::microbench::{atomic_sum_grid, lock_sum_grid, OUTPUT_ADDR};
+
+fn gpu() -> GpuConfig {
+    GpuConfig::tiny()
+}
+
+fn cycles(model: Box<dyn ExecutionModel>, kernels: &[KernelGrid]) -> u64 {
+    GpuSim::new(gpu(), model, NdetSource::seeded(1))
+        .run(kernels)
+        .cycles()
+}
+
+fn bc_kernels() -> Vec<KernelGrid> {
+    let graph = Graph::power_law(1024, 8192, 0.6, 9);
+    bc_trace(&graph, "bc", 4.0).0
+}
+
+#[test]
+fn fig2_shape_locks_far_slower_than_atomics() {
+    let n = 2048;
+    let base = cycles(Box::new(BaselineModel::new()), &[atomic_sum_grid(n, OUTPUT_ADDR)]);
+    let ts = cycles(
+        Box::new(BaselineModel::new()),
+        &[lock_sum_grid(n, LockKind::TestAndSet)],
+    );
+    let bo = cycles(
+        Box::new(BaselineModel::new()),
+        &[lock_sum_grid(n, LockKind::TestAndSetBackoff)],
+    );
+    let tts = cycles(
+        Box::new(BaselineModel::new()),
+        &[lock_sum_grid(n, LockKind::TestAndTestAndSet)],
+    );
+    assert!(ts > base * 10, "TS {ts} vs atomicAdd {base}");
+    assert!(ts > bo && bo > tts, "TS {ts} > BO {bo} > TTS {tts}");
+    assert!(tts > base * 5, "even TTS is far slower than atomics");
+}
+
+#[test]
+fn fig10_shape_dab_beats_gpudet_and_trails_baseline_moderately() {
+    let kernels = bc_kernels();
+    let base = cycles(Box::new(BaselineModel::new()), &kernels);
+    let dab = cycles(
+        Box::new(DabModel::new(&gpu(), DabConfig::paper_default())),
+        &kernels,
+    );
+    let det = cycles(
+        Box::new(GpuDetModel::new(&gpu(), GpuDetConfig::default())),
+        &kernels,
+    );
+    assert!(dab > base, "determinism is not free: dab {dab} vs base {base}");
+    assert!(
+        dab < base * 3,
+        "DAB overhead should be moderate: {dab} vs {base}"
+    );
+    assert!(det > dab * 2, "GPUDet {det} should trail DAB {dab} by 2x+");
+}
+
+#[test]
+fn fig11_shape_srr_is_most_restrictive() {
+    let kernels = bc_kernels();
+    let run = |sched: SchedKind| {
+        let cfg = DabConfig::paper_default()
+            .with_scheduler(sched)
+            .with_capacity(256)
+            .with_fusion(false)
+            .with_coalescing(false);
+        cycles(Box::new(DabModel::new(&gpu(), cfg)), &kernels)
+    };
+    let srr = run(SchedKind::Srr);
+    let gwat = run(SchedKind::Gwat);
+    assert!(
+        srr as f64 >= gwat as f64 * 0.98,
+        "SRR ({srr}) should not beat GWAT ({gwat}) meaningfully"
+    );
+}
+
+#[test]
+fn fig12_shape_bigger_buffers_do_not_hurt_graphs() {
+    let kernels = bc_kernels();
+    let run = |cap: usize| {
+        let cfg = DabConfig::paper_default()
+            .with_capacity(cap)
+            .with_fusion(false)
+            .with_coalescing(false);
+        cycles(Box::new(DabModel::new(&gpu(), cfg)), &kernels)
+    };
+    let small = run(32);
+    let large = run(256);
+    assert!(
+        large as f64 <= small as f64 * 1.1,
+        "capacity 256 ({large}) should be at least competitive with 32 ({small})"
+    );
+}
+
+#[test]
+fn fig18_shape_relaxations_recover_performance() {
+    let kernels = bc_kernels();
+    let run = |relax: Relaxation| {
+        let cfg = DabConfig::paper_default().with_relaxation(relax);
+        cycles(Box::new(DabModel::new(&gpu(), cfg)), &kernels)
+    };
+    let full = run(Relaxation::None);
+    let cif = run(Relaxation::NrCif);
+    assert!(
+        cif as f64 <= full as f64 * 1.05,
+        "cluster-independent flushing ({cif}) should not be slower than full DAB ({full})"
+    );
+}
