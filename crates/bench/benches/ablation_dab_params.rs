@@ -6,7 +6,7 @@
 //! partition per epoch). This sweep bounds how much either matters.
 
 use dab::{DabConfig, Relaxation};
-use dab_bench::{banner, ratio, Runner, Table};
+use dab_bench::{banner, ratio, ResultsSink, Runner, Sweep, Table};
 use dab_workloads::suite::full_suite;
 
 fn main() {
@@ -18,40 +18,75 @@ fn main() {
     );
     let suite = full_suite(runner.scale);
     let picks = ["BC_1k", "BC_fol", "PRK_coA", "cnv3_2", "cnv4_1"];
+    let picked: Vec<_> = suite
+        .iter()
+        .filter(|b| picks.contains(&b.name.as_str()))
+        .collect();
+    let latencies = [1u32, 4, 8];
+
+    // Both halves of the ablation share one sweep: the latency matrix and
+    // the full-vs-NR protocol accounting.
+    let mut sweep = Sweep::new(&runner);
+    let ids: Vec<_> = picked
+        .iter()
+        .map(|b| {
+            let base = sweep.baseline(format!("{}/baseline", b.name), &b.kernels);
+            let lat_ids: Vec<_> = latencies
+                .iter()
+                .map(|&lat| {
+                    sweep.dab(
+                        format!("{}/write-lat-{lat}", b.name),
+                        DabConfig {
+                            buffer_write_cycles: lat,
+                            ..DabConfig::paper_default()
+                        },
+                        &b.kernels,
+                    )
+                })
+                .collect();
+            let full = sweep.dab(
+                format!("{}/full", b.name),
+                DabConfig::paper_default(),
+                &b.kernels,
+            );
+            // NR drops the pre-flush messages and partition reordering; the
+            // cycle difference bounds the whole ordering protocol's cost.
+            let nr = sweep.dab(
+                format!("{}/nr", b.name),
+                DabConfig::paper_default().with_relaxation(Relaxation::Nr),
+                &b.kernels,
+            );
+            (base, lat_ids, full, nr)
+        })
+        .collect();
+    let results = sweep.run();
 
     println!("--- buffer write latency (cycles per buffered warp atomic) ---");
-    let mut t = Table::new(&["benchmark", "1 cycle", "4 cycles (default)", "8 cycles"]);
-    for b in suite.iter().filter(|b| picks.contains(&b.name.as_str())) {
-        println!("  {}:", b.name);
-        let base = runner.baseline(&b.kernels).cycles() as f64;
+    let mut lat_table = Table::new(&["benchmark", "1 cycle", "4 cycles (default)", "8 cycles"]);
+    for (b, (base_id, lat_ids, _, _)) in picked.iter().zip(&ids) {
+        let base = results.cycles(*base_id) as f64;
         let mut row = vec![b.name.clone()];
-        for lat in [1u32, 4, 8] {
-            let cfg = DabConfig {
-                buffer_write_cycles: lat,
-                ..DabConfig::paper_default()
-            };
-            row.push(ratio(runner.dab(cfg, &b.kernels).cycles() as f64 / base));
+        for &id in lat_ids {
+            row.push(ratio(results.cycles(id) as f64 / base));
         }
-        t.row(row);
+        lat_table.row(row);
     }
     println!();
-    t.print();
+    lat_table.print();
     println!();
 
     println!("--- flush-protocol accounting (headline config) ---");
-    let mut t = Table::new(&[
-        "benchmark", "flushes", "pre-flush msgs", "flush txs", "protocol overhead",
+    let mut proto_table = Table::new(&[
+        "benchmark",
+        "flushes",
+        "pre-flush msgs",
+        "flush txs",
+        "protocol overhead",
     ]);
-    for b in suite.iter().filter(|b| picks.contains(&b.name.as_str())) {
-        println!("  {}:", b.name);
-        let full = runner.dab(DabConfig::paper_default(), &b.kernels);
-        // NR drops the pre-flush messages and partition reordering; the
-        // cycle difference bounds the whole ordering protocol's cost.
-        let nr = runner.dab(
-            DabConfig::paper_default().with_relaxation(Relaxation::Nr),
-            &b.kernels,
-        );
-        t.row(vec![
+    for (b, &(_, _, full_id, nr_id)) in picked.iter().zip(&ids) {
+        let full = &results[full_id];
+        let nr = &results[nr_id];
+        proto_table.row(vec![
             b.name.clone(),
             full.stats.counter("dab.flushes").to_string(),
             full.stats.counter("dab.preflush_msgs").to_string(),
@@ -60,8 +95,14 @@ fn main() {
         ]);
     }
     println!();
-    t.print();
+    proto_table.print();
     println!();
     println!("(protocol overhead = full DAB time / DAB-NR time: the price of the");
     println!(" deterministic reordering itself, typically a few percent)");
+
+    let mut sink = ResultsSink::new("ablation_dab_params", &runner);
+    sink.sweep(&results)
+        .table("buffer_write_latency", &lat_table)
+        .table("flush_protocol", &proto_table);
+    sink.write();
 }

@@ -5,31 +5,54 @@
 //! (in)sensitive its slowdown is — the serial mode dominates regardless,
 //! which is DAB's motivating observation (Section III-C).
 
-use dab_bench::{banner, ratio, Runner, Table};
+use dab_bench::{banner, ratio, ResultsSink, Runner, Sweep, Table};
 use dab_workloads::suite::full_suite;
-use gpudet::{GpuDetConfig, GpuDetModel};
+use gpudet::GpuDetConfig;
 
 fn main() {
     let runner = Runner::from_env();
-    banner("Ablation: quantum", "GPUDet slowdown vs quantum length", &runner);
+    banner(
+        "Ablation: quantum",
+        "GPUDet slowdown vs quantum length",
+        &runner,
+    );
     let quanta = [50u32, 200, 1000];
     let suite = full_suite(runner.scale);
     let picks = ["BC_1k", "BC_fol", "PRK_coA", "cnv3_2", "cnv4_1"];
+    let picked: Vec<_> = suite
+        .iter()
+        .filter(|b| picks.contains(&b.name.as_str()))
+        .collect();
+    let mut sweep = Sweep::new(&runner);
+    let ids: Vec<_> = picked
+        .iter()
+        .map(|b| {
+            let base = sweep.baseline(format!("{}/baseline", b.name), &b.kernels);
+            let q_ids: Vec<_> = quanta
+                .iter()
+                .map(|&q| {
+                    sweep.gpudet_with(
+                        format!("{}/q{q}", b.name),
+                        GpuDetConfig {
+                            quantum: q,
+                            ..GpuDetConfig::default()
+                        },
+                        &b.kernels,
+                    )
+                })
+                .collect();
+            (base, q_ids)
+        })
+        .collect();
+    let results = sweep.run();
+
     let mut t = Table::new(&["benchmark", "q=50", "q=200", "q=1000", "serial% (q=200)"]);
-    for b in suite.iter().filter(|b| picks.contains(&b.name.as_str())) {
-        println!("  {}:", b.name);
-        let base = runner.baseline(&b.kernels).cycles() as f64;
+    for (b, (base_id, q_ids)) in picked.iter().zip(&ids) {
+        let base = results.cycles(*base_id) as f64;
         let mut row = vec![b.name.clone()];
         let mut serial_pct = String::new();
-        for &q in &quanta {
-            let model = GpuDetModel::new(
-                &runner.gpu,
-                GpuDetConfig {
-                    quantum: q,
-                    ..GpuDetConfig::default()
-                },
-            );
-            let r = runner.run(Box::new(model), &b.kernels);
+        for (&q, &id) in quanta.iter().zip(q_ids) {
+            let r = &results[id];
             row.push(ratio(r.cycles() as f64 / base));
             if q == 200 {
                 let serial = r.stats.counter("gpudet.serial_cycles") as f64;
@@ -44,4 +67,8 @@ fn main() {
     println!();
     println!("(slowdowns vs the non-deterministic baseline; serial mode dominates at");
     println!(" every quantum, so no quantum choice rescues GPUDet on reductions)");
+
+    let mut sink = ResultsSink::new("ablation_quantum", &runner);
+    sink.sweep(&results).table("main", &t);
+    sink.write();
 }

@@ -7,7 +7,7 @@
 //! This bench repeats that experiment.
 
 use dab::DabConfig;
-use dab_bench::{banner, Runner, Table};
+use dab_bench::{banner, ResultsSink, Runner, Sweep, Table};
 use dab_workloads::suite::full_suite;
 
 fn main() {
@@ -18,23 +18,40 @@ fn main() {
         &runner,
     );
     let suite = full_suite(runner.scale);
+    let mut sweep = Sweep::new(&runner);
+    let ids: Vec<_> = suite
+        .iter()
+        .map(|b| {
+            (
+                sweep.dab(
+                    format!("{}/ideal", b.name),
+                    DabConfig::paper_default(),
+                    &b.kernels,
+                ),
+                sweep.dab(
+                    format!("{}/vwq-mimic", b.name),
+                    DabConfig {
+                        vwq_mimic: true,
+                        ..DabConfig::paper_default()
+                    },
+                    &b.kernels,
+                ),
+            )
+        })
+        .collect();
+    let results = sweep.run();
+
     let mut t = Table::new(&[
-        "benchmark", "L2 miss% (ideal)", "L2 miss% (VWQ mimic)", "delta",
+        "benchmark",
+        "L2 miss% (ideal)",
+        "L2 miss% (VWQ mimic)",
+        "delta",
     ]);
     let mut worst: f64 = 0.0;
     let mut deltas: Vec<f64> = Vec::new();
-    for b in &suite {
-        println!("  {}:", b.name);
-        let ideal = runner.dab(DabConfig::paper_default(), &b.kernels);
-        let mimic = runner.dab(
-            DabConfig {
-                vwq_mimic: true,
-                ..DabConfig::paper_default()
-            },
-            &b.kernels,
-        );
-        let mi = 100.0 * ideal.stats.l2_miss_rate();
-        let mv = 100.0 * mimic.stats.l2_miss_rate();
+    for (b, &(ideal_id, mimic_id)) in suite.iter().zip(&ids) {
+        let mi = 100.0 * results[ideal_id].stats.l2_miss_rate();
+        let mv = 100.0 * results[mimic_id].stats.l2_miss_rate();
         worst = worst.max(mv - mi);
         deltas.push(mv - mi);
         t.row(vec![
@@ -51,4 +68,11 @@ fn main() {
     println!(
         "average L2 miss-rate increase: {avg:.2}pp, worst {worst:.2}pp (paper: < 1% on average;\n         CI scale concentrates the reorder buffers on 8 partitions instead of 24,\n         which inflates the irregular graph rows)"
     );
+
+    let mut sink = ResultsSink::new("ablation_vwq", &runner);
+    sink.sweep(&results)
+        .metric("avg_l2_missrate_increase_pp", avg)
+        .metric("worst_l2_missrate_increase_pp", worst)
+        .table("main", &t);
+    sink.write();
 }

@@ -7,8 +7,9 @@
 //! DAB's does not.
 
 use dab::{DabConfig, DabModel};
-use dab_bench::{banner, Runner, Table};
+use dab_bench::{banner, ResultsSink, Runner, Sweep, SweepJob, Table};
 use dab_workloads::microbench::{order_sensitive_grid, OUTPUT_ADDR};
+use gpu_sim::exec::BaselineModel;
 use gpu_sim::isa::{AtomicOp, Value};
 
 fn main() {
@@ -26,25 +27,50 @@ fn main() {
     let left = fold(&vals);
     let right = fold(&[vals[1], vals[2], vals[0]]);
     println!("thread values: a = {}, b = c = {e:e}", vals[0]);
-    println!("  (a + b) + c = {:<12} bits=0x{left:08x}", f32::from_bits(left));
-    println!("  (b + c) + a = {:<12} bits=0x{right:08x}", f32::from_bits(right));
+    println!(
+        "  (a + b) + c = {:<12} bits=0x{left:08x}",
+        f32::from_bits(left)
+    );
+    println!(
+        "  (b + c) + a = {:<12} bits=0x{right:08x}",
+        f32::from_bits(right)
+    );
     println!("  differ: {}", left != right);
     println!();
 
-    // End-to-end: same kernel, four timing seeds, baseline vs DAB.
+    // End-to-end: same kernel, four timing seeds, baseline vs DAB — all
+    // eight runs are independent, so they sweep in parallel.
+    let grid = vec![order_sensitive_grid(64)];
+    let mut sweep = Sweep::new(&runner);
+    let ids: Vec<_> = (1..=4u64)
+        .map(|seed| {
+            let base = sweep.push(
+                SweepJob::new(
+                    format!("baseline/seed{seed}"),
+                    Box::new(BaselineModel::new()),
+                    &grid,
+                )
+                .with_seed(seed),
+            );
+            let dab = sweep.push(
+                SweepJob::new(
+                    format!("dab/seed{seed}"),
+                    Box::new(DabModel::new(&runner.gpu, DabConfig::paper_default())),
+                    &grid,
+                )
+                .with_seed(seed),
+            );
+            (seed, base, dab)
+        })
+        .collect();
+    let results = sweep.run();
+
     let mut t = Table::new(&["seed", "baseline sum (bits)", "DAB sum (bits)"]);
     let mut base_bits = Vec::new();
     let mut dab_bits = Vec::new();
-    for seed in 1..=4u64 {
-        let mut r = runner.clone();
-        r.seed = seed;
-        let base = r.baseline(&[order_sensitive_grid(64)]);
-        let dab = r.run(
-            Box::new(DabModel::new(&r.gpu, DabConfig::paper_default())),
-            &[order_sensitive_grid(64)],
-        );
-        let b = base.values.read_bits(OUTPUT_ADDR);
-        let d = dab.values.read_bits(OUTPUT_ADDR);
+    for &(seed, base_id, dab_id) in &ids {
+        let b = results[base_id].values.read_bits(OUTPUT_ADDR);
+        let d = results[dab_id].values.read_bits(OUTPUT_ADDR);
         base_bits.push(b);
         dab_bits.push(d);
         t.row(vec![
@@ -55,12 +81,15 @@ fn main() {
     }
     t.print();
     println!();
-    println!(
-        "baseline varies across seeds: {}",
-        base_bits.windows(2).any(|w| w[0] != w[1])
-    );
-    println!(
-        "DAB bitwise identical across seeds: {}",
-        dab_bits.windows(2).all(|w| w[0] == w[1])
-    );
+    let base_varies = base_bits.windows(2).any(|w| w[0] != w[1]);
+    let dab_stable = dab_bits.windows(2).all(|w| w[0] == w[1]);
+    println!("baseline varies across seeds: {base_varies}");
+    println!("DAB bitwise identical across seeds: {dab_stable}");
+
+    let mut sink = ResultsSink::new("fig01_rounding", &runner);
+    sink.sweep(&results)
+        .metric("baseline_varies_across_seeds", f64::from(base_varies))
+        .metric("dab_identical_across_seeds", f64::from(dab_stable))
+        .table("seed_sweep", &t);
+    sink.write();
 }

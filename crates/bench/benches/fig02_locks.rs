@@ -7,54 +7,88 @@
 //! close to the non-deterministic baseline.
 
 use dab::DabConfig;
-use dab_bench::{banner, ratio, Runner, Table};
+use dab_bench::{banner, ratio, ResultsSink, Runner, Sweep, Table};
 use dab_workloads::microbench::{atomic_sum_grid, lock_sum_grid, OUTPUT_ADDR};
 use dab_workloads::scale::Scale;
 use gpu_sim::isa::LockKind;
+use gpu_sim::kernel::KernelGrid;
 
 fn main() {
     let runner = Runner::from_env();
-    banner("Fig 2", "AtomicAdd on DAB vs locking algorithms (normalized)", &runner);
+    banner(
+        "Fig 2",
+        "AtomicAdd on DAB vs locking algorithms (normalized)",
+        &runner,
+    );
     let sizes: Vec<usize> = match runner.scale {
         Scale::Ci => vec![1024, 4096, 16384],
         Scale::Paper => vec![4096, 16384, 65536, 262144],
     };
-    let mut t = Table::new(&[
-        "array size", "DAB atomicAdd", "DAB+fusion", "Test&Set", "TS+Backoff", "Test&Test&Set",
-    ]);
-    for n in sizes {
-        println!("  array size {n}:");
-        let base = runner.baseline(&[atomic_sum_grid(n, OUTPUT_ADDR)]).cycles() as f64;
-        // Plain DAB buffering (the Fig. 2 comparison point)...
-        let dab = runner
-            .dab(
-                DabConfig::paper_default().with_fusion(false).with_coalescing(false),
-                &[atomic_sum_grid(n, OUTPUT_ADDR)],
+    // One grid set per size, built up front so the sweep can borrow them.
+    let grids: Vec<(usize, [Vec<KernelGrid>; 4])> = sizes
+        .iter()
+        .map(|&n| {
+            (
+                n,
+                [
+                    vec![atomic_sum_grid(n, OUTPUT_ADDR)],
+                    vec![lock_sum_grid(n, LockKind::TestAndSet)],
+                    vec![lock_sum_grid(n, LockKind::TestAndSetBackoff)],
+                    vec![lock_sum_grid(n, LockKind::TestAndTestAndSet)],
+                ],
             )
-            .cycles() as f64;
-        // ...and with atomic fusion, whose local reduction is a huge win on
-        // a single-target sum (every buffered add collapses into one entry).
-        let dab_af = runner
-            .dab(DabConfig::paper_default(), &[atomic_sum_grid(n, OUTPUT_ADDR)])
-            .cycles() as f64;
-        let ts = runner.baseline(&[lock_sum_grid(n, LockKind::TestAndSet)]).cycles() as f64;
-        let bo = runner
-            .baseline(&[lock_sum_grid(n, LockKind::TestAndSetBackoff)])
-            .cycles() as f64;
-        let tts = runner
-            .baseline(&[lock_sum_grid(n, LockKind::TestAndTestAndSet)])
-            .cycles() as f64;
+        })
+        .collect();
+    let mut sweep = Sweep::new(&runner);
+    let ids: Vec<_> = grids
+        .iter()
+        .map(|(n, [atomic, ts, bo, tts])| {
+            // Plain DAB buffering is the Fig. 2 comparison point; fusion's
+            // local reduction is a huge win on a single-target sum (every
+            // buffered add collapses into one entry), shown alongside.
+            [
+                sweep.baseline(format!("n{n}/baseline"), atomic),
+                sweep.dab(
+                    format!("n{n}/dab"),
+                    DabConfig::paper_default()
+                        .with_fusion(false)
+                        .with_coalescing(false),
+                    atomic,
+                ),
+                sweep.dab(format!("n{n}/dab-af"), DabConfig::paper_default(), atomic),
+                sweep.baseline(format!("n{n}/test-and-set"), ts),
+                sweep.baseline(format!("n{n}/ts-backoff"), bo),
+                sweep.baseline(format!("n{n}/test-and-test-and-set"), tts),
+            ]
+        })
+        .collect();
+    let results = sweep.run();
+
+    let mut t = Table::new(&[
+        "array size",
+        "DAB atomicAdd",
+        "DAB+fusion",
+        "Test&Set",
+        "TS+Backoff",
+        "Test&Test&Set",
+    ]);
+    for ((n, _), row_ids) in grids.iter().zip(&ids) {
+        let base = results.cycles(row_ids[0]) as f64;
         t.row(vec![
             n.to_string(),
-            ratio(dab / base),
-            ratio(dab_af / base),
-            ratio(ts / base),
-            ratio(bo / base),
-            ratio(tts / base),
+            ratio(results.cycles(row_ids[1]) as f64 / base),
+            ratio(results.cycles(row_ids[2]) as f64 / base),
+            ratio(results.cycles(row_ids[3]) as f64 / base),
+            ratio(results.cycles(row_ids[4]) as f64 / base),
+            ratio(results.cycles(row_ids[5]) as f64 / base),
         ]);
     }
     println!();
     t.print();
     println!();
     println!("(values are execution time normalized to non-deterministic atomicAdd = 1.00x)");
+
+    let mut sink = ResultsSink::new("fig02_locks", &runner);
+    sink.sweep(&results).table("main", &t);
+    sink.write();
 }

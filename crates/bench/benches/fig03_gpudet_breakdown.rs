@@ -6,21 +6,30 @@
 //! shape: atomic-intensive workloads spend most of their time in serial
 //! mode, which is the root cause of GPUDet's slowdown (Section III-C).
 
-use dab_bench::{banner, geomean, ratio, Runner, Table};
+use dab_bench::{banner, geomean, ratio, ResultsSink, Runner, Sweep, Table};
 use dab_workloads::suite::full_suite;
 
 fn main() {
     let runner = Runner::from_env();
     banner("Fig 3", "GPUDet execution mode breakdown", &runner);
     let suite = full_suite(runner.scale);
-    let mut t = Table::new(&[
-        "benchmark", "GPUDet/base", "parallel", "commit", "serial",
-    ]);
+    let mut sweep = Sweep::new(&runner);
+    let ids: Vec<_> = suite
+        .iter()
+        .map(|b| {
+            (
+                sweep.baseline(format!("{}/baseline", b.name), &b.kernels),
+                sweep.gpudet(format!("{}/gpudet", b.name), &b.kernels),
+            )
+        })
+        .collect();
+    let results = sweep.run();
+
+    let mut t = Table::new(&["benchmark", "GPUDet/base", "parallel", "commit", "serial"]);
     let mut slowdowns = Vec::new();
-    for b in &suite {
-        println!("  {}:", b.name);
-        let base = runner.baseline(&b.kernels).cycles() as f64;
-        let det = runner.gpudet(&b.kernels);
+    for (b, &(base_id, det_id)) in suite.iter().zip(&ids) {
+        let base = results.cycles(base_id) as f64;
+        let det = &results[det_id];
         let total = det.cycles() as f64;
         let parallel = det.stats.counter("gpudet.parallel_cycles") as f64;
         let commit = det.stats.counter("gpudet.commit_cycles") as f64;
@@ -38,5 +47,14 @@ fn main() {
     println!();
     t.print();
     println!();
-    println!("geomean GPUDet slowdown vs baseline: {}", ratio(geomean(&slowdowns)));
+    println!(
+        "geomean GPUDet slowdown vs baseline: {}",
+        ratio(geomean(&slowdowns))
+    );
+
+    let mut sink = ResultsSink::new("fig03_gpudet_breakdown", &runner);
+    sink.sweep(&results)
+        .metric("geomean_gpudet_vs_baseline", geomean(&slowdowns))
+        .table("main", &t);
+    sink.write();
 }

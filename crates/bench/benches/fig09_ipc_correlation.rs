@@ -8,7 +8,7 @@
 //! Users with real hardware can replace [`hardware_reference_ipc`] with
 //! measured numbers; the harness computes the same statistics either way.
 
-use dab_bench::{banner, mape, pearson, Runner, Table};
+use dab_bench::{banner, mape, pearson, ResultsSink, Runner, Sweep, Table};
 use dab_workloads::suite::full_suite;
 
 /// The stand-in "hardware" IPC for a benchmark with simulated IPC
@@ -28,29 +28,47 @@ fn hardware_reference_ipc(name: &str, sim_ipc: f64) -> f64 {
 
 fn main() {
     let runner = Runner::from_env();
-    banner("Fig 9", "IPC correlation of GPGPU-Sim with TITAN V", &runner);
+    banner(
+        "Fig 9",
+        "IPC correlation of GPGPU-Sim with TITAN V",
+        &runner,
+    );
     let suite = full_suite(runner.scale);
+    let mut sweep = Sweep::new(&runner);
+    let ids: Vec<_> = suite
+        .iter()
+        .map(|b| sweep.baseline(&b.name, &b.kernels))
+        .collect();
+    let results = sweep.run();
+
     let mut t = Table::new(&["benchmark", "sim IPC", "hw-ref IPC"]);
     let mut sim = Vec::new();
     let mut hw = Vec::new();
-    for b in &suite {
-        println!("  {}:", b.name);
-        let report = runner.baseline(&b.kernels);
-        let s = report.stats.ipc();
+    for (b, &id) in suite.iter().zip(&ids) {
+        let s = results[id].stats.ipc();
         let h = hardware_reference_ipc(&b.name, s);
         sim.push(s);
         hw.push(h);
-        t.row(vec![
-            b.name.clone(),
-            format!("{s:.1}"),
-            format!("{h:.1}"),
-        ]);
+        t.row(vec![b.name.clone(), format!("{s:.1}"), format!("{h:.1}")]);
     }
     println!();
     t.print();
     println!();
-    println!("IPC correlation: {:.1}%   (paper: 96.8%)", 100.0 * pearson(&sim, &hw));
-    println!("error rate:      {:.1}%   (paper: 32.5%)", 100.0 * mape(&sim, &hw));
+    println!(
+        "IPC correlation: {:.1}%   (paper: 96.8%)",
+        100.0 * pearson(&sim, &hw)
+    );
+    println!(
+        "error rate:      {:.1}%   (paper: 32.5%)",
+        100.0 * mape(&sim, &hw)
+    );
     println!();
     println!("note: hardware series is a documented synthetic stand-in; see DESIGN.md.");
+
+    let mut sink = ResultsSink::new("fig09_ipc_correlation", &runner);
+    sink.sweep(&results)
+        .metric("ipc_correlation", pearson(&sim, &hw))
+        .metric("error_rate", mape(&sim, &hw))
+        .table("main", &t);
+    sink.write();
 }

@@ -5,7 +5,7 @@
 //! reports a 23% geomean slowdown), GPUDet 2-4x slower than DAB.
 
 use dab::DabConfig;
-use dab_bench::{banner, geomean, ratio, Runner, Table};
+use dab_bench::{banner, geomean, ratio, ResultsSink, Runner, Sweep, Table};
 use dab_workloads::suite::full_suite;
 
 fn main() {
@@ -16,14 +16,30 @@ fn main() {
         &runner,
     );
     let suite = full_suite(runner.scale);
+    let mut sweep = Sweep::new(&runner);
+    let ids: Vec<_> = suite
+        .iter()
+        .map(|b| {
+            (
+                sweep.baseline(format!("{}/baseline", b.name), &b.kernels),
+                sweep.dab(
+                    format!("{}/dab", b.name),
+                    DabConfig::paper_default(),
+                    &b.kernels,
+                ),
+                sweep.gpudet(format!("{}/gpudet", b.name), &b.kernels),
+            )
+        })
+        .collect();
+    let results = sweep.run();
+
     let mut t = Table::new(&["benchmark", "baseline", "DAB", "GPUDet", "GPUDet/DAB"]);
     let mut dab_ratios = Vec::new();
     let mut det_ratios = Vec::new();
-    for b in &suite {
-        println!("  {}:", b.name);
-        let base = runner.baseline(&b.kernels).cycles() as f64;
-        let dab = runner.dab(DabConfig::paper_default(), &b.kernels).cycles() as f64;
-        let det = runner.gpudet(&b.kernels).cycles() as f64;
+    for (b, &(base_id, dab_id, det_id)) in suite.iter().zip(&ids) {
+        let base = results.cycles(base_id) as f64;
+        let dab = results.cycles(dab_id) as f64;
+        let det = results.cycles(det_id) as f64;
         dab_ratios.push(dab / base);
         det_ratios.push(det / base);
         t.row(vec![
@@ -46,4 +62,11 @@ fn main() {
         "         GPUDet/DAB {} (paper: DAB outperforms GPUDet 2-4x)",
         ratio(geomean(&det_ratios) / geomean(&dab_ratios))
     );
+
+    let mut sink = ResultsSink::new("fig10_overall", &runner);
+    sink.sweep(&results)
+        .metric("geomean_dab_vs_baseline", geomean(&dab_ratios))
+        .metric("geomean_gpudet_vs_baseline", geomean(&det_ratios))
+        .table("main", &t);
+    sink.write();
 }

@@ -7,28 +7,32 @@
 //! relaxed schedulers approach (sometimes match) warp-level buffering.
 
 use dab::{BufferLevel, DabConfig};
-use dab_bench::{banner, geomean, ratio, Runner, Table};
+use dab_bench::{banner, geomean, ratio, ResultsSink, Runner, Sweep, Table};
 use dab_workloads::suite::{full_suite, Family};
 use gpu_sim::sched::SchedKind;
 
 fn main() {
     let runner = Runner::from_env();
-    banner("Fig 11", "Performance impact of scheduling (256-entry buffers)", &runner);
+    banner(
+        "Fig 11",
+        "Performance impact of scheduling (256-entry buffers)",
+        &runner,
+    );
     let suite = full_suite(runner.scale);
-    let scheds = [SchedKind::Srr, SchedKind::Gtrr, SchedKind::Gtar, SchedKind::Gwat];
+    let scheds = [
+        SchedKind::Srr,
+        SchedKind::Gtrr,
+        SchedKind::Gtar,
+        SchedKind::Gwat,
+    ];
 
-    for family in [Family::Graph, Family::Conv] {
-        let label = match family {
-            Family::Graph => "(a) graph applications",
-            Family::Conv => "(b) convolutions",
-        };
-        println!("--- {label} ---");
-        let mut t = Table::new(&["benchmark", "WarpGTO", "SRR", "GTRR", "GTAR", "GWAT"]);
-        let mut per_sched: Vec<Vec<f64>> = vec![Vec::new(); scheds.len() + 1];
-        for b in suite.iter().filter(|b| b.family == family) {
-            println!("  {}:", b.name);
-            let base = runner.baseline(&b.kernels).cycles() as f64;
-            let mut row = vec![b.name.clone()];
+    // Submit the whole matrix — every benchmark x {baseline, WarpGTO, four
+    // schedulers} — then render per family from the ordered results.
+    let mut sweep = Sweep::new(&runner);
+    let ids: Vec<_> = suite
+        .iter()
+        .map(|b| {
+            let base = sweep.baseline(format!("{}/baseline", b.name), &b.kernels);
             // Warp-level buffers with conventional GTO scheduling.
             let warp_cfg = DabConfig {
                 level: BufferLevel::Warp,
@@ -38,16 +42,44 @@ fn main() {
                 coalescing: false,
                 ..DabConfig::paper_default()
             };
-            let warp = runner.dab(warp_cfg, &b.kernels).cycles() as f64;
+            let warp = sweep.dab(format!("{}/warp-gto", b.name), warp_cfg, &b.kernels);
+            let sched_ids: Vec<_> = scheds
+                .iter()
+                .map(|&sched| {
+                    let cfg = DabConfig::paper_default()
+                        .with_scheduler(sched)
+                        .with_capacity(256)
+                        .with_fusion(false)
+                        .with_coalescing(false);
+                    sweep.dab(format!("{}/{:?}-256", b.name, sched), cfg, &b.kernels)
+                })
+                .collect();
+            (base, warp, sched_ids)
+        })
+        .collect();
+    let results = sweep.run();
+
+    let mut sink = ResultsSink::new("fig11_scheduling", &runner);
+    sink.sweep(&results);
+    for family in [Family::Graph, Family::Conv] {
+        let (label, title) = match family {
+            Family::Graph => ("(a) graph applications", "graphs"),
+            Family::Conv => ("(b) convolutions", "convolutions"),
+        };
+        println!("--- {label} ---");
+        let mut t = Table::new(&["benchmark", "WarpGTO", "SRR", "GTRR", "GTAR", "GWAT"]);
+        let mut per_sched: Vec<Vec<f64>> = vec![Vec::new(); scheds.len() + 1];
+        for (b, (base_id, warp_id, sched_ids)) in suite.iter().zip(&ids) {
+            if b.family != family {
+                continue;
+            }
+            let base = results.cycles(*base_id) as f64;
+            let mut row = vec![b.name.clone()];
+            let warp = results.cycles(*warp_id) as f64;
             per_sched[0].push(warp / base);
             row.push(ratio(warp / base));
-            for (i, &sched) in scheds.iter().enumerate() {
-                let cfg = DabConfig::paper_default()
-                    .with_scheduler(sched)
-                    .with_capacity(256)
-                    .with_fusion(false)
-                    .with_coalescing(false);
-                let cycles = runner.dab(cfg, &b.kernels).cycles() as f64;
+            for (i, &id) in sched_ids.iter().enumerate() {
+                let cycles = results.cycles(id) as f64;
                 per_sched[i + 1].push(cycles / base);
                 row.push(ratio(cycles / base));
             }
@@ -56,11 +88,20 @@ fn main() {
         println!();
         t.print();
         print!("geomean:  ");
-        for (i, name) in ["WarpGTO", "SRR", "GTRR", "GTAR", "GWAT"].iter().enumerate() {
+        for (i, name) in ["WarpGTO", "SRR", "GTRR", "GTAR", "GWAT"]
+            .iter()
+            .enumerate()
+        {
             print!("{name}={} ", ratio(geomean(&per_sched[i])));
+            sink.metric(
+                format!("geomean_{title}_{}", name.to_lowercase()),
+                geomean(&per_sched[i]),
+            );
         }
         println!();
         println!();
+        sink.table(title, &t);
     }
     println!("(execution time normalized to the non-deterministic baseline = 1.00x)");
+    sink.write();
 }

@@ -6,33 +6,57 @@
 //! and occasionally lose (denser flush bursts congest the interconnect).
 
 use dab::DabConfig;
-use dab_bench::{banner, geomean, ratio, Runner, Table};
+use dab_bench::{banner, geomean, ratio, ResultsSink, Runner, Sweep, Table};
 use dab_workloads::suite::{full_suite, Family};
 
 fn main() {
     let runner = Runner::from_env();
-    banner("Fig 12", "Performance impact of buffer size (GWAT)", &runner);
+    banner(
+        "Fig 12",
+        "Performance impact of buffer size (GWAT)",
+        &runner,
+    );
     let suite = full_suite(runner.scale);
     let capacities = [32usize, 64, 128, 256];
 
+    let mut sweep = Sweep::new(&runner);
+    let ids: Vec<_> = suite
+        .iter()
+        .map(|b| {
+            let base = sweep.baseline(format!("{}/baseline", b.name), &b.kernels);
+            let caps: Vec<_> = capacities
+                .iter()
+                .map(|&cap| {
+                    let cfg = DabConfig::paper_default()
+                        .with_capacity(cap)
+                        .with_fusion(false)
+                        .with_coalescing(false);
+                    sweep.dab(format!("{}/gwat-{cap}", b.name), cfg, &b.kernels)
+                })
+                .collect();
+            (base, caps)
+        })
+        .collect();
+    let results = sweep.run();
+
+    let mut sink = ResultsSink::new("fig12_buffer_capacity", &runner);
+    sink.sweep(&results);
     for family in [Family::Graph, Family::Conv] {
-        let label = match family {
-            Family::Graph => "(a) graph applications",
-            Family::Conv => "(b) convolutions",
+        let (label, title) = match family {
+            Family::Graph => ("(a) graph applications", "graphs"),
+            Family::Conv => ("(b) convolutions", "convolutions"),
         };
         println!("--- {label} ---");
         let mut t = Table::new(&["benchmark", "GWAT-32", "GWAT-64", "GWAT-128", "GWAT-256"]);
         let mut per_cap: Vec<Vec<f64>> = vec![Vec::new(); capacities.len()];
-        for b in suite.iter().filter(|b| b.family == family) {
-            println!("  {}:", b.name);
-            let base = runner.baseline(&b.kernels).cycles() as f64;
+        for (b, (base_id, cap_ids)) in suite.iter().zip(&ids) {
+            if b.family != family {
+                continue;
+            }
+            let base = results.cycles(*base_id) as f64;
             let mut row = vec![b.name.clone()];
-            for (i, &cap) in capacities.iter().enumerate() {
-                let cfg = DabConfig::paper_default()
-                    .with_capacity(cap)
-                    .with_fusion(false)
-                    .with_coalescing(false);
-                let cycles = runner.dab(cfg, &b.kernels).cycles() as f64;
+            for (i, &id) in cap_ids.iter().enumerate() {
+                let cycles = results.cycles(id) as f64;
                 per_cap[i].push(cycles / base);
                 row.push(ratio(cycles / base));
             }
@@ -43,8 +67,11 @@ fn main() {
         print!("geomean:  ");
         for (i, &cap) in capacities.iter().enumerate() {
             print!("GWAT-{cap}={} ", ratio(geomean(&per_cap[i])));
+            sink.metric(format!("geomean_{title}_gwat{cap}"), geomean(&per_cap[i]));
         }
         println!();
         println!();
+        sink.table(title, &t);
     }
+    sink.write();
 }

@@ -7,39 +7,64 @@
 //! (Fig. 14 gates SMs to fix that).
 
 use dab::DabConfig;
-use dab_bench::{banner, geomean, ratio, Runner, Table};
+use dab_bench::{banner, geomean, ratio, ResultsSink, Runner, Sweep, Table};
 use dab_workloads::suite::{full_suite, Family};
 
 fn main() {
     let runner = Runner::from_env();
-    banner("Fig 13", "Atomic fusion on scheduler-level buffering", &runner);
+    banner(
+        "Fig 13",
+        "Atomic fusion on scheduler-level buffering",
+        &runner,
+    );
     let suite = full_suite(runner.scale);
     let capacities = [32usize, 64, 128];
 
-    for family in [Family::Graph, Family::Conv] {
-        let label = match family {
-            Family::Graph => "(a) graph applications",
-            Family::Conv => "(b) convolutions",
-        };
-        println!("--- {label} ---");
-        let mut t = Table::new(&[
-            "benchmark", "32", "32-AF", "64", "64-AF", "128", "128-AF",
-        ]);
-        let mut agg: Vec<Vec<f64>> = vec![Vec::new(); capacities.len() * 2];
-        for b in suite.iter().filter(|b| b.family == family) {
-            println!("  {}:", b.name);
-            let base = runner.baseline(&b.kernels).cycles() as f64;
-            let mut row = vec![b.name.clone()];
-            for (i, &cap) in capacities.iter().enumerate() {
-                for (j, fusion) in [false, true].into_iter().enumerate() {
+    let mut sweep = Sweep::new(&runner);
+    let ids: Vec<_> = suite
+        .iter()
+        .map(|b| {
+            let base = sweep.baseline(format!("{}/baseline", b.name), &b.kernels);
+            let mut variants = Vec::new();
+            for &cap in &capacities {
+                for fusion in [false, true] {
                     let cfg = DabConfig::paper_default()
                         .with_capacity(cap)
                         .with_fusion(fusion)
                         .with_coalescing(false);
-                    let cycles = runner.dab(cfg, &b.kernels).cycles() as f64;
-                    agg[i * 2 + j].push(cycles / base);
-                    row.push(ratio(cycles / base));
+                    let suffix = if fusion { "-af" } else { "" };
+                    variants.push(sweep.dab(
+                        format!("{}/gwat-{cap}{suffix}", b.name),
+                        cfg,
+                        &b.kernels,
+                    ));
                 }
+            }
+            (base, variants)
+        })
+        .collect();
+    let results = sweep.run();
+
+    let mut sink = ResultsSink::new("fig13_atomic_fusion", &runner);
+    sink.sweep(&results);
+    for family in [Family::Graph, Family::Conv] {
+        let (label, title) = match family {
+            Family::Graph => ("(a) graph applications", "graphs"),
+            Family::Conv => ("(b) convolutions", "convolutions"),
+        };
+        println!("--- {label} ---");
+        let mut t = Table::new(&["benchmark", "32", "32-AF", "64", "64-AF", "128", "128-AF"]);
+        let mut agg: Vec<Vec<f64>> = vec![Vec::new(); capacities.len() * 2];
+        for (b, (base_id, variant_ids)) in suite.iter().zip(&ids) {
+            if b.family != family {
+                continue;
+            }
+            let base = results.cycles(*base_id) as f64;
+            let mut row = vec![b.name.clone()];
+            for (i, &id) in variant_ids.iter().enumerate() {
+                let cycles = results.cycles(id) as f64;
+                agg[i].push(cycles / base);
+                row.push(ratio(cycles / base));
             }
             t.row(row);
         }
@@ -52,8 +77,15 @@ fn main() {
                 ratio(geomean(&agg[i * 2])),
                 ratio(geomean(&agg[i * 2 + 1]))
             );
+            sink.metric(format!("geomean_{title}_{cap}"), geomean(&agg[i * 2]));
+            sink.metric(
+                format!("geomean_{title}_{cap}_af"),
+                geomean(&agg[i * 2 + 1]),
+            );
         }
         println!();
         println!();
+        sink.table(title, &t);
     }
+    sink.write();
 }

@@ -10,7 +10,7 @@
 //! despite using fewer cores.
 
 use dab::DabConfig;
-use dab_bench::{banner, ratio, Runner, Table};
+use dab_bench::{banner, ratio, ResultsSink, Runner, Sweep, Table};
 use dab_workloads::scale::Scale;
 use dab_workloads::suite::conv_suite;
 
@@ -24,17 +24,34 @@ fn main() {
     println!("  distribution over {full} SMs vs gated {gated} SMs (region-aligned)");
     println!();
     let suite = conv_suite(runner.scale);
+    let layer2: Vec<_> = suite.iter().filter(|b| b.name.ends_with("_2")).collect();
+    let mut sweep = Sweep::new(&runner);
+    let ids: Vec<_> = layer2
+        .iter()
+        .map(|b| {
+            let cfg_all = DabConfig::paper_default().with_coalescing(false);
+            let cfg_gated = DabConfig::paper_default()
+                .with_coalescing(false)
+                .with_active_sms(gated);
+            (
+                sweep.dab(format!("{}/all-sms", b.name), cfg_all, &b.kernels),
+                sweep.dab(format!("{}/gated", b.name), cfg_gated, &b.kernels),
+            )
+        })
+        .collect();
+    let results = sweep.run();
+
     let mut t = Table::new(&[
-        "layer", "all SMs", "gated", "speedup", "fused ops (all)", "fused ops (gated)",
+        "layer",
+        "all SMs",
+        "gated",
+        "speedup",
+        "fused ops (all)",
+        "fused ops (gated)",
     ]);
-    for b in suite.iter().filter(|b| b.name.ends_with("_2")) {
-        println!("  {}:", b.name);
-        let cfg_all = DabConfig::paper_default().with_coalescing(false);
-        let all = runner.dab(cfg_all, &b.kernels);
-        let cfg_gated = DabConfig::paper_default()
-            .with_coalescing(false)
-            .with_active_sms(gated);
-        let g = runner.dab(cfg_gated, &b.kernels);
+    for (b, &(all_id, gated_id)) in layer2.iter().zip(&ids) {
+        let all = &results[all_id];
+        let g = &results[gated_id];
         t.row(vec![
             b.name.clone(),
             all.cycles().to_string(),
@@ -48,4 +65,8 @@ fn main() {
     t.print();
     println!();
     println!("(speedup > 1.00x means the gated machine wins despite fewer cores)");
+
+    let mut sink = ResultsSink::new("fig14_sm_gating", &runner);
+    sink.sweep(&results).table("main", &t);
+    sink.write();
 }

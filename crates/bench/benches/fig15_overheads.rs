@@ -5,13 +5,29 @@
 //! the net slowdown vs. the baseline.
 
 use dab::DabConfig;
-use dab_bench::{banner, ratio, Runner, Table};
+use dab_bench::{banner, ratio, ResultsSink, Runner, Sweep, Table};
 use dab_workloads::suite::full_suite;
 
 fn main() {
     let runner = Runner::from_env();
     banner("Fig 15", "Performance overhead breakdown of DAB", &runner);
     let suite = full_suite(runner.scale);
+    let mut sweep = Sweep::new(&runner);
+    let ids: Vec<_> = suite
+        .iter()
+        .map(|b| {
+            (
+                sweep.baseline(format!("{}/baseline", b.name), &b.kernels),
+                sweep.dab(
+                    format!("{}/dab", b.name),
+                    DabConfig::paper_default(),
+                    &b.kernels,
+                ),
+            )
+        })
+        .collect();
+    let results = sweep.run();
+
     let mut t = Table::new(&[
         "benchmark",
         "DAB/base",
@@ -21,10 +37,9 @@ fn main() {
         "buffer-full stalls",
         "fused ops",
     ]);
-    for b in &suite {
-        println!("  {}:", b.name);
-        let base = runner.baseline(&b.kernels).cycles() as f64;
-        let dab = runner.dab(DabConfig::paper_default(), &b.kernels);
+    for (b, &(base_id, dab_id)) in suite.iter().zip(&ids) {
+        let base = results.cycles(base_id) as f64;
+        let dab = &results[dab_id];
         let total = dab.cycles() as f64;
         let flush_cycles = dab.stats.counter("dab.flush_cycles") as f64;
         t.row(vec![
@@ -42,4 +57,8 @@ fn main() {
     println!();
     println!("(flush % is the fraction of runtime with a flush epoch in flight — the");
     println!(" GPU-wide implicit barrier the Fig. 18 relaxations remove)");
+
+    let mut sink = ResultsSink::new("fig15_overheads", &runner);
+    sink.sweep(&results).table("main", &t);
+    sink.write();
 }

@@ -8,30 +8,43 @@
 //! evidence the win is congestion relief, not something else.
 
 use dab::DabConfig;
-use dab_bench::{banner, ratio, Runner, Table};
+use dab_bench::{banner, ratio, ResultsSink, Runner, Sweep, Table};
 use dab_workloads::suite::conv_suite;
 
 fn main() {
     let runner = Runner::from_env();
     banner("Fig 16", "Effect of offset flushing on GWAT-64-AF", &runner);
     let suite = conv_suite(runner.scale);
-    let mut t = Table::new(&["layer", "GWAT-64-AF", "+offset", "speedup"]);
-    for b in suite
+    let picks: Vec<_> = suite
         .iter()
         .filter(|b| b.name == "cnv2_3" || b.name == "cnv3_3")
-    {
-        println!("  {}:", b.name);
-        let plain = runner
-            .dab(DabConfig::paper_default().with_coalescing(false), &b.kernels)
-            .cycles() as f64;
-        let offset = runner
-            .dab(
-                DabConfig::paper_default()
-                    .with_coalescing(false)
-                    .with_offset_flush(true),
-                &b.kernels,
+        .collect();
+    let mut sweep = Sweep::new(&runner);
+    let ids: Vec<_> = picks
+        .iter()
+        .map(|b| {
+            (
+                sweep.dab(
+                    format!("{}/plain", b.name),
+                    DabConfig::paper_default().with_coalescing(false),
+                    &b.kernels,
+                ),
+                sweep.dab(
+                    format!("{}/offset", b.name),
+                    DabConfig::paper_default()
+                        .with_coalescing(false)
+                        .with_offset_flush(true),
+                    &b.kernels,
+                ),
             )
-            .cycles() as f64;
+        })
+        .collect();
+    let results = sweep.run();
+
+    let mut t = Table::new(&["layer", "GWAT-64-AF", "+offset", "speedup"]);
+    for (b, &(plain_id, offset_id)) in picks.iter().zip(&ids) {
+        let plain = results.cycles(plain_id) as f64;
+        let offset = results.cycles(offset_id) as f64;
         t.row(vec![
             b.name.clone(),
             format!("{plain:.0}"),
@@ -43,4 +56,8 @@ fn main() {
     t.print();
     println!();
     println!("(paper: offset flushing speeds up cnv2_3 but cnv3_3 only minimally)");
+
+    let mut sink = ResultsSink::new("fig16_offset_flushing", &runner);
+    sink.sweep(&results).table("main", &t);
+    sink.write();
 }

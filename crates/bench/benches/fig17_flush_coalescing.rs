@@ -6,26 +6,56 @@
 //! convolutions; graph workloads gain little (irregular addresses).
 
 use dab::DabConfig;
-use dab_bench::{banner, geomean, ratio, Runner, Table};
+use dab_bench::{banner, geomean, ratio, ResultsSink, Runner, Sweep, Table};
 use dab_workloads::suite::{conv_suite, graph_suite};
 
 fn main() {
     let runner = Runner::from_env();
     banner("Fig 17", "Coalescing buffer flushes (GWAT-64-AF)", &runner);
-    let mut t = Table::new(&["benchmark", "no coalescing", "coalescing", "speedup", "flush txs (off)", "flush txs (on)"]);
+    let suites = [conv_suite(runner.scale), graph_suite(runner.scale)];
+    let mut sweep = Sweep::new(&runner);
+    let ids: Vec<Vec<_>> = suites
+        .iter()
+        .map(|suite| {
+            suite
+                .iter()
+                .map(|b| {
+                    (
+                        sweep.dab(
+                            format!("{}/no-coalescing", b.name),
+                            DabConfig::paper_default().with_coalescing(false),
+                            &b.kernels,
+                        ),
+                        sweep.dab(
+                            format!("{}/coalescing", b.name),
+                            DabConfig::paper_default().with_coalescing(true),
+                            &b.kernels,
+                        ),
+                    )
+                })
+                .collect()
+        })
+        .collect();
+    let results = sweep.run();
+
+    let mut t = Table::new(&[
+        "benchmark",
+        "no coalescing",
+        "coalescing",
+        "speedup",
+        "flush txs (off)",
+        "flush txs (on)",
+    ]);
     let mut conv_speedups = Vec::new();
     let mut graph_speedups = Vec::new();
-    for (suite, bucket) in [
-        (conv_suite(runner.scale), &mut conv_speedups as &mut Vec<f64>),
-        (graph_suite(runner.scale), &mut graph_speedups),
-    ] {
-        for b in &suite {
-            println!("  {}:", b.name);
-            let off = runner.dab(
-                DabConfig::paper_default().with_coalescing(false),
-                &b.kernels,
-            );
-            let on = runner.dab(DabConfig::paper_default().with_coalescing(true), &b.kernels);
+    for ((suite, suite_ids), bucket) in suites
+        .iter()
+        .zip(&ids)
+        .zip([&mut conv_speedups, &mut graph_speedups])
+    {
+        for (b, &(off_id, on_id)) in suite.iter().zip(suite_ids) {
+            let off = &results[off_id];
+            let on = &results[on_id];
             let speedup = off.cycles() as f64 / on.cycles() as f64;
             bucket.push(speedup);
             t.row(vec![
@@ -46,4 +76,11 @@ fn main() {
         ratio(geomean(&conv_speedups)),
         ratio(geomean(&graph_speedups))
     );
+
+    let mut sink = ResultsSink::new("fig17_flush_coalescing", &runner);
+    sink.sweep(&results)
+        .metric("geomean_conv_speedup", geomean(&conv_speedups))
+        .metric("geomean_graph_speedup", geomean(&graph_speedups))
+        .table("main", &t);
+    sink.write();
 }

@@ -10,7 +10,7 @@
 //! barrier across SMs is the dominant DAB overhead, especially for graphs.
 
 use dab::{DabConfig, Relaxation};
-use dab_bench::{banner, geomean, ratio, Runner, Table};
+use dab_bench::{banner, geomean, ratio, ResultsSink, Runner, Sweep, Table};
 use dab_workloads::suite::full_suite;
 
 fn main() {
@@ -23,15 +23,30 @@ fn main() {
         ("DAB-NR-OF", Relaxation::NrOf),
         ("DAB-NR-CIF", Relaxation::NrCif),
     ];
+    let mut sweep = Sweep::new(&runner);
+    let ids: Vec<_> = suite
+        .iter()
+        .map(|b| {
+            let base = sweep.baseline(format!("{}/baseline", b.name), &b.kernels);
+            let variant_ids: Vec<_> = variants
+                .iter()
+                .map(|(name, relax)| {
+                    let cfg = DabConfig::paper_default().with_relaxation(*relax);
+                    sweep.dab(format!("{}/{name}", b.name), cfg, &b.kernels)
+                })
+                .collect();
+            (base, variant_ids)
+        })
+        .collect();
+    let results = sweep.run();
+
     let mut t = Table::new(&["benchmark", "DAB", "DAB-NR", "DAB-NR-OF", "DAB-NR-CIF"]);
     let mut agg: Vec<Vec<f64>> = vec![Vec::new(); variants.len()];
-    for b in &suite {
-        println!("  {}:", b.name);
-        let base = runner.baseline(&b.kernels).cycles() as f64;
+    for (b, (base_id, variant_ids)) in suite.iter().zip(&ids) {
+        let base = results.cycles(*base_id) as f64;
         let mut row = vec![b.name.clone()];
-        for (i, (_, relax)) in variants.iter().enumerate() {
-            let cfg = DabConfig::paper_default().with_relaxation(*relax);
-            let cycles = runner.dab(cfg, &b.kernels).cycles() as f64;
+        for (i, &id) in variant_ids.iter().enumerate() {
+            let cycles = results.cycles(id) as f64;
             agg[i].push(cycles / base);
             row.push(ratio(cycles / base));
         }
@@ -40,11 +55,18 @@ fn main() {
     println!();
     t.print();
     print!("geomean:  ");
+    let mut sink = ResultsSink::new("fig18_relaxed", &runner);
     for (i, (name, _)) in variants.iter().enumerate() {
         print!("{name}={} ", ratio(geomean(&agg[i])));
+        sink.metric(
+            format!("geomean_{}", name.to_lowercase().replace('-', "_")),
+            geomean(&agg[i]),
+        );
     }
     println!();
     println!();
     println!("(the relaxed variants are NOT deterministic; they bound how much each");
     println!(" constraint costs)");
+    sink.sweep(&results).table("main", &t);
+    sink.write();
 }

@@ -17,7 +17,11 @@ use gpu_sim::sched::{Gwat, WarpScheduler, WarpView};
 fn warp_accesses(same_addr: bool) -> Vec<AtomicAccess> {
     (0..32)
         .map(|l| {
-            let addr = if same_addr { 0x100 } else { 0x100 + 4 * l as u64 };
+            let addr = if same_addr {
+                0x100
+            } else {
+                0x100 + 4 * l as u64
+            };
             AtomicAccess::new(l, addr, Value::F32(1.0))
         })
         .collect()

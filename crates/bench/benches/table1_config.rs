@@ -1,6 +1,6 @@
 //! Table I: the GPGPU-Sim (TITAN V) configuration used throughout.
 
-use dab_bench::{banner, Runner, Table};
+use dab_bench::{banner, ResultsSink, Runner, Table};
 use gpu_sim::config::GpuConfig;
 
 fn main() {
@@ -10,25 +10,99 @@ fn main() {
     let active = &runner.gpu;
     let mut t = Table::new(&["parameter", "paper (Table I)", "active scale"]);
     let rows: Vec<(&str, String, String)> = vec![
-        ("# Compute Clusters", paper.num_clusters.to_string(), active.num_clusters.to_string()),
-        ("# SM / Compute Cluster", paper.sms_per_cluster.to_string(), active.sms_per_cluster.to_string()),
-        ("# Streaming Multiprocessors", paper.num_sms().to_string(), active.num_sms().to_string()),
-        ("Max Warps / SM", paper.max_warps_per_sm.to_string(), active.max_warps_per_sm.to_string()),
-        ("Warp Size", paper.warp_size.to_string(), active.warp_size.to_string()),
-        ("# Threads / SM", paper.max_threads_per_sm.to_string(), active.max_threads_per_sm.to_string()),
+        (
+            "# Compute Clusters",
+            paper.num_clusters.to_string(),
+            active.num_clusters.to_string(),
+        ),
+        (
+            "# SM / Compute Cluster",
+            paper.sms_per_cluster.to_string(),
+            active.sms_per_cluster.to_string(),
+        ),
+        (
+            "# Streaming Multiprocessors",
+            paper.num_sms().to_string(),
+            active.num_sms().to_string(),
+        ),
+        (
+            "Max Warps / SM",
+            paper.max_warps_per_sm.to_string(),
+            active.max_warps_per_sm.to_string(),
+        ),
+        (
+            "Warp Size",
+            paper.warp_size.to_string(),
+            active.warp_size.to_string(),
+        ),
+        (
+            "# Threads / SM",
+            paper.max_threads_per_sm.to_string(),
+            active.max_threads_per_sm.to_string(),
+        ),
         ("Baseline Scheduler", "GTO".into(), "GTO".into()),
-        ("# Warp Schedulers / SM", paper.num_schedulers_per_sm.to_string(), active.num_schedulers_per_sm.to_string()),
-        ("# Registers / SM", paper.registers_per_sm.to_string(), active.registers_per_sm.to_string()),
-        ("L1 Data Cache / SM", format!("{} KB, {}B line, {}-way", paper.l1_size / 1024, paper.line_size, paper.l1_assoc), format!("{} KB", active.l1_size / 1024)),
-        ("L2 Unified Cache", format!("{} KB, {}B line, {}-way", paper.l2_size / 1024, paper.line_size, paper.l2_assoc), format!("{} KB", active.l2_size / 1024)),
-        ("# Memory Partitions", paper.num_mem_partitions.to_string(), active.num_mem_partitions.to_string()),
-        ("DRAM request queue", paper.dram_queue_capacity.to_string(), active.dram_queue_capacity.to_string()),
-        ("Interconnect Flit Size", paper.icnt_flit_size.to_string(), active.icnt_flit_size.to_string()),
-        ("Interconnect Input Buffer", paper.icnt_input_buffer.to_string(), active.icnt_input_buffer.to_string()),
-        ("Cluster Ejection Buffer", paper.cluster_ejection_buffer.to_string(), active.cluster_ejection_buffer.to_string()),
+        (
+            "# Warp Schedulers / SM",
+            paper.num_schedulers_per_sm.to_string(),
+            active.num_schedulers_per_sm.to_string(),
+        ),
+        (
+            "# Registers / SM",
+            paper.registers_per_sm.to_string(),
+            active.registers_per_sm.to_string(),
+        ),
+        (
+            "L1 Data Cache / SM",
+            format!(
+                "{} KB, {}B line, {}-way",
+                paper.l1_size / 1024,
+                paper.line_size,
+                paper.l1_assoc
+            ),
+            format!("{} KB", active.l1_size / 1024),
+        ),
+        (
+            "L2 Unified Cache",
+            format!(
+                "{} KB, {}B line, {}-way",
+                paper.l2_size / 1024,
+                paper.line_size,
+                paper.l2_assoc
+            ),
+            format!("{} KB", active.l2_size / 1024),
+        ),
+        (
+            "# Memory Partitions",
+            paper.num_mem_partitions.to_string(),
+            active.num_mem_partitions.to_string(),
+        ),
+        (
+            "DRAM request queue",
+            paper.dram_queue_capacity.to_string(),
+            active.dram_queue_capacity.to_string(),
+        ),
+        (
+            "Interconnect Flit Size",
+            paper.icnt_flit_size.to_string(),
+            active.icnt_flit_size.to_string(),
+        ),
+        (
+            "Interconnect Input Buffer",
+            paper.icnt_input_buffer.to_string(),
+            active.icnt_input_buffer.to_string(),
+        ),
+        (
+            "Cluster Ejection Buffer",
+            paper.cluster_ejection_buffer.to_string(),
+            active.cluster_ejection_buffer.to_string(),
+        ),
     ];
     for (name, p, a) in rows {
         t.row(vec![name.to_string(), p, a]);
     }
     t.print();
+
+    let mut sink = ResultsSink::new("table1_config", &runner);
+    sink.table("main", &t);
+    sink.write();
 }

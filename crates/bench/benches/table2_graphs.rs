@@ -1,7 +1,7 @@
 //! Table II: graph configurations for BC and PageRank, with the measured
 //! atomics-per-kiloinstruction of the generated traces next to the paper's.
 
-use dab_bench::{banner, Runner, Table};
+use dab_bench::{banner, ResultsSink, Runner, Table};
 use dab_workloads::bc::bc_trace_with_budget;
 use dab_workloads::graph::table2_configs;
 use dab_workloads::pagerank::pagerank_trace_with_pki;
@@ -9,9 +9,19 @@ use dab_workloads::scale::Scale;
 
 fn main() {
     let runner = Runner::from_env();
-    banner("Table II", "Graph configurations for BC and PageRank", &runner);
+    banner(
+        "Table II",
+        "Graph configurations for BC and PageRank",
+        &runner,
+    );
     let mut t = Table::new(&[
-        "benchmark", "graph", "nodes", "edges", "paper PKI", "trace PKI", "kernels",
+        "benchmark",
+        "graph",
+        "nodes",
+        "edges",
+        "paper PKI",
+        "trace PKI",
+        "kernels",
     ]);
     for cfg in table2_configs() {
         let graph = cfg.build(runner.scale);
@@ -43,4 +53,8 @@ fn main() {
          node/edge counts and degree skew (see DESIGN.md); very low-PKI rows\n\
          (CNR) are filler-capped at CI scale."
     );
+
+    let mut sink = ResultsSink::new("table2_graphs", &runner);
+    sink.table("main", &t);
+    sink.write();
 }

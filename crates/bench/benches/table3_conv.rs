@@ -1,14 +1,25 @@
 //! Table III: ResNet layer configurations for the backward-filter
 //! convolutions, with the measured atomics-PKI of the generated traces.
 
-use dab_bench::{banner, Runner, Table};
+use dab_bench::{banner, ResultsSink, Runner, Table};
 use dab_workloads::conv::{conv_trace, table3_layers};
 
 fn main() {
     let runner = Runner::from_env();
-    banner("Table III", "ResNet layer configurations for convolution", &runner);
+    banner(
+        "Table III",
+        "ResNet layer configurations for convolution",
+        &runner,
+    );
     let mut t = Table::new(&[
-        "layer", "input (CxHxW)", "output K", "filter", "regions", "CTAs", "paper PKI", "trace PKI",
+        "layer",
+        "input (CxHxW)",
+        "output K",
+        "filter",
+        "regions",
+        "CTAs",
+        "paper PKI",
+        "trace PKI",
     ]);
     for layer in table3_layers() {
         let grid = conv_trace(&layer, runner.scale);
@@ -24,4 +35,8 @@ fn main() {
         ]);
     }
     t.print();
+
+    let mut sink = ResultsSink::new("table3_conv", &runner);
+    sink.table("main", &t);
+    sink.write();
 }

@@ -7,9 +7,18 @@
 //! printing.
 //!
 //! Scale is controlled by `DAB_SCALE=ci|paper` (default `ci`); see
-//! [`dab_workloads::scale::Scale`].
+//! [`dab_workloads::scale::Scale`]. Independent design points run in
+//! parallel via [`Sweep`]/[`Runner::run_many`] (`DAB_JOBS` workers), and
+//! every target also writes machine-readable `results/<target>.json`
+//! through [`ResultsSink`].
 
 use std::time::Instant;
+
+mod results;
+mod sweep;
+
+pub use results::ResultsSink;
+pub use sweep::{jobs_from_env, JobId, Sweep, SweepJob, SweepResults, SweepRun};
 
 use dab::{DabConfig, DabModel};
 use dab_workloads::scale::Scale;
@@ -162,6 +171,16 @@ impl Table {
         self
     }
 
+    /// The column headers.
+    pub fn header(&self) -> &[String] {
+        &self.header
+    }
+
+    /// The appended rows, in insertion order.
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
     /// Renders the table with aligned columns.
     pub fn render(&self) -> String {
         let cols = self.header.len();
@@ -274,8 +293,8 @@ mod tests {
         let mut r = Runner::at_scale(Scale::Ci);
         r.gpu = gpu_sim::config::GpuConfig::tiny();
         let grid = atomic_sum_grid(256, 0x2000_0000);
-        let base = r.baseline(&[grid.clone()]);
-        let dab = r.dab(DabConfig::paper_default(), &[grid.clone()]);
+        let base = r.baseline(std::slice::from_ref(&grid));
+        let dab = r.dab(DabConfig::paper_default(), std::slice::from_ref(&grid));
         let det = r.gpudet(&[grid]);
         assert!(base.cycles() > 0);
         assert!(dab.cycles() > 0);

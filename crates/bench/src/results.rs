@@ -1,0 +1,312 @@
+//! Structured results output: one JSON document per bench target.
+//!
+//! Every figure/table target writes `results/<target>.json` next to its
+//! human-readable `.txt`, so downstream tooling (plots, regression diffing,
+//! CI artifact comparison) never has to scrape the aligned-column text.
+//!
+//! Schema (stable; documented in README.md):
+//!
+//! ```json
+//! {
+//!   "target": "fig10_overall",
+//!   "scale": "ci",
+//!   "machine": { "sms": 16, "mem_partitions": 8 },
+//!   "seed": 1,
+//!   "workers": 8,
+//!   "wall_secs": 1.234,
+//!   "runs": [
+//!     { "label": "BC_1k/baseline", "model": "baseline", "seed": 1,
+//!       "cycles": 12345, "digest": "0x0123456789abcdef", "wall_secs": 0.01 }
+//!   ],
+//!   "metrics": { "geomean_dab": 1.23 },
+//!   "tables": [
+//!     { "title": "main", "header": ["benchmark", "DAB"],
+//!       "rows": [["BC_1k", "1.21x"]] }
+//!   ]
+//! }
+//! ```
+//!
+//! `digest` is the run's [`gpu_sim::mem::value::ValueMem`] digest — the
+//! determinism criterion — rendered as a hex string so 64-bit values
+//! survive JSON readers that parse numbers as doubles. `wall_secs` fields
+//! are host measurements and are **not** deterministic; everything else is
+//! bit-stable for a given scale/seed regardless of `DAB_JOBS`.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use crate::sweep::SweepResults;
+use crate::{Runner, Table};
+
+/// Accumulates a bench target's structured output and writes the JSON.
+#[derive(Debug)]
+pub struct ResultsSink {
+    target: String,
+    scale: String,
+    sms: usize,
+    mem_partitions: usize,
+    seed: u64,
+    workers: Option<usize>,
+    wall_secs: Option<f64>,
+    runs: Vec<RunRecord>,
+    metrics: Vec<(String, f64)>,
+    tables: Vec<(String, Vec<String>, Vec<Vec<String>>)>,
+}
+
+#[derive(Debug)]
+struct RunRecord {
+    label: String,
+    model: String,
+    seed: u64,
+    cycles: u64,
+    digest: u64,
+    wall_secs: f64,
+}
+
+impl ResultsSink {
+    /// Starts a sink for `target` (the bench binary's name, which becomes
+    /// the file stem).
+    pub fn new(target: impl Into<String>, runner: &Runner) -> Self {
+        Self {
+            target: target.into(),
+            scale: runner.scale.label().to_string(),
+            sms: runner.gpu.num_sms(),
+            mem_partitions: runner.gpu.num_mem_partitions,
+            seed: runner.seed,
+            workers: None,
+            wall_secs: None,
+            runs: Vec::new(),
+            metrics: Vec::new(),
+            tables: Vec::new(),
+        }
+    }
+
+    /// Records every run of a completed sweep (labels, cycles, digests,
+    /// per-run and total wall-clock, worker count).
+    pub fn sweep(&mut self, results: &SweepResults) -> &mut Self {
+        self.workers = Some(results.workers);
+        self.wall_secs = Some(self.wall_secs.unwrap_or(0.0) + results.wall.as_secs_f64());
+        for run in results.runs() {
+            self.runs.push(RunRecord {
+                label: run.label.clone(),
+                model: run.report.model.clone(),
+                seed: run.seed,
+                cycles: run.report.cycles(),
+                digest: run.report.digest(),
+                wall_secs: run.report.wall_secs(),
+            });
+        }
+        self
+    }
+
+    /// Records a named scalar metric (geomeans, correlations, ...).
+    pub fn metric(&mut self, name: impl Into<String>, value: f64) -> &mut Self {
+        self.metrics.push((name.into(), value));
+        self
+    }
+
+    /// Records a rendered table (same rows the target prints).
+    pub fn table(&mut self, title: impl Into<String>, table: &Table) -> &mut Self {
+        self.tables
+            .push((title.into(), table.header().to_vec(), table.rows().to_vec()));
+        self
+    }
+
+    /// Serializes the document (deterministic field order).
+    pub fn render(&self) -> String {
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"target\": {},", json_str(&self.target));
+        let _ = writeln!(out, "  \"scale\": {},", json_str(&self.scale));
+        let _ = writeln!(
+            out,
+            "  \"machine\": {{ \"sms\": {}, \"mem_partitions\": {} }},",
+            self.sms, self.mem_partitions
+        );
+        let _ = writeln!(out, "  \"seed\": {},", self.seed);
+        if let Some(w) = self.workers {
+            let _ = writeln!(out, "  \"workers\": {w},");
+        }
+        if let Some(wall) = self.wall_secs {
+            let _ = writeln!(out, "  \"wall_secs\": {},", json_f64(wall));
+        }
+        out.push_str("  \"runs\": [");
+        for (i, r) in self.runs.iter().enumerate() {
+            let comma = if i + 1 < self.runs.len() { "," } else { "" };
+            let _ = write!(
+                out,
+                "\n    {{ \"label\": {}, \"model\": {}, \"seed\": {}, \"cycles\": {}, \
+                 \"digest\": \"0x{:016x}\", \"wall_secs\": {} }}{comma}",
+                json_str(&r.label),
+                json_str(&r.model),
+                r.seed,
+                r.cycles,
+                r.digest,
+                json_f64(r.wall_secs),
+            );
+        }
+        out.push_str(if self.runs.is_empty() {
+            "],\n"
+        } else {
+            "\n  ],\n"
+        });
+        out.push_str("  \"metrics\": {");
+        for (i, (name, value)) in self.metrics.iter().enumerate() {
+            let comma = if i + 1 < self.metrics.len() { "," } else { "" };
+            let _ = write!(out, "\n    {}: {}{comma}", json_str(name), json_f64(*value));
+        }
+        out.push_str(if self.metrics.is_empty() {
+            "},\n"
+        } else {
+            "\n  },\n"
+        });
+        out.push_str("  \"tables\": [");
+        for (i, (title, header, rows)) in self.tables.iter().enumerate() {
+            let comma = if i + 1 < self.tables.len() { "," } else { "" };
+            let _ = write!(
+                out,
+                "\n    {{ \"title\": {}, \"header\": {},\n      \"rows\": [",
+                json_str(title),
+                json_str_array(header),
+            );
+            for (j, row) in rows.iter().enumerate() {
+                let row_comma = if j + 1 < rows.len() { "," } else { "" };
+                let _ = write!(out, "\n        {}{row_comma}", json_str_array(row));
+            }
+            out.push_str(if rows.is_empty() {
+                "] }"
+            } else {
+                "\n      ] }"
+            });
+            out.push_str(comma);
+        }
+        out.push_str(if self.tables.is_empty() {
+            "]\n"
+        } else {
+            "\n  ]\n"
+        });
+        out.push_str("}\n");
+        out
+    }
+
+    /// Writes `results/<target>.json` (directory overridable with
+    /// `DAB_RESULTS_DIR`) and prints the path.
+    pub fn write(&self) {
+        let dir = results_dir();
+        if let Err(e) = std::fs::create_dir_all(&dir) {
+            eprintln!("warning: cannot create {}: {e}", dir.display());
+            return;
+        }
+        let path = dir.join(format!("{}.json", self.target));
+        match std::fs::write(&path, self.render()) {
+            Ok(()) => println!("results: {}", path.display()),
+            Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+        }
+    }
+}
+
+/// The `results/` directory: `DAB_RESULTS_DIR` if set, else the repo-root
+/// `results/` two levels above this crate.
+fn results_dir() -> PathBuf {
+    if let Ok(dir) = std::env::var("DAB_RESULTS_DIR") {
+        return PathBuf::from(dir);
+    }
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("results")
+}
+
+/// JSON string literal (the labels here are ASCII; escape the basics).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_str_array(items: &[String]) -> String {
+    let cells: Vec<String> = items.iter().map(|s| json_str(s)).collect();
+    format!("[{}]", cells.join(", "))
+}
+
+/// JSON number: finite floats as-is, non-finite as null (JSON has no NaN).
+fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        let s = format!("{x}");
+        // `Display` for f64 prints integers without a dot; keep it a float
+        // so typed readers see a consistent number shape.
+        if s.contains(['.', 'e', 'E']) {
+            s
+        } else {
+            format!("{s}.0")
+        }
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dab_workloads::scale::Scale;
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_str("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(json_str("x\ny"), "\"x\\ny\"");
+        assert_eq!(json_f64(1.5), "1.5");
+        assert_eq!(json_f64(2.0), "2.0");
+        assert_eq!(json_f64(f64::NAN), "null");
+    }
+
+    #[test]
+    fn render_is_balanced_json() {
+        let runner = Runner::at_scale(Scale::Ci);
+        let mut sink = ResultsSink::new("unit_test", &runner);
+        let mut t = Table::new(&["a", "b"]);
+        t.row(vec!["x".into(), "1.00x".into()]);
+        sink.metric("geomean", 1.25).table("main", &t);
+        let s = sink.render();
+        assert_eq!(
+            s.matches('{').count(),
+            s.matches('}').count(),
+            "unbalanced braces in: {s}"
+        );
+        assert_eq!(s.matches('[').count(), s.matches(']').count());
+        assert!(s.contains("\"target\": \"unit_test\""));
+        assert!(s.contains("\"geomean\": 1.25"));
+        assert!(s.contains("\"rows\": ["));
+        // Smoke-check nesting with a tiny bracket matcher over the
+        // structural characters (our strings contain no brackets).
+        let mut depth = 0i32;
+        for c in s.chars() {
+            match c {
+                '{' | '[' => depth += 1,
+                '}' | ']' => depth -= 1,
+                _ => {}
+            }
+            assert!(depth >= 0);
+        }
+        assert_eq!(depth, 0);
+    }
+
+    #[test]
+    fn results_dir_override() {
+        std::env::set_var("DAB_RESULTS_DIR", "/tmp/dab-results-test");
+        assert_eq!(results_dir(), PathBuf::from("/tmp/dab-results-test"));
+        std::env::remove_var("DAB_RESULTS_DIR");
+        assert!(results_dir().ends_with("results"));
+    }
+}

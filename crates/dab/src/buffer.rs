@@ -251,8 +251,14 @@ mod tests {
     #[test]
     fn exch_never_fuses() {
         let mut buf = AtomicBuffer::new(8, true);
-        assert!(buf.try_insert(AtomicOp::ExchB32, &[AtomicAccess::new(0, 0x40, Value::U32(1))]));
-        assert!(buf.try_insert(AtomicOp::ExchB32, &[AtomicAccess::new(0, 0x40, Value::U32(2))]));
+        assert!(buf.try_insert(
+            AtomicOp::ExchB32,
+            &[AtomicAccess::new(0, 0x40, Value::U32(1))]
+        ));
+        assert!(buf.try_insert(
+            AtomicOp::ExchB32,
+            &[AtomicAccess::new(0, 0x40, Value::U32(2))]
+        ));
         assert_eq!(buf.len(), 2);
     }
 
@@ -261,7 +267,9 @@ mod tests {
         // Fusing in lane order is itself a deterministic f32 reduction.
         let run = || {
             let mut buf = AtomicBuffer::new(4, true);
-            let a: Vec<_> = (0..16).map(|l| acc(l, 0x40, 0.1 * (l + 1) as f32)).collect();
+            let a: Vec<_> = (0..16)
+                .map(|l| acc(l, 0x40, 0.1 * (l + 1) as f32))
+                .collect();
             buf.try_insert(AtomicOp::AddF32, &a);
             buf.drain()[0].arg.to_bits()
         };

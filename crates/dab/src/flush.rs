@@ -70,7 +70,10 @@ impl PartitionReorder {
     ///
     /// Panics on a duplicate pre-flush from the same SM in one epoch.
     pub fn on_pre_flush(&mut self, sm: usize, count: u32, part: &mut MemPartition) {
-        assert!(self.expected[sm].is_none(), "duplicate pre-flush from SM {sm}");
+        assert!(
+            self.expected[sm].is_none(),
+            "duplicate pre-flush from SM {sm}"
+        );
         self.expected[sm] = Some(count);
         self.received_preflush += 1;
         self.try_serve(part);
@@ -272,7 +275,12 @@ mod tests {
     #[test]
     fn deterministic_regardless_of_arrival_order() {
         let arrivals = [
-            vec![(0usize, 0u32, 1.0f32), (1, 0, 2.0), (0, 1, 4.0), (1, 1, 8.0)],
+            vec![
+                (0usize, 0u32, 1.0f32),
+                (1, 0, 2.0),
+                (0, 1, 4.0),
+                (1, 1, 8.0),
+            ],
             vec![(1, 1, 8.0), (0, 1, 4.0), (1, 0, 2.0), (0, 0, 1.0)],
         ];
         let mut sums = Vec::new();

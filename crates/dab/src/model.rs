@@ -230,7 +230,7 @@ impl DabModel {
             }
         }
         self.total_entries -= stream.len() as u64;
-        if self.dab.offset_flush && sm % 2 == 0 && !stream.is_empty() {
+        if self.dab.offset_flush && sm.is_multiple_of(2) && !stream.is_empty() {
             let rot = OFFSET_FLUSH_ROTATION.min(stream.len());
             stream.rotate_left(rot);
         }
@@ -373,9 +373,7 @@ impl DabModel {
 
     fn want_flush(&self, ctx: &ModelCtx<'_>) -> bool {
         self.flush_requested.iter().any(|&f| f)
-            || (ctx.kernel_fully_dispatched
-                && self.live_total(ctx) == 0
-                && self.total_entries > 0)
+            || (ctx.kernel_fully_dispatched && self.live_total(ctx) == 0 && self.total_entries > 0)
     }
 
     fn tick_global(&mut self, ctx: &mut ModelCtx<'_>) {
@@ -437,9 +435,9 @@ impl DabModel {
                 || (ctx.kernel_fully_dispatched
                     && self.live_total(ctx) == 0
                     && self.any_entries_in_sm_range(sms.clone()));
-            let sealed = sms.clone().all(|sm| {
-                (0..scheds).all(|s| ctx.census[sm * scheds + s].sealed())
-            });
+            let sealed = sms
+                .clone()
+                .all(|sm| (0..scheds).all(|s| ctx.census[sm * scheds + s].sealed()));
             if want && sealed {
                 self.cluster_active[c] = true;
                 self.flush_busy_since.get_or_insert(ctx.cycle);
@@ -474,10 +472,13 @@ impl ExecutionModel for DabModel {
         if let Buffers::Warp(m) = &mut self.buffers {
             let prev = m.insert(
                 (warp.sched.sm, warp.slot),
-                (warp.unique, AtomicBuffer::new(self.dab.capacity, self.dab.fusion)),
+                (
+                    warp.unique,
+                    AtomicBuffer::new(self.dab.capacity, self.dab.fusion),
+                ),
             );
             debug_assert!(
-                prev.map_or(true, |(_, b)| b.is_empty()),
+                prev.is_none_or(|(_, b)| b.is_empty()),
                 "slot reused with non-empty warp buffer"
             );
         }
@@ -497,7 +498,7 @@ impl ExecutionModel for DabModel {
             Buffers::Warp(m) => {
                 let empty = m
                     .get(&(warp.sched.sm, warp.slot))
-                    .map_or(true, |(_, b)| b.is_empty());
+                    .is_none_or(|(_, b)| b.is_empty());
                 if !empty {
                     // The paper keeps warps active while their buffer is
                     // non-empty; waiting for a flush reclaims the slot.
@@ -637,7 +638,10 @@ mod tests {
                     c,
                     vec![WarpProgram::new(
                         vec![
-                            Instr::Alu { cycles: 4, count: 8 },
+                            Instr::Alu {
+                                cycles: 4,
+                                count: 8,
+                            },
                             Instr::Red {
                                 op: AtomicOp::AddF32,
                                 accesses: (0..32)
@@ -651,7 +655,11 @@ mod tests {
                                 op: AtomicOp::AddF32,
                                 accesses: (0..32)
                                     .map(|l| {
-                                        AtomicAccess::new(l, 0x800 + 4 * (l as u64 % 8), Value::F32(0.3))
+                                        AtomicAccess::new(
+                                            l,
+                                            0x800 + 4 * (l as u64 % 8),
+                                            Value::F32(0.3),
+                                        )
                                     })
                                     .collect(),
                             },
@@ -667,9 +675,8 @@ mod tests {
     fn run_dab(cfg: DabConfig, seed: u64, ctas: usize) -> (u64, u64) {
         let gpu = GpuConfig::tiny();
         let model = DabModel::new(&gpu, cfg);
-        let report = GpuSim::new(gpu, Box::new(model), NdetSource::seeded(seed)).run(&[
-            order_sensitive_grid(ctas),
-        ]);
+        let report = GpuSim::new(gpu, Box::new(model), NdetSource::seeded(seed))
+            .run(&[order_sensitive_grid(ctas)]);
         (report.digest(), report.cycles())
     }
 
@@ -686,7 +693,12 @@ mod tests {
 
     #[test]
     fn dab_all_schedulers_deterministic() {
-        for sched in [SchedKind::Srr, SchedKind::Gtrr, SchedKind::Gtar, SchedKind::Gwat] {
+        for sched in [
+            SchedKind::Srr,
+            SchedKind::Gtrr,
+            SchedKind::Gtar,
+            SchedKind::Gwat,
+        ] {
             let cfg = DabConfig::paper_default().with_scheduler(sched);
             let a = run_dab(cfg.clone(), 1, 16).0;
             let b = run_dab(cfg, 2, 16).0;
@@ -753,7 +765,9 @@ mod tests {
         let run = |coal: bool| {
             let model = DabModel::new(
                 &gpu,
-                DabConfig::paper_default().with_fusion(false).with_coalescing(coal),
+                DabConfig::paper_default()
+                    .with_fusion(false)
+                    .with_coalescing(coal),
             );
             GpuSim::new(gpu.clone(), Box::new(model), NdetSource::disabled())
                 .run(&[order_sensitive_grid(8)])
@@ -851,7 +865,10 @@ mod tests {
     #[should_panic(expected = "determinism-aware")]
     fn scheduler_level_rejects_gto() {
         let gpu = GpuConfig::tiny();
-        DabModel::new(&gpu, DabConfig::paper_default().with_scheduler(SchedKind::Gto));
+        DabModel::new(
+            &gpu,
+            DabConfig::paper_default().with_scheduler(SchedKind::Gto),
+        );
     }
 
     #[test]
@@ -961,7 +978,10 @@ mod tests {
     fn nr_variants_skip_preflush() {
         let gpu = GpuConfig::tiny();
         let grid = order_sensitive_grid(12);
-        let model = DabModel::new(&gpu, DabConfig::paper_default().with_relaxation(Relaxation::Nr));
+        let model = DabModel::new(
+            &gpu,
+            DabConfig::paper_default().with_relaxation(Relaxation::Nr),
+        );
         let report = GpuSim::new(gpu, Box::new(model), NdetSource::seeded(1)).run(&[grid]);
         assert_eq!(report.stats.counter("dab.preflush_msgs"), 0);
         assert!(report.stats.counter("dab.flushes") > 0);

@@ -136,7 +136,7 @@ proptest! {
         }
         // The final applied value must be the canonical last element.
         if let Some(&(sm, seq)) = canonical.last() {
-            prop_assert_eq!(values.read_u32(0x100), (sm as u32) << 16 | seq as u32);
+            prop_assert_eq!(values.read_u32(0x100), (sm as u32) << 16 | seq);
         }
         prop_assert_eq!(values.atomics_applied(), canonical.len() as u64);
     }
@@ -160,7 +160,10 @@ mod end_to_end_determinism {
         let mut instrs = Vec::new();
         for (k, &code) in codes.iter().enumerate() {
             let instr = match code {
-                0 => Instr::Alu { cycles: 2, count: 5 },
+                0 => Instr::Alu {
+                    cycles: 2,
+                    count: 5,
+                },
                 1 => Instr::Load {
                     accesses: vec![MemAccess::per_lane_f32(
                         0x10_0000 + (cta * 64 + warp * 8 + k) as u64 * 128,

@@ -201,12 +201,18 @@ impl GpuConfig {
         if self.warp_size == 0 || self.warp_size > 64 {
             return Err(ConfigError::new("warp size must be in 1..=64"));
         }
-        if self.line_size == 0 || self.sector_size == 0 || self.line_size % self.sector_size != 0 {
+        if self.line_size == 0
+            || self.sector_size == 0
+            || !self.line_size.is_multiple_of(self.sector_size)
+        {
             return Err(ConfigError::new(
                 "line size must be a non-zero multiple of sector size",
             ));
         }
-        if self.num_schedulers_per_sm == 0 || self.max_warps_per_sm % self.num_schedulers_per_sm != 0
+        if self.num_schedulers_per_sm == 0
+            || !self
+                .max_warps_per_sm
+                .is_multiple_of(self.num_schedulers_per_sm)
         {
             return Err(ConfigError::new(
                 "warps per SM must divide evenly among schedulers",
@@ -215,11 +221,16 @@ impl GpuConfig {
         if self.num_mem_partitions == 0 {
             return Err(ConfigError::new("need at least one memory partition"));
         }
-        if self.l1_size % (self.l1_assoc * self.line_size) != 0 {
+        if !self.l1_size.is_multiple_of(self.l1_assoc * self.line_size) {
             return Err(ConfigError::new("L1 size must be assoc * line * sets"));
         }
-        if self.l2_slice_size() % (self.l2_assoc * self.line_size) != 0 {
-            return Err(ConfigError::new("L2 slice size must be assoc * line * sets"));
+        if !self
+            .l2_slice_size()
+            .is_multiple_of(self.l2_assoc * self.line_size)
+        {
+            return Err(ConfigError::new(
+                "L2 slice size must be assoc * line * sets",
+            ));
         }
         if self.icnt_flit_size == 0 || self.icnt_flits_per_cycle == 0 {
             return Err(ConfigError::new("interconnect bandwidth must be non-zero"));

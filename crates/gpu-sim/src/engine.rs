@@ -53,6 +53,9 @@ pub struct RunReport {
     pub values: ValueMem,
     /// Cycles consumed by each kernel, in launch order.
     pub kernel_cycles: Vec<(String, u64)>,
+    /// Host wall-clock time the run took (simulator throughput, not a
+    /// simulated quantity — excluded from any determinism comparison).
+    pub wall: std::time::Duration,
 }
 
 impl RunReport {
@@ -65,6 +68,16 @@ impl RunReport {
     /// comparisons between runs).
     pub fn digest(&self) -> u64 {
         self.values.digest()
+    }
+
+    /// Host wall-clock seconds the run took.
+    pub fn wall_secs(&self) -> f64 {
+        self.wall.as_secs_f64()
+    }
+
+    /// Simulated cycles per host second (simulator throughput).
+    pub fn cycles_per_sec(&self) -> f64 {
+        self.stats.cycles as f64 / self.wall.as_secs_f64().max(1e-9)
     }
 }
 
@@ -98,7 +111,8 @@ impl Dispatcher {
             },
             CtaDistribution::Static { active_sms } => {
                 let active = active_sms.clamp(1, num_sms);
-                let mut queues: Vec<VecDeque<usize>> = (0..num_sms).map(|_| VecDeque::new()).collect();
+                let mut queues: Vec<VecDeque<usize>> =
+                    (0..num_sms).map(|_| VecDeque::new()).collect();
                 for idx in 0..grid.ctas.len() {
                     queues[idx % active].push_back(idx);
                 }
@@ -196,6 +210,7 @@ impl GpuSim {
     /// Panics if the machine makes no progress for an implausibly long time
     /// (a model/scheduler deadlock — always a bug, never expected load).
     pub fn run(mut self, kernels: &[KernelGrid]) -> RunReport {
+        let started = std::time::Instant::now();
         let mut kernel_cycles = Vec::with_capacity(kernels.len());
         for grid in kernels {
             let start = self.cycle;
@@ -208,7 +223,8 @@ impl GpuSim {
             self.stats.l2_accesses += ps.l2_accesses;
             self.stats.l2_misses += ps.l2_misses;
             self.stats.bump("rop.ops", ps.rop_ops);
-            self.stats.bump("rop.fill_stall_cycles", ps.rop_fill_stall_cycles);
+            self.stats
+                .bump("rop.fill_stall_cycles", ps.rop_fill_stall_cycles);
             self.stats.bump("dram.accesses", ps.dram_accesses);
         }
         RunReport {
@@ -216,6 +232,7 @@ impl GpuSim {
             stats: self.stats,
             values: self.values,
             kernel_cycles,
+            wall: started.elapsed(),
         }
     }
 
@@ -730,12 +747,7 @@ impl GpuSim {
         true
     }
 
-    fn issue_store(
-        &mut self,
-        warp_id: WarpId,
-        cluster: usize,
-        accesses: &[MemAccess],
-    ) -> bool {
+    fn issue_store(&mut self, warp_id: WarpId, cluster: usize, accesses: &[MemAccess]) -> bool {
         let cycle = self.cycle;
         let sm_idx = warp_id.sched.sm;
         let slot = warp_id.slot;
@@ -747,7 +759,10 @@ impl GpuSim {
             w.next_ready = cycle + 1;
             return true;
         }
-        if !self.icnt.can_inject_request(cluster, 2 * sectors.len() as u32) {
+        if !self
+            .icnt
+            .can_inject_request(cluster, 2 * sectors.len() as u32)
+        {
             self.stats.icnt_stall_cycles += 1;
             return false;
         }
@@ -1038,7 +1053,9 @@ impl GpuSim {
             return;
         }
         let (unique, sched) = {
-            let w = self.sms[sm_idx].warps[slot].as_ref().expect("finished warp");
+            let w = self.sms[sm_idx].warps[slot]
+                .as_ref()
+                .expect("finished warp");
             (w.unique, w.sched)
         };
         // Warp-level DAB holds finished warps until their buffer flushes.
@@ -1057,10 +1074,7 @@ impl GpuSim {
         let warp = self.sms[sm_idx].retire_warp(slot, false);
         debug_assert_eq!(warp.unique, unique);
         self.model.on_warp_exit(WarpId {
-            sched: SchedId {
-                sm: sm_idx,
-                sched,
-            },
+            sched: SchedId { sm: sm_idx, sched },
             slot,
             unique,
         });
@@ -1261,7 +1275,13 @@ mod tests {
             "alu",
             vec![CtaSpec::new(
                 0,
-                vec![WarpProgram::new(vec![Instr::Alu { cycles: 4, count: 10 }], 32)],
+                vec![WarpProgram::new(
+                    vec![Instr::Alu {
+                        cycles: 4,
+                        count: 10,
+                    }],
+                    32,
+                )],
             )],
         );
         let report = run_baseline(grid);
@@ -1305,7 +1325,10 @@ mod tests {
         let prog = |spin: u32| {
             WarpProgram::new(
                 vec![
-                    Instr::Alu { cycles: 1, count: spin },
+                    Instr::Alu {
+                        cycles: 1,
+                        count: spin,
+                    },
                     Instr::Bar,
                     Instr::Red {
                         op: AtomicOp::AddF32,
@@ -1315,10 +1338,7 @@ mod tests {
                 32,
             )
         };
-        let grid = KernelGrid::new(
-            "bar",
-            vec![CtaSpec::new(0, vec![prog(1), prog(500)])],
-        );
+        let grid = KernelGrid::new("bar", vec![CtaSpec::new(0, vec![prog(1), prog(500)])]);
         let report = run_baseline(grid);
         assert_eq!(report.values.read_f32(0x40), 2.0);
     }
@@ -1335,7 +1355,10 @@ mod tests {
                             accesses: vec![MemAccess::per_lane_f32(0x5000, 32)],
                         },
                         Instr::Fence,
-                        Instr::Alu { cycles: 1, count: 1 },
+                        Instr::Alu {
+                            cycles: 1,
+                            count: 1,
+                        },
                     ],
                     32,
                 )],
@@ -1478,7 +1501,7 @@ mod tests {
                 Box::new(BaselineModel::new()),
                 NdetSource::seeded(seed),
             );
-            let r = sim.run(&[grid.clone()]);
+            let r = sim.run(std::slice::from_ref(&grid));
             (r.cycles(), r.digest())
         };
         assert_eq!(run(3), run(3));
@@ -1496,7 +1519,9 @@ mod tests {
                 "static-baseline".into()
             }
             fn cta_distribution(&self, num_sms: usize) -> CtaDistribution {
-                CtaDistribution::Static { active_sms: num_sms }
+                CtaDistribution::Static {
+                    active_sms: num_sms,
+                }
             }
         }
         // Each CTA adds its id into a per-SM-deterministic cell: CTA c adds
@@ -1525,7 +1550,11 @@ mod tests {
             )
         };
         let run = |seed| {
-            let sim = GpuSim::new(GpuConfig::tiny(), Box::new(StaticBase), NdetSource::seeded(seed));
+            let sim = GpuSim::new(
+                GpuConfig::tiny(),
+                Box::new(StaticBase),
+                NdetSource::seeded(seed),
+            );
             let r = sim.run(&[grid()]);
             (r.values.read_u32(0x100), r.values.read_u32(0x104))
         };
@@ -1577,7 +1606,10 @@ mod tests {
                             c,
                             vec![WarpProgram::new(
                                 vec![
-                                    Instr::Alu { cycles: 2, count: 3 },
+                                    Instr::Alu {
+                                        cycles: 2,
+                                        count: 3,
+                                    },
                                     Instr::Red {
                                         op: AtomicOp::AddU32,
                                         accesses: vec![AtomicAccess::new(

@@ -384,7 +384,11 @@ mod tests {
     #[test]
     fn baseline_routes_atomics_to_memory() {
         let mut m = BaselineModel::new();
-        let accesses = [crate::isa::AtomicAccess::new(0, 0, crate::isa::Value::F32(1.0))];
+        let accesses = [crate::isa::AtomicAccess::new(
+            0,
+            0,
+            crate::isa::Value::F32(1.0),
+        )];
         let issue = AtomicIssue {
             warp: WarpId {
                 sched: SchedId { sm: 0, sched: 0 },
@@ -405,15 +409,16 @@ mod tests {
         let mut stats = SimStats::default();
         let census = vec![SchedCensus::default(); cfg.num_sms() * cfg.num_schedulers_per_sm];
         let mut wakes = Vec::new();
-        let mut ctx = ModelCtx::new(5, &cfg, &mut icnt, &mut stats, &census, false, &mut wakes);
-        assert_eq!(ctx.cluster_of_sm(1), 1); // tiny: 1 SM per cluster
-        assert_eq!(
-            ctx.census_of(SchedId { sm: 1, sched: 2 }),
-            SchedCensus::default()
-        );
-        ctx.wake_flush_waiters(1);
-        ctx.wake_warp(WarpRef { sm: 0, slot: 3 });
-        drop(ctx);
+        {
+            let mut ctx = ModelCtx::new(5, &cfg, &mut icnt, &mut stats, &census, false, &mut wakes);
+            assert_eq!(ctx.cluster_of_sm(1), 1); // tiny: 1 SM per cluster
+            assert_eq!(
+                ctx.census_of(SchedId { sm: 1, sched: 2 }),
+                SchedCensus::default()
+            );
+            ctx.wake_flush_waiters(1);
+            ctx.wake_warp(WarpRef { sm: 0, slot: 3 });
+        }
         assert_eq!(
             wakes,
             vec![

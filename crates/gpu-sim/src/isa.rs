@@ -99,7 +99,11 @@ impl AtomicOp {
             AtomicOp::MaxF32 => {
                 let cur = f32::from_bits(current);
                 let a = arg.as_f32();
-                if a > cur { a.to_bits() } else { current }
+                if a > cur {
+                    a.to_bits()
+                } else {
+                    current
+                }
             }
             AtomicOp::ExchB32 => arg.as_u32(),
         }
@@ -425,7 +429,10 @@ mod tests {
 
     #[test]
     fn thread_instr_counts() {
-        let alu = Instr::Alu { cycles: 4, count: 10 };
+        let alu = Instr::Alu {
+            cycles: 4,
+            count: 10,
+        };
         assert_eq!(alu.thread_instr_count(32), 320);
         let red = Instr::Red {
             op: AtomicOp::AddF32,
@@ -441,7 +448,10 @@ mod tests {
     fn program_pki() {
         let prog = WarpProgram::new(
             vec![
-                Instr::Alu { cycles: 1, count: 999 },
+                Instr::Alu {
+                    cycles: 1,
+                    count: 999,
+                },
                 Instr::Red {
                     op: AtomicOp::AddF32,
                     accesses: vec![AtomicAccess::new(0, 0, Value::F32(1.0))],

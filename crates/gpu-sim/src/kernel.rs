@@ -160,7 +160,13 @@ mod tests {
                 CtaSpec::new(
                     1,
                     vec![WarpProgram::new(
-                        vec![Instr::Alu { cycles: 1, count: 999 }, red()],
+                        vec![
+                            Instr::Alu {
+                                cycles: 1,
+                                count: 999,
+                            },
+                            red(),
+                        ],
                         1,
                     )],
                 ),

@@ -85,7 +85,9 @@ impl LockManager {
         let mut occurrence: HashMap<u64, u32> = HashMap::new();
         for instr in &program.instrs {
             if let Instr::LockedSection {
-                lock_addr, accesses, ..
+                lock_addr,
+                accesses,
+                ..
             } = instr
             {
                 let occ = occurrence.entry(*lock_addr).or_insert(0);
@@ -122,6 +124,7 @@ impl LockManager {
     ///
     /// Returns the number of lanes enqueued; the warp must block until the
     /// manager reports it complete from [`tick`](Self::tick).
+    #[allow(clippy::too_many_arguments)]
     pub fn acquire(
         &mut self,
         warp: WarpRef,
@@ -217,6 +220,37 @@ impl LockManager {
     }
 
     /// Whether any lane is queued or in service.
+    /// One-line queue summary for stall diagnostics: per lock address the
+    /// served/arrived/expected ticket counts and the in-service ticket,
+    /// plus every warp still blocked on a lock.
+    pub fn queue_summary(&self) -> String {
+        let mut locks: Vec<String> = self
+            .locks
+            .iter()
+            .map(|(addr, s)| {
+                format!(
+                    "lock 0x{addr:x}: served {}/{} expected, {} arrived unserved, in_service={:?}",
+                    s.serve_idx,
+                    s.expected.len(),
+                    s.arrived.len(),
+                    s.in_service
+                )
+            })
+            .collect();
+        locks.sort();
+        let mut warps: Vec<String> = self
+            .waiting_warps
+            .iter()
+            .map(|(w, lanes)| format!("sm{}.slot{} ({lanes} lanes)", w.sm, w.slot))
+            .collect();
+        warps.sort();
+        format!(
+            "[{}] waiting warps: [{}]",
+            locks.join("; "),
+            warps.join(", ")
+        )
+    }
+
     pub fn is_busy(&self) -> bool {
         self.locks.values().any(|s| !s.arrived.is_empty())
     }
@@ -300,7 +334,16 @@ mod tests {
         let w1 = WarpRef { sm: 0, slot: 1 };
         // Warp 1 arrives FIRST, but warp 0 holds smaller tickets.
         if let Instr::LockedSection { accesses, .. } = &p1.instrs[0] {
-            m.acquire(w1, 1, 0, LockKind::TestAndSet, LOCK, accesses, 10, AtomicOp::AddF32);
+            m.acquire(
+                w1,
+                1,
+                0,
+                LockKind::TestAndSet,
+                LOCK,
+                accesses,
+                10,
+                AtomicOp::AddF32,
+            );
         }
         let mut values = ValueMem::new();
         // Nothing can be served: ticket 0 hasn't arrived.
@@ -309,7 +352,16 @@ mod tests {
         }
         assert_eq!(m.services(), 0);
         if let Instr::LockedSection { accesses, .. } = &p0.instrs[0] {
-            m.acquire(w0, 0, 0, LockKind::TestAndSet, LOCK, accesses, 10, AtomicOp::AddF32);
+            m.acquire(
+                w0,
+                0,
+                0,
+                LockKind::TestAndSet,
+                LOCK,
+                accesses,
+                10,
+                AtomicOp::AddF32,
+            );
         }
         let mut released = Vec::new();
         for cycle in 1000..2_000_000 {
@@ -331,16 +383,32 @@ mod tests {
             let mut m = manager_with(&[(0, &p)]);
             let w = WarpRef { sm: 0, slot: 0 };
             if let Instr::LockedSection { accesses, .. } = &p.instrs[0] {
-                m.acquire(w, 0, 0, LockKind::TestAndSet, LOCK, accesses, 10, AtomicOp::AddF32);
+                m.acquire(
+                    w,
+                    0,
+                    0,
+                    LockKind::TestAndSet,
+                    LOCK,
+                    accesses,
+                    10,
+                    AtomicOp::AddF32,
+                );
             }
             let mut values = ValueMem::new();
-            for cycle in 0..10_000_000 {
+            const HORIZON: u64 = 10_000_000;
+            for cycle in 0..HORIZON {
                 m.tick(cycle, &mut values);
                 if !m.is_busy() {
                     return cycle;
                 }
             }
-            panic!("lock never drained");
+            panic!(
+                "lock 0x{LOCK:x} never drained: warp sm{}.slot{} with {lanes} lanes \
+                 still busy at cycle {HORIZON}; {}",
+                w.sm,
+                w.slot,
+                m.queue_summary()
+            );
         };
         let t8 = run(8);
         let t32 = run(32);
@@ -356,7 +424,10 @@ mod tests {
         let ts = cost(LockKind::TestAndSet);
         let bo = cost(LockKind::TestAndSetBackoff);
         let tts = cost(LockKind::TestAndTestAndSet);
-        assert!(ts > bo, "TS ({ts}) should cost more than BO ({bo}) under contention");
+        assert!(
+            ts > bo,
+            "TS ({ts}) should cost more than BO ({bo}) under contention"
+        );
         assert!(bo > tts, "BO ({bo}) should cost more than TTS ({tts})");
     }
 
@@ -370,7 +441,11 @@ mod tests {
                     kind: LockKind::TestAndTestAndSet,
                     lock_addr: LOCK,
                     op: AtomicOp::AddF32,
-                    accesses: vec![AtomicAccess::new(0, 0x40, Value::F32(vals[unique as usize]))],
+                    accesses: vec![AtomicAccess::new(
+                        0,
+                        0x40,
+                        Value::F32(vals[unique as usize]),
+                    )],
                     critical_cycles: 5,
                 }],
                 1,
@@ -386,7 +461,10 @@ mod tests {
             for &u in arrival_order {
                 if let Instr::LockedSection { accesses, .. } = &programs[u as usize].instrs[0] {
                     m.acquire(
-                        WarpRef { sm: 0, slot: u as usize },
+                        WarpRef {
+                            sm: 0,
+                            slot: u as usize,
+                        },
                         u,
                         0,
                         LockKind::TestAndTestAndSet,

@@ -63,9 +63,12 @@ impl SectoredCache {
     /// multiple of sector, size not a multiple of `assoc * line_size`).
     pub fn new(size: usize, assoc: usize, line_size: usize, sector_size: usize) -> Self {
         assert!(size > 0 && assoc > 0 && line_size > 0 && sector_size > 0);
-        assert!(line_size % sector_size == 0, "line must be whole sectors");
         assert!(
-            size % (assoc * line_size) == 0,
+            line_size.is_multiple_of(sector_size),
+            "line must be whole sectors"
+        );
+        assert!(
+            size.is_multiple_of(assoc * line_size),
             "size must be sets * assoc * line_size"
         );
         let num_sets = size / (assoc * line_size);
@@ -272,7 +275,7 @@ mod tests {
 
     #[test]
     fn peek_does_not_count() {
-        let mut c = small();
+        let c = small();
         c.peek(0);
         c.peek(64);
         assert_eq!(c.accesses(), 0);

@@ -109,6 +109,19 @@ impl Dram {
         done
     }
 
+    /// One-line queue summary for stall diagnostics: queue depth,
+    /// in-flight accesses with their completion cycles, and issue state.
+    pub fn queue_summary(&self) -> String {
+        format!(
+            "queued={} in_flight={} nearest_done_cycle={:?} next_issue_cycle={} serviced={}",
+            self.queue.len(),
+            self.in_flight.len(),
+            self.in_flight.iter().map(|f| f.done_cycle).min(),
+            self.next_issue_cycle,
+            self.serviced
+        )
+    }
+
     /// Whether any request is queued or in flight.
     pub fn is_busy(&self) -> bool {
         !self.queue.is_empty() || !self.in_flight.is_empty()
@@ -201,7 +214,10 @@ mod tests {
                     return cycle;
                 }
             }
-            panic!("never completed");
+            panic!(
+                "DRAM write under jitter seed {seed} never completed by cycle 500: {}",
+                d.queue_summary()
+            );
         };
         let times: Vec<u64> = (0..8).map(run).collect();
         assert!(times.windows(2).any(|w| w[0] != w[1]));
@@ -219,7 +235,10 @@ mod tests {
                 return;
             }
         }
-        panic!("never completed");
+        panic!(
+            "DRAM ROP fill for sector 0x40 never completed by cycle 500: {}",
+            d.queue_summary()
+        );
     }
 
     #[test]

@@ -313,7 +313,7 @@ mod tests {
         let (cycle, p) = arrived.expect("packet should arrive");
         assert_eq!(p.dest, 1);
         // 1 flit / 2 fpc = 1 cycle serialization + 12 latency.
-        assert!(cycle >= 12 && cycle < 20, "arrival at {cycle}");
+        assert!((12..20).contains(&cycle), "arrival at {cycle}");
         assert!(!icnt.is_busy());
     }
 

@@ -171,11 +171,21 @@ mod tests {
 
     #[test]
     fn flit_sizing() {
-        let p = Packet::new(0, Payload::LoadReq { sector_addr: 0, warp: WarpRef { sm: 0, slot: 0 } }, 40);
+        let p = Packet::new(
+            0,
+            Payload::LoadReq {
+                sector_addr: 0,
+                warp: WarpRef { sm: 0, slot: 0 },
+            },
+            40,
+        );
         assert_eq!(p.flits, 1);
         let p = Packet::new(
             0,
-            Payload::LoadResp { sector_addr: 0, warp: WarpRef { sm: 0, slot: 0 } },
+            Payload::LoadResp {
+                sector_addr: 0,
+                warp: WarpRef { sm: 0, slot: 0 },
+            },
             40,
         );
         assert_eq!(p.flits, 1); // 40 bytes exactly
@@ -196,9 +206,18 @@ mod tests {
     fn response_classification() {
         let w = WarpRef { sm: 1, slot: 2 };
         assert!(Payload::StoreAck { warp: w }.is_response());
-        assert!(!Payload::StoreReq { sector_addr: 0, warp: w }.is_response());
+        assert!(!Payload::StoreReq {
+            sector_addr: 0,
+            warp: w
+        }
+        .is_response());
         assert!(Payload::FlushAck { sm: 0 }.is_response());
-        assert!(!Payload::FlushEntry { sm: 0, seq: 0, ops: vec![] }.is_response());
+        assert!(!Payload::FlushEntry {
+            sm: 0,
+            seq: 0,
+            ops: vec![]
+        }
+        .is_response());
     }
 
     #[test]

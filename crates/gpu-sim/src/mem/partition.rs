@@ -213,8 +213,11 @@ impl MemPartition {
                             self.mshrs.insert(sector, vec![warp]);
                         } else {
                             // Structural stall: retry next cycle.
-                            self.retry
-                                .push_back(Packet::new(0, Payload::LoadReq { sector_addr, warp }, self.flit_size));
+                            self.retry.push_back(Packet::new(
+                                0,
+                                Payload::LoadReq { sector_addr, warp },
+                                self.flit_size,
+                            ));
                         }
                     }
                 }
@@ -226,8 +229,11 @@ impl MemPartition {
                     self.stats.l2_misses += 1;
                     // Write-through, write-no-allocate: forward to DRAM.
                     if !self.dram.push(DramUse::Write) {
-                        self.retry
-                            .push_back(Packet::new(0, Payload::StoreReq { sector_addr, warp }, self.flit_size));
+                        self.retry.push_back(Packet::new(
+                            0,
+                            Payload::StoreReq { sector_addr, warp },
+                            self.flit_size,
+                        ));
                         return;
                     }
                     self.stats.dram_accesses += 1;
@@ -402,7 +408,7 @@ impl MemPartition {
     pub fn next_event_cycle(&self) -> Option<u64> {
         let mut next = self.dram.next_event_cycle();
         if !self.rop.queue.is_empty() && self.rop.wait_fill.is_none() {
-            next = Some(next.map_or(0, |n| n.min(0)));
+            next = Some(next.map_or(0, |_n| 0));
         }
         if let Some(m) = self.pending_responses.iter().map(|(c, _)| *c).min() {
             next = Some(next.map_or(m, |n| n.min(m)));
@@ -465,7 +471,7 @@ mod tests {
             ack: AckTarget::None,
         });
         run_until_idle(&mut p, &mut values);
-        let expected = ((1.0e8f32 + 1.0) + -1.0e8) as f32;
+        let expected = (1.0e8f32 + 1.0) + -1.0e8;
         assert_eq!(values.read_f32(0x100), expected);
         assert_eq!(p.stats().rop_ops, 3);
     }
@@ -513,7 +519,14 @@ mod tests {
         let mut p = part();
         let mut values = ValueMem::new();
         let warp = WarpRef { sm: 0, slot: 0 };
-        let pkt = Packet::new(0, Payload::LoadReq { sector_addr: 0x80, warp }, 40);
+        let pkt = Packet::new(
+            0,
+            Payload::LoadReq {
+                sector_addr: 0x80,
+                warp,
+            },
+            40,
+        );
         p.handle_request(pkt, 0);
         let out = run_until_idle(&mut p, &mut values);
         assert_eq!(out.len(), 1);
@@ -521,7 +534,14 @@ mod tests {
         assert_eq!(p.stats().dram_accesses, 1);
 
         // Second access hits.
-        let pkt = Packet::new(0, Payload::LoadReq { sector_addr: 0x80, warp }, 40);
+        let pkt = Packet::new(
+            0,
+            Payload::LoadReq {
+                sector_addr: 0x80,
+                warp,
+            },
+            40,
+        );
         p.handle_request(pkt, 0);
         let out = run_until_idle(&mut p, &mut values);
         assert_eq!(out.len(), 1);
@@ -535,7 +555,14 @@ mod tests {
         for slot in 0..3 {
             let warp = WarpRef { sm: 0, slot };
             p.handle_request(
-                Packet::new(0, Payload::LoadReq { sector_addr: 0x80, warp }, 40),
+                Packet::new(
+                    0,
+                    Payload::LoadReq {
+                        sector_addr: 0x80,
+                        warp,
+                    },
+                    40,
+                ),
                 0,
             );
         }
@@ -550,7 +577,14 @@ mod tests {
         let mut values = ValueMem::new();
         let warp = WarpRef { sm: 0, slot: 0 };
         p.handle_request(
-            Packet::new(0, Payload::StoreReq { sector_addr: 0x40, warp }, 40),
+            Packet::new(
+                0,
+                Payload::StoreReq {
+                    sector_addr: 0x40,
+                    warp,
+                },
+                40,
+            ),
             0,
         );
         let out = run_until_idle(&mut p, &mut values);
@@ -611,7 +645,10 @@ mod tests {
             ack: AckTarget::None,
         });
         run_until_idle(&mut p, &mut values);
-        assert!(p.stats().l2_misses > misses_before, "eviction causes a re-miss");
+        assert!(
+            p.stats().l2_misses > misses_before,
+            "eviction causes a re-miss"
+        );
     }
 
     #[test]
@@ -619,7 +656,15 @@ mod tests {
     fn flush_entry_rejected() {
         let mut p = part();
         p.handle_request(
-            Packet::new(0, Payload::FlushEntry { sm: 0, seq: 0, ops: vec![] }, 40),
+            Packet::new(
+                0,
+                Payload::FlushEntry {
+                    sm: 0,
+                    seq: 0,
+                    ops: vec![],
+                },
+                40,
+            ),
             0,
         );
     }

@@ -222,7 +222,10 @@ impl Gto {
 
     fn pick_among(&self, views: &[WarpView], allow: impl Fn(&WarpView) -> bool) -> Option<usize> {
         if let Some(last) = self.last {
-            if let Some(v) = views.iter().find(|v| v.unique == last && v.ready && allow(v)) {
+            if let Some(v) = views
+                .iter()
+                .find(|v| v.unique == last && v.ready && allow(v))
+            {
                 return Some(v.slot);
             }
         }
@@ -1062,7 +1065,12 @@ mod tests {
     fn determinism_awareness_flags() {
         assert!(!SchedKind::Gto.is_determinism_aware());
         assert!(!SchedKind::Lrr.is_determinism_aware());
-        for k in [SchedKind::Srr, SchedKind::Gtrr, SchedKind::Gtar, SchedKind::Gwat] {
+        for k in [
+            SchedKind::Srr,
+            SchedKind::Gtrr,
+            SchedKind::Gtar,
+            SchedKind::Gwat,
+        ] {
             assert!(k.is_determinism_aware());
         }
     }

@@ -168,10 +168,10 @@ impl SchedulerCtx {
             let size = self.batch_sizes.get(&b).copied().unwrap_or(0);
             let exits = self.batch_exits.get(&b).copied().unwrap_or(0);
             let fully_populated = size as usize == self.width || no_more_arrivals;
-            if size > 0 && exits == size && fully_populated {
-                self.completed_batches += 1;
-            } else if size == 0 && no_more_arrivals && b < self.arrivals.div_ceil(self.width as u64)
-            {
+            let batch_done = size > 0 && exits == size && fully_populated;
+            let empty_tail =
+                size == 0 && no_more_arrivals && b < self.arrivals.div_ceil(self.width as u64);
+            if batch_done || empty_tail {
                 self.completed_batches += 1;
             } else {
                 break;
@@ -277,14 +277,14 @@ impl Sm {
         for (w, _) in cta.warps.iter().enumerate() {
             needed[w % self.num_schedulers] += 1;
         }
-        for sched in 0..self.num_schedulers {
+        for (sched, &need) in needed.iter().enumerate() {
             let free = self
                 .warps
                 .iter()
                 .enumerate()
                 .filter(|(slot, w)| slot % self.num_schedulers == sched && w.is_none())
                 .count();
-            if free < needed[sched] {
+            if free < need {
                 return false;
             }
         }

@@ -117,7 +117,9 @@ impl ValueMem {
 
     /// Reads a contiguous `f32` array of `len` words starting at `base`.
     pub fn read_f32_slice(&self, base: u64, len: usize) -> Vec<f32> {
-        (0..len as u64).map(|i| self.read_f32(base + 4 * i)).collect()
+        (0..len as u64)
+            .map(|i| self.read_f32(base + 4 * i))
+            .collect()
     }
 }
 

@@ -126,10 +126,10 @@ proptest! {
                 }
             }
             icnt.tick(cycle, &mut ndet);
-            for p in 0..2 {
+            for (p, bucket) in received.iter_mut().enumerate() {
                 while let Some(pkt) = icnt.pop_arrived_request(p) {
                     if let Payload::LoadReq { sector_addr, .. } = pkt.payload {
-                        received[p].push(sector_addr);
+                        bucket.push(sector_addr);
                         delivered += 1;
                     }
                 }
@@ -140,9 +140,9 @@ proptest! {
         }
         prop_assert_eq!(delivered, injected, "all packets delivered");
         // Per (cluster, partition) flow: sequence numbers strictly increase.
-        for p in 0..2 {
+        for bucket in &received {
             let mut last: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
-            for &tag in &received[p] {
+            for &tag in bucket {
                 let cluster = tag >> 32;
                 let seq = tag & 0xffff_ffff;
                 if let Some(&prev) = last.get(&cluster) {

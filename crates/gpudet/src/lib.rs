@@ -343,8 +343,7 @@ impl ExecutionModel for GpuDetModel {
     fn tick(&mut self, ctx: &mut ModelCtx<'_>) {
         match self.mode {
             Mode::Parallel => {
-                if ctx.kernel_fully_dispatched && self.warps.is_empty() && self.store_entries > 0
-                {
+                if ctx.kernel_fully_dispatched && self.warps.is_empty() && self.store_entries > 0 {
                     // Kernel drained with uncommitted stores: final commit.
                     self.start_commit(ctx.cycle);
                 } else if self.quantum_complete() {
@@ -416,23 +415,24 @@ mod tests {
             .map(|c| {
                 CtaSpec::new(
                     c,
-                    vec![
-                        WarpProgram::new(
-                            vec![
-                                Instr::Alu { cycles: 2, count: 6 },
-                                Instr::Red {
-                                    op: AtomicOp::AddF32,
-                                    accesses: (0..32)
-                                        .map(|l| {
-                                            let v = 0.1f32 * (c * 32 + l + 1) as f32;
-                                            AtomicAccess::new(l, 0x400, Value::F32(v))
-                                        })
-                                        .collect(),
-                                },
-                            ],
-                            32,
-                        ),
-                    ],
+                    vec![WarpProgram::new(
+                        vec![
+                            Instr::Alu {
+                                cycles: 2,
+                                count: 6,
+                            },
+                            Instr::Red {
+                                op: AtomicOp::AddF32,
+                                accesses: (0..32)
+                                    .map(|l| {
+                                        let v = 0.1f32 * (c * 32 + l + 1) as f32;
+                                        AtomicAccess::new(l, 0x400, Value::F32(v))
+                                    })
+                                    .collect(),
+                            },
+                        ],
+                        32,
+                    )],
                 )
             })
             .collect();
@@ -524,7 +524,10 @@ mod tests {
                         Instr::Store {
                             accesses: vec![gpu_sim::isa::MemAccess::per_lane_f32(0x1000, 32)],
                         },
-                        Instr::Alu { cycles: 1, count: 4 },
+                        Instr::Alu {
+                            cycles: 1,
+                            count: 4,
+                        },
                     ],
                     32,
                 )],
@@ -543,7 +546,10 @@ mod tests {
         let prog = |spin: u32| {
             WarpProgram::new(
                 vec![
-                    Instr::Alu { cycles: 1, count: spin },
+                    Instr::Alu {
+                        cycles: 1,
+                        count: spin,
+                    },
                     Instr::Bar,
                     Instr::Red {
                         op: AtomicOp::AddU32,
@@ -572,7 +578,13 @@ mod tests {
             "alu",
             vec![CtaSpec::new(
                 0,
-                vec![WarpProgram::new(vec![Instr::Alu { cycles: 1, count: 35 }], 32)],
+                vec![WarpProgram::new(
+                    vec![Instr::Alu {
+                        cycles: 1,
+                        count: 35,
+                    }],
+                    32,
+                )],
             )],
         );
         let model = GpuDetModel::new(&gpu, cfg);

@@ -73,7 +73,10 @@ fn level_kernel(
             let lanes = 32.min(num_nodes - t);
             let warp_idx = t / 32;
             let mut instrs = vec![
-                Instr::Alu { cycles: 4, count: 2 },
+                Instr::Alu {
+                    cycles: 4,
+                    count: 2,
+                },
                 // Read this warp's slice of the level array.
                 Instr::Load {
                     accesses: vec![MemAccess::per_lane_f32(LEVEL_BASE + 4 * t as u64, lanes)],
@@ -101,9 +104,9 @@ fn level_kernel(
                     let accesses: Vec<AtomicAccess> = active
                         .iter()
                         .filter_map(|lp| {
-                            lp.pushes
-                                .get(round)
-                                .map(|&(addr, arg, _)| AtomicAccess::new(lp.lane, addr, Value::F32(arg)))
+                            lp.pushes.get(round).map(|&(addr, arg, _)| {
+                                AtomicAccess::new(lp.lane, addr, Value::F32(arg))
+                            })
                         })
                         .collect();
                     instrs.push(Instr::Red {
@@ -430,7 +433,10 @@ mod tests {
         );
         let (_, loose) = bc_trace_with_budget(&g, "bc_t", 0.01, 200_000_000);
         assert!(loose.thread_instrs > tight.thread_instrs);
-        assert!(loose.pki < tight.pki, "more filler lowers PKI toward target");
+        assert!(
+            loose.pki < tight.pki,
+            "more filler lowers PKI toward target"
+        );
     }
 
     #[test]

@@ -109,15 +109,96 @@ impl ConvLayer {
 /// each layer follows the paper's Section VI observations.
 pub fn table3_layers() -> Vec<ConvLayer> {
     vec![
-        ConvLayer { name: "cnv2_1", c: 256, hw: 56, k: 64, r: 1, target_pki: 1.08, regions: 16, full_ctas_per_region: 49 },
-        ConvLayer { name: "cnv2_2", c: 64, hw: 56, k: 64, r: 3, target_pki: 1.09, regions: 18, full_ctas_per_region: 49 },
-        ConvLayer { name: "cnv2_3", c: 64, hw: 56, k: 256, r: 1, target_pki: 1.72, regions: 1, full_ctas_per_region: 49 },
-        ConvLayer { name: "cnv3_1", c: 512, hw: 28, k: 128, r: 1, target_pki: 1.70, regions: 32, full_ctas_per_region: 13 },
-        ConvLayer { name: "cnv3_2", c: 128, hw: 28, k: 128, r: 3, target_pki: 1.70, regions: 18, full_ctas_per_region: 13 },
-        ConvLayer { name: "cnv3_3", c: 128, hw: 28, k: 512, r: 1, target_pki: 1.96, regions: 13, full_ctas_per_region: 4 },
-        ConvLayer { name: "cnv4_1", c: 1024, hw: 14, k: 256, r: 1, target_pki: 3.74, regions: 64, full_ctas_per_region: 4 },
-        ConvLayer { name: "cnv4_2", c: 256, hw: 14, k: 256, r: 3, target_pki: 3.75, regions: 18, full_ctas_per_region: 4 },
-        ConvLayer { name: "cnv4_3", c: 256, hw: 14, k: 1024, r: 1, target_pki: 3.74, regions: 64, full_ctas_per_region: 4 },
+        ConvLayer {
+            name: "cnv2_1",
+            c: 256,
+            hw: 56,
+            k: 64,
+            r: 1,
+            target_pki: 1.08,
+            regions: 16,
+            full_ctas_per_region: 49,
+        },
+        ConvLayer {
+            name: "cnv2_2",
+            c: 64,
+            hw: 56,
+            k: 64,
+            r: 3,
+            target_pki: 1.09,
+            regions: 18,
+            full_ctas_per_region: 49,
+        },
+        ConvLayer {
+            name: "cnv2_3",
+            c: 64,
+            hw: 56,
+            k: 256,
+            r: 1,
+            target_pki: 1.72,
+            regions: 1,
+            full_ctas_per_region: 49,
+        },
+        ConvLayer {
+            name: "cnv3_1",
+            c: 512,
+            hw: 28,
+            k: 128,
+            r: 1,
+            target_pki: 1.70,
+            regions: 32,
+            full_ctas_per_region: 13,
+        },
+        ConvLayer {
+            name: "cnv3_2",
+            c: 128,
+            hw: 28,
+            k: 128,
+            r: 3,
+            target_pki: 1.70,
+            regions: 18,
+            full_ctas_per_region: 13,
+        },
+        ConvLayer {
+            name: "cnv3_3",
+            c: 128,
+            hw: 28,
+            k: 512,
+            r: 1,
+            target_pki: 1.96,
+            regions: 13,
+            full_ctas_per_region: 4,
+        },
+        ConvLayer {
+            name: "cnv4_1",
+            c: 1024,
+            hw: 14,
+            k: 256,
+            r: 1,
+            target_pki: 3.74,
+            regions: 64,
+            full_ctas_per_region: 4,
+        },
+        ConvLayer {
+            name: "cnv4_2",
+            c: 256,
+            hw: 14,
+            k: 256,
+            r: 3,
+            target_pki: 3.75,
+            regions: 18,
+            full_ctas_per_region: 4,
+        },
+        ConvLayer {
+            name: "cnv4_3",
+            c: 256,
+            hw: 14,
+            k: 1024,
+            r: 1,
+            target_pki: 3.74,
+            regions: 64,
+            full_ctas_per_region: 4,
+        },
     ]
 }
 
@@ -150,7 +231,9 @@ pub fn conv_trace(layer: &ConvLayer, scale: Scale) -> KernelGrid {
     // Structural per thread: ~8 (loads/bars/addressing) + atomics.
     let total_per_thread = (atomics_per_thread as f64 * 1000.0 / layer.target_pki) as u64;
     let structural = 8 + 2 * atomics_per_thread as u64;
-    let fma_burst = total_per_thread.saturating_sub(structural).clamp(16, 60_000) as u32;
+    let fma_burst = total_per_thread
+        .saturating_sub(structural)
+        .clamp(16, 60_000) as u32;
 
     let num_ctas = layer.num_ctas(scale);
     let mut ctas = Vec::with_capacity(num_ctas);
@@ -162,18 +245,27 @@ pub fn conv_trace(layer: &ConvLayer, scale: Scale) -> KernelGrid {
         let mut warps = Vec::with_capacity(WARPS_PER_CTA);
         for w in 0..WARPS_PER_CTA {
             let mut instrs = vec![
-                Instr::Alu { cycles: 4, count: 4 },
+                Instr::Alu {
+                    cycles: 4,
+                    count: 4,
+                },
                 // Load the activation/gradient tiles (coalesced).
                 Instr::Load {
                     accesses: vec![
                         MemAccess::per_lane_f32(act_base + (w * 32 * 4) as u64, 32),
-                        MemAccess::per_lane_f32(act_base + ((WARPS_PER_CTA + w) * 32 * 4) as u64, 32),
+                        MemAccess::per_lane_f32(
+                            act_base + ((WARPS_PER_CTA + w) * 32 * 4) as u64,
+                            32,
+                        ),
                     ],
                 },
                 // Tile barrier between the load and compute phases.
                 Instr::Bar,
                 // The FMA burst over the tile.
-                Instr::Alu { cycles: 4, count: fma_burst },
+                Instr::Alu {
+                    cycles: 4,
+                    count: fma_burst,
+                },
             ];
             // Partial-gradient accumulation: strided red.add.f32 over this
             // warp's slice of the region. CTAs sharing a region use the
@@ -219,7 +311,12 @@ mod tests {
         assert_eq!(c22.regions, 18, "layer-2 blocks partition into 18 regions");
         let c23 = layer_by_name("cnv2_3").expect("layer exists");
         assert_eq!(c23.regions, 1, "cnv2_3: every CTA shares one region");
-        assert_eq!(layer_by_name("cnv3_3").expect("exists").full_ctas_per_region, 4);
+        assert_eq!(
+            layer_by_name("cnv3_3")
+                .expect("exists")
+                .full_ctas_per_region,
+            4
+        );
         assert!(layer_by_name("nope").is_none());
     }
 

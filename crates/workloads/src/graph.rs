@@ -81,8 +81,7 @@ impl Graph {
         let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
         for (u, list) in adj.iter_mut().enumerate() {
             let expect = weights[u] / total * m as f64;
-            let deg = expect.floor() as usize
-                + usize::from(rng.gen::<f64>() < expect.fract());
+            let deg = expect.floor() as usize + usize::from(rng.gen::<f64>() < expect.fract());
             for _ in 0..deg {
                 let mut v = sample(&mut rng, &cdf);
                 if v as usize == u {
@@ -124,7 +123,12 @@ pub fn brandes_sigma(graph: &Graph, levels: &[u32]) -> Vec<f32> {
     let mut sigma = vec![0f32; n];
     let source = levels.iter().position(|&l| l == 0).expect("source exists");
     sigma[source] = 1.0;
-    let max_level = levels.iter().filter(|&&l| l != u32::MAX).max().copied().unwrap_or(0);
+    let max_level = levels
+        .iter()
+        .filter(|&&l| l != u32::MAX)
+        .max()
+        .copied()
+        .unwrap_or(0);
     for depth in 0..max_level {
         for u in 0..n {
             if levels[u] != depth {
@@ -144,7 +148,12 @@ pub fn brandes_sigma(graph: &Graph, levels: &[u32]) -> Vec<f32> {
 pub fn brandes_delta(graph: &Graph, levels: &[u32], sigma: &[f32]) -> Vec<f32> {
     let n = graph.num_nodes();
     let mut delta = vec![0f32; n];
-    let max_level = levels.iter().filter(|&&l| l != u32::MAX).max().copied().unwrap_or(0);
+    let max_level = levels
+        .iter()
+        .filter(|&&l| l != u32::MAX)
+        .max()
+        .copied()
+        .unwrap_or(0);
     for depth in (0..max_level).rev() {
         for u in 0..n {
             if levels[u] != depth {
@@ -165,12 +174,12 @@ pub fn brandes_delta(graph: &Graph, levels: &[u32], sigma: &[f32]) -> Vec<f32> {
 pub fn pagerank_push(graph: &Graph, rank: &[f32]) -> Vec<f32> {
     let n = graph.num_nodes();
     let mut next = vec![0f32; n];
-    for u in 0..n {
+    for (u, &r) in rank.iter().enumerate().take(n) {
         let deg = graph.degree(u);
         if deg == 0 {
             continue;
         }
-        let contrib = rank[u] / deg as f32;
+        let contrib = r / deg as f32;
         for &v in &graph.adj[u] {
             next[v as usize] += contrib;
         }
@@ -383,7 +392,9 @@ mod tests {
     fn bfs_levels_are_edge_consistent() {
         // For every edge u->v with u reachable: level[v] <= level[u] + 1.
         let g = Graph::power_law(800, 6400, 0.6, 17);
-        let src = (0..g.num_nodes()).max_by_key(|&u| g.degree(u)).expect("nodes");
+        let src = (0..g.num_nodes())
+            .max_by_key(|&u| g.degree(u))
+            .expect("nodes");
         let levels = g.bfs_levels(src);
         for u in 0..g.num_nodes() {
             if levels[u] == u32::MAX {

@@ -41,20 +41,31 @@ pub fn reference_sum(n: usize) -> f32 {
     acc
 }
 
-fn cta_warps(n: usize, cta: usize, make_tail: impl Fn(usize, Vec<u64>, Vec<f32>) -> Vec<Instr>) -> Vec<WarpProgram> {
+fn cta_warps(
+    n: usize,
+    cta: usize,
+    make_tail: impl Fn(usize, Vec<u64>, Vec<f32>) -> Vec<Instr>,
+) -> Vec<WarpProgram> {
     let base_thread = cta * CTA_THREADS;
     let mut warps = Vec::new();
     let mut t = base_thread;
     while t < (base_thread + CTA_THREADS).min(n) {
         let lanes = 32.min(n - t);
-        let addrs: Vec<u64> = (0..lanes).map(|l| INPUT_BASE + 4 * (t + l) as u64).collect();
+        let addrs: Vec<u64> = (0..lanes)
+            .map(|l| INPUT_BASE + 4 * (t + l) as u64)
+            .collect();
         let vals: Vec<f32> = (0..lanes).map(|l| element_value(t + l)).collect();
         let mut instrs = vec![
             // Index arithmetic.
-            Instr::Alu { cycles: 4, count: 4 },
+            Instr::Alu {
+                cycles: 4,
+                count: 4,
+            },
             // Load the elements.
             Instr::Load {
-                accesses: vec![MemAccess { addrs: addrs.clone() }],
+                accesses: vec![MemAccess {
+                    addrs: addrs.clone(),
+                }],
             },
         ];
         instrs.extend(make_tail(t, addrs, vals));
@@ -64,7 +75,11 @@ fn cta_warps(n: usize, cta: usize, make_tail: impl Fn(usize, Vec<u64>, Vec<f32>)
     warps
 }
 
-fn grid_over(n: usize, name: &str, make_tail: impl Fn(usize, Vec<u64>, Vec<f32>) -> Vec<Instr> + Copy) -> KernelGrid {
+fn grid_over(
+    n: usize,
+    name: &str,
+    make_tail: impl Fn(usize, Vec<u64>, Vec<f32>) -> Vec<Instr> + Copy,
+) -> KernelGrid {
     let num_ctas = n.div_ceil(CTA_THREADS);
     let ctas = (0..num_ctas)
         .map(|c| CtaSpec::new(c, cta_warps(n, c, make_tail)))
@@ -130,7 +145,10 @@ pub fn order_sensitive_grid(ctas: usize) -> KernelGrid {
                 c,
                 vec![WarpProgram::new(
                     vec![
-                        Instr::Alu { cycles: 4, count: 8 },
+                        Instr::Alu {
+                            cycles: 4,
+                            count: 8,
+                        },
                         Instr::Red {
                             op: AtomicOp::AddF32,
                             accesses: (0..32)

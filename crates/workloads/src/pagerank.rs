@@ -28,7 +28,11 @@ const DEGREE_CAP: usize = 4096;
 /// Byte address of `rank_next[v]` for iteration `iter` (iterations
 /// alternate between two accumulation arrays).
 pub fn rank_next_addr(v: usize, iter: usize) -> u64 {
-    let base = if iter % 2 == 0 { RANK_NEXT_BASE } else { RANK_BASE };
+    let base = if iter.is_multiple_of(2) {
+        RANK_NEXT_BASE
+    } else {
+        RANK_BASE
+    };
     base + 4 * v as u64
 }
 
@@ -62,7 +66,10 @@ fn push_kernel(
         while t < (base_thread + CTA_THREADS).min(n) {
             let lanes = 32.min(n - t);
             let mut instrs = vec![
-                Instr::Alu { cycles: 4, count: 3 },
+                Instr::Alu {
+                    cycles: 4,
+                    count: 3,
+                },
                 // Load rank and degree for the warp's nodes (coalesced).
                 Instr::Load {
                     accesses: vec![
@@ -70,7 +77,10 @@ fn push_kernel(
                         MemAccess::per_lane_f32(DEG_BASE + 4 * t as u64, lanes),
                     ],
                 },
-                Instr::Alu { cycles: 4, count: 2 }, // contribution divide
+                Instr::Alu {
+                    cycles: 4,
+                    count: 2,
+                }, // contribution divide
             ];
             let max_deg = (0..lanes)
                 .map(|l| graph.degree(t + l).min(DEGREE_CAP))
@@ -198,8 +208,8 @@ mod tests {
         let reference = {
             // Raw push sums (before damping).
             let mut next = vec![0f32; n];
-            for u in 0..n {
-                let contrib = rank0[u] / g.degree(u) as f32;
+            for (u, &r0) in rank0.iter().enumerate() {
+                let contrib = r0 / g.degree(u) as f32;
                 for &v in &g.adj[u] {
                     next[v as usize] += contrib;
                 }

@@ -76,8 +76,12 @@ pub fn graph_suite(scale: Scale) -> Vec<Benchmark> {
         .map(|cfg| {
             let graph = cfg.build(scale);
             let (kernels, name) = if cfg.benchmark == "PRK" {
-                let (k, _) =
-                    pagerank_trace_with_pki(&graph, cfg.name, prk_iterations(scale), cfg.target_pki);
+                let (k, _) = pagerank_trace_with_pki(
+                    &graph,
+                    cfg.name,
+                    prk_iterations(scale),
+                    cfg.target_pki,
+                );
                 (k, format!("PRK_{}", cfg.name))
             } else {
                 let (k, _) =

@@ -46,7 +46,9 @@ fn main() {
     let steps = [
         (
             "DAB (no opts)",
-            DabConfig::paper_default().with_fusion(false).with_coalescing(false),
+            DabConfig::paper_default()
+                .with_fusion(false)
+                .with_coalescing(false),
         ),
         (
             "DAB + fusion",

@@ -54,6 +54,9 @@ fn main() {
         );
     }
     println!();
-    assert_eq!(dab_bits[0], dab_bits[1], "DAB must be bitwise deterministic");
+    assert_eq!(
+        dab_bits[0], dab_bits[1],
+        "DAB must be bitwise deterministic"
+    );
     println!("DAB produced bitwise identical results under different hardware timing.");
 }

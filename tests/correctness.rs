@@ -151,14 +151,17 @@ fn conv_gradient_accumulates_every_cta_partial() {
         let name = model.name();
         let report = run(model, std::slice::from_ref(&grid));
         let got = report.values.read_f32(WGRAD_BASE);
-        assert!(close(got, want, 1e-3), "{name}: wgrad[0]={got}, want ~{want}");
+        assert!(
+            close(got, want, 1e-3),
+            "{name}: wgrad[0]={got}, want ~{want}"
+        );
     }
 }
 
 #[test]
 fn statistics_are_consistent() {
     let grid = atomic_sum_grid(1024, OUTPUT_ADDR);
-    let report = run(Box::new(BaselineModel::new()), &[grid.clone()]);
+    let report = run(Box::new(BaselineModel::new()), std::slice::from_ref(&grid));
     assert_eq!(report.stats.atomics, 1024);
     assert_eq!(report.stats.counter("rop.ops"), 1024);
     assert!(report.stats.warp_instrs > 0);

@@ -87,7 +87,12 @@ fn dab_headline_config_is_deterministic_on_every_workload_family() {
 fn dab_determinism_across_design_space() {
     let kernels = vec![order_sensitive_grid(32)];
     let mut configs: Vec<DabConfig> = Vec::new();
-    for sched in [SchedKind::Srr, SchedKind::Gtrr, SchedKind::Gtar, SchedKind::Gwat] {
+    for sched in [
+        SchedKind::Srr,
+        SchedKind::Gtrr,
+        SchedKind::Gtar,
+        SchedKind::Gwat,
+    ] {
         for capacity in [32usize, 128] {
             configs.push(
                 DabConfig::paper_default()
@@ -126,7 +131,10 @@ fn dab_different_configs_may_differ_but_each_is_self_consistent() {
         1,
     );
     let unfused = run(
-        Box::new(DabModel::new(&gpu(), DabConfig::paper_default().with_fusion(false))),
+        Box::new(DabModel::new(
+            &gpu(),
+            DabConfig::paper_default().with_fusion(false),
+        )),
         &kernels,
         1,
     );
@@ -139,7 +147,10 @@ fn dab_different_configs_may_differ_but_each_is_self_consistent() {
     );
     assert_eq!(fused, fused2);
     let unfused2 = run(
-        Box::new(DabModel::new(&gpu(), DabConfig::paper_default().with_fusion(false))),
+        Box::new(DabModel::new(
+            &gpu(),
+            DabConfig::paper_default().with_fusion(false),
+        )),
         &kernels,
         9,
     );
@@ -181,7 +192,7 @@ fn relaxed_variants_execute_all_atomics() {
             report.stats.atomics, expected_atomics,
             "{relax:?} must not drop atomics"
         );
-        assert_eq!(report.stats.counter("rop.ops") > 0, true);
+        assert!(report.stats.counter("rop.ops") > 0);
     }
 }
 
@@ -201,7 +212,9 @@ fn integer_reductions_agree_across_all_models() {
                         vec![Instr::Red {
                             op: AtomicOp::AddU32,
                             accesses: (0..32)
-                                .map(|l| AtomicAccess::new(l, 0x9000, Value::U32((c * 32 + l) as u32)))
+                                .map(|l| {
+                                    AtomicAccess::new(l, 0x9000, Value::U32((c * 32 + l) as u32))
+                                })
                                 .collect(),
                         }],
                         32,
@@ -219,7 +232,8 @@ fn integer_reductions_agree_across_all_models() {
     ];
     for model in models {
         let name = model.name();
-        let report = GpuSim::new(gpu(), model, NdetSource::seeded(3)).run(&[grid.clone()]);
+        let report =
+            GpuSim::new(gpu(), model, NdetSource::seeded(3)).run(std::slice::from_ref(&grid));
         assert_eq!(
             report.values.read_u32(0x9000),
             expected,

@@ -34,7 +34,10 @@ fn bc_kernels() -> Vec<KernelGrid> {
 #[test]
 fn fig2_shape_locks_far_slower_than_atomics() {
     let n = 2048;
-    let base = cycles(Box::new(BaselineModel::new()), &[atomic_sum_grid(n, OUTPUT_ADDR)]);
+    let base = cycles(
+        Box::new(BaselineModel::new()),
+        &[atomic_sum_grid(n, OUTPUT_ADDR)],
+    );
     let ts = cycles(
         Box::new(BaselineModel::new()),
         &[lock_sum_grid(n, LockKind::TestAndSet)],
@@ -64,7 +67,10 @@ fn fig10_shape_dab_beats_gpudet_and_trails_baseline_moderately() {
         Box::new(GpuDetModel::new(&gpu(), GpuDetConfig::default())),
         &kernels,
     );
-    assert!(dab > base, "determinism is not free: dab {dab} vs base {base}");
+    assert!(
+        dab > base,
+        "determinism is not free: dab {dab} vs base {base}"
+    );
     assert!(
         dab < base * 3,
         "DAB overhead should be moderate: {dab} vs {base}"

@@ -1,0 +1,188 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored crate
+//! provides the subset of criterion's API the `structures` microbenchmark
+//! target uses: [`Criterion`], [`BenchmarkGroup`], [`Bencher::iter`] /
+//! [`Bencher::iter_batched`], [`BatchSize`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Methodology is intentionally simple: each benchmark is warmed up, then
+//! timed over enough iterations to cover ~100 ms (overridable via
+//! `CRITERION_ITERS`), and the mean ns/iteration is printed. No statistics,
+//! plots, or baselines — just a stable smoke-timing harness.
+
+use std::time::{Duration, Instant};
+
+/// How batched inputs are grouped (accepted for API compatibility; the
+/// stand-in times per-iteration setup outside the measured region either
+/// way).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// Times closures handed to `bench_function`.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    total: Duration,
+    iters: u64,
+}
+
+/// Fixed iteration override from `CRITERION_ITERS`, if set.
+fn iter_override() -> Option<u64> {
+    std::env::var("CRITERION_ITERS").ok()?.parse().ok()
+}
+
+impl Bencher {
+    /// Times `routine` over many iterations.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let iters = self.calibrate(|| {
+            std::hint::black_box(routine());
+        });
+        let start = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(routine());
+        }
+        self.total = start.elapsed();
+        self.iters = iters;
+    }
+
+    /// Times `routine` with fresh `setup` output per iteration; setup time
+    /// is excluded from the measurement.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        let iters = self.calibrate(|| {
+            std::hint::black_box(routine(setup()));
+        });
+        let mut measured = Duration::ZERO;
+        for _ in 0..iters {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            measured += start.elapsed();
+        }
+        self.total = measured;
+        self.iters = iters;
+    }
+
+    /// Warms up and picks an iteration count covering ~100 ms.
+    fn calibrate(&mut self, mut one: impl FnMut()) -> u64 {
+        if let Some(n) = iter_override() {
+            return n.max(1);
+        }
+        let warmup = Instant::now();
+        let mut warm_iters = 0u64;
+        while warmup.elapsed() < Duration::from_millis(20) {
+            one();
+            warm_iters += 1;
+        }
+        let per_iter = warmup.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+        ((0.1 / per_iter.max(1e-9)) as u64).clamp(10, 10_000_000)
+    }
+
+    fn report(&self, name: &str) {
+        let ns = self.total.as_nanos() as f64 / self.iters.max(1) as f64;
+        println!("{name:<44} {ns:>12.1} ns/iter  ({} iters)", self.iters);
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one named benchmark in the group.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, name), f);
+        self
+    }
+
+    /// Ends the group (no-op; for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+fn run_one(name: &str, mut f: impl FnMut(&mut Bencher)) {
+    let mut b = Bencher::default();
+    f(&mut b);
+    b.report(name);
+}
+
+impl Criterion {
+    /// Starts a named group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            _parent: self,
+        }
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_one(name, f);
+        self
+    }
+}
+
+/// Bundles benchmark functions into one group entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_measures() {
+        std::env::set_var("CRITERION_ITERS", "25");
+        let mut b = Bencher::default();
+        let mut n = 0u64;
+        b.iter(|| n += 1);
+        assert_eq!(b.iters, 25);
+        assert_eq!(n, 25);
+        let mut setups = 0u64;
+        b.iter_batched(
+            || {
+                setups += 1;
+                7u64
+            },
+            |x| x * 2,
+            BatchSize::SmallInput,
+        );
+        assert_eq!(setups, 25);
+        std::env::remove_var("CRITERION_ITERS");
+    }
+}

@@ -1,0 +1,229 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored crate
+//! implements the subset of proptest's API this workspace uses: the
+//! [`proptest!`] macro over functions whose arguments are drawn from
+//! strategies, integer-range / `any::<T>()` / tuple / `collection::vec`
+//! strategies, `prop_assert!`/`prop_assert_eq!`, and
+//! `ProptestConfig::with_cases`.
+//!
+//! Differences from upstream, by design:
+//!
+//! - **No shrinking.** A failing case panics with the case index and seed;
+//!   the inputs are reported via `Debug` where the strategy supports it.
+//! - **No persistence.** `*.proptest-regressions` files are not read or
+//!   written (the repository pins its historical regressions as explicit
+//!   deterministic tests instead — see `crates/dab/tests/regressions.rs`).
+//! - **Deterministic by default.** Cases derive from a fixed seed so test
+//!   runs are reproducible; set `PROPTEST_SEED` to explore other streams,
+//!   and `PROPTEST_CASES` to override the case count.
+
+pub mod strategy;
+
+pub mod test_runner {
+    //! Runner configuration.
+
+    /// Subset of proptest's run configuration.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of cases each test runs.
+        pub cases: u32,
+    }
+
+    /// Upstream's name for the config type inside `proptest!`.
+    pub type ProptestConfig = Config;
+
+    impl Config {
+        /// A config running `cases` cases per test.
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+
+        /// Effective case count: `PROPTEST_CASES` overrides the config.
+        pub fn effective_cases(&self) -> u32 {
+            match std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|v| v.parse().ok())
+            {
+                Some(n) => n,
+                None => self.cases,
+            }
+        }
+
+        /// Base seed: fixed unless `PROPTEST_SEED` is set.
+        pub fn base_seed() -> u64 {
+            std::env::var("PROPTEST_SEED")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(0x9E37_79B9_7F4A_7C15)
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            // Upstream defaults to 256; this substrate runs whole-GPU
+            // simulations per case, so default lower and let
+            // `PROPTEST_CASES` raise it.
+            Self { cases: 64 }
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::{Strategy, TestRng};
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `len`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        min_len: usize,
+        max_len: usize,
+    }
+
+    /// Vector strategy with length in `len` (half-open, like upstream's
+    /// `SizeRange` from a `Range<usize>`).
+    pub fn vec<S: Strategy>(element: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+        assert!(len.start < len.end, "collection::vec: empty length range");
+        VecStrategy {
+            element,
+            min_len: len.start,
+            max_len: len.end,
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = rng.below(self.min_len as u64, self.max_len as u64) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    //! One-stop import, mirroring `proptest::prelude::*`.
+
+    pub use crate::strategy::{any, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Runs `cases` deterministic cases of one property (support code for the
+/// [`proptest!`] macro; not part of the public API surface upstream has).
+pub fn run_cases(test_name: &str, cases: u32, mut case: impl FnMut(&mut strategy::TestRng)) {
+    let base = test_runner::Config::base_seed();
+    for i in 0..cases {
+        // Distinct, deterministic stream per (test, case).
+        let mut seed = base ^ (i as u64).wrapping_mul(0xA24B_AED4_963E_E407);
+        for b in test_name.bytes() {
+            seed = seed.wrapping_mul(0x100_0000_01B3) ^ b as u64;
+        }
+        let mut rng = strategy::TestRng::new(seed);
+        case(&mut rng);
+    }
+}
+
+/// Defines property tests: each function argument is drawn from the
+/// strategy to the right of its `in`, and the body runs once per case.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests!(($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests!(($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Implementation detail of [`proptest!`]: munches one test fn at a time.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg_pat:pat in $arg_strat:expr),+ $(,)? ) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            $crate::run_cases(stringify!($name), config.effective_cases(), |rng| {
+                $(let $arg_pat = $crate::strategy::Strategy::generate(&($arg_strat), rng);)+
+                $body
+            });
+        }
+        $crate::__proptest_tests!(($cfg) $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a property (panics like `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property (panics like `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property (panics like `assert_ne!`).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_in_bounds(x in 3u32..10, y in 0usize..4, b in any::<bool>()) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!(y < 4);
+            let _ = b;
+        }
+
+        #[test]
+        fn vec_lengths(v in crate::collection::vec(0u8..8, 2..6)) {
+            prop_assert!((2..6).contains(&v.len()));
+            prop_assert!(v.iter().all(|&e| e < 8));
+        }
+
+        #[test]
+        fn tuples_and_nested(
+            pairs in crate::collection::vec((0u64..16, 0u32..100), 1..8),
+            (lo, hi) in (0u64..1000, 1000u64..2000),
+        ) {
+            prop_assert!(!pairs.is_empty() && pairs.len() < 8);
+            for &(a, v) in &pairs {
+                prop_assert!(a < 16 && v < 100);
+            }
+            prop_assert!(lo < 1000 && (1000..2000).contains(&hi));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(5))]
+
+        #[test]
+        fn config_accepted(x in 0u8..2) {
+            prop_assert!(x < 2);
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let mut a = Vec::new();
+        crate::run_cases("t", 10, |rng| a.push(rng.next_u64()));
+        let mut b = Vec::new();
+        crate::run_cases("t", 10, |rng| b.push(rng.next_u64()));
+        assert_eq!(a, b);
+    }
+}
