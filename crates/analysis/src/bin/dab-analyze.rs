@@ -1,0 +1,161 @@
+//! `dab-analyze` — static determinism analysis over the workload suite.
+//!
+//! ```text
+//! cargo run --release -p analysis --bin dab-analyze -- --suite
+//! ```
+//!
+//! Flags:
+//!
+//! - `--suite` — analyze every suite benchmark (evaluation + micro)
+//! - `--bench <glob>` — analyze matching benchmarks only (repeatable)
+//! - `--allowlist <path>` — allowlist file (default: the crate's
+//!   `suite-allowlist.txt`)
+//! - `--json` — also write `results/dab_analyze.json`
+//! - `--quiet` — print totals and violations only
+//!
+//! Environment: `DAB_SCALE=ci|paper` picks the workload scale,
+//! `DAB_JOBS` the analysis worker count, `DAB_RESULTS_DIR` the JSON
+//! output directory. Output is byte-identical across runs and worker
+//! counts. Exit code 1 means at least one non-allowlisted hazard or lint.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use analysis::report::glob_match;
+use analysis::{analyze_suite_with_jobs, Allowlist};
+use dab_workloads::scale::Scale;
+use dab_workloads::suite::analyze_all;
+
+fn usage() -> &'static str {
+    "usage: dab-analyze (--suite | --bench <glob>...) \
+     [--allowlist <path>] [--json] [--quiet]"
+}
+
+fn jobs_from_env() -> usize {
+    if let Ok(s) = std::env::var("DAB_JOBS") {
+        if let Ok(n) = s.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+fn results_dir() -> PathBuf {
+    if let Ok(dir) = std::env::var("DAB_RESULTS_DIR") {
+        return PathBuf::from(dir);
+    }
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("results")
+}
+
+fn default_allowlist_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("suite-allowlist.txt")
+}
+
+fn main() -> ExitCode {
+    let mut suite = false;
+    let mut bench_globs: Vec<String> = Vec::new();
+    let mut allowlist_path: Option<PathBuf> = None;
+    let mut json = false;
+    let mut quiet = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--suite" => suite = true,
+            "--bench" => match args.next() {
+                Some(g) => bench_globs.push(g),
+                None => {
+                    eprintln!("--bench needs a benchmark name or glob\n{}", usage());
+                    return ExitCode::from(2);
+                }
+            },
+            "--allowlist" => match args.next() {
+                Some(p) => allowlist_path = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--allowlist needs a path\n{}", usage());
+                    return ExitCode::from(2);
+                }
+            },
+            "--json" => json = true,
+            "--quiet" => quiet = true,
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument {other:?}\n{}", usage());
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if !suite && bench_globs.is_empty() {
+        eprintln!("{}", usage());
+        return ExitCode::from(2);
+    }
+
+    let scale = Scale::from_env();
+    let mut benches = analyze_all(scale);
+    if !bench_globs.is_empty() {
+        benches.retain(|b| bench_globs.iter().any(|g| glob_match(g, &b.name)));
+        if benches.is_empty() {
+            eprintln!("no suite benchmark matches {bench_globs:?}");
+            return ExitCode::from(2);
+        }
+    }
+
+    let allow = {
+        let path = allowlist_path.unwrap_or_else(default_allowlist_path);
+        match std::fs::read_to_string(&path) {
+            Ok(text) => match Allowlist::parse(&text) {
+                Ok(a) => a,
+                Err(e) => {
+                    eprintln!("{}: {e}", path.display());
+                    return ExitCode::from(2);
+                }
+            },
+            Err(e) => {
+                eprintln!(
+                    "warning: cannot read allowlist {}: {e}; gating on every hazard",
+                    path.display()
+                );
+                Allowlist::empty()
+            }
+        }
+    };
+
+    let report = analyze_suite_with_jobs(&benches, scale.label(), jobs_from_env());
+
+    let text = report.render_text(&allow);
+    if quiet {
+        // Totals onwards: the tail of the report starting at "totals:".
+        match text.find("\ntotals:") {
+            Some(pos) => print!("{}", &text[pos + 1..]),
+            None => print!("{text}"),
+        }
+    } else {
+        print!("{text}");
+    }
+
+    if json {
+        let dir = results_dir();
+        if let Err(e) = std::fs::create_dir_all(&dir) {
+            eprintln!("warning: cannot create {}: {e}", dir.display());
+        } else {
+            let path = dir.join("dab_analyze.json");
+            match std::fs::write(&path, report.render_json(&allow)) {
+                Ok(()) => println!("results: {}", path.display()),
+                Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+            }
+        }
+    }
+
+    if report.violations(&allow).is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

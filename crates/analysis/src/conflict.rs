@@ -1,0 +1,633 @@
+//! Word-granular conflict detection and hazard classification.
+//!
+//! The detector walks a lowered [`KernelGrid`] once, bucketing every
+//! lane-level access by its 32-bit **word** (`addr >> 2`) and its
+//! happens-before context ([`crate::hb::AccessCtx`]). Accesses sharing
+//! `(category, cta, phase, lock)` collapse into one internal group, so the
+//! per-word state stays proportional to the kernel's *ordering structure*,
+//! not its dynamic access count. A word races iff two of its groups (or
+//! one multi-warp group with itself) are unordered; the racing category
+//! pair picks the [`ConflictKind`].
+//!
+//! **Why word-granular and not sector-granular?** Hazards are classified
+//! at word granularity deliberately: real workloads legitimately place
+//! unrelated words in one 32-byte sector (BC's per-level `sigma` cells,
+//! conv's region-strided gradient slices), and sector-granular
+//! classification would report those as races. Sector-level interference
+//! is still measured — [`KernelReport::shared_sectors`] counts sectors
+//! written by several warps through distinct words (false sharing), and
+//! [`KernelReport::transactions`] reuses [`MemAccess::sectors`] to count
+//! the coalesced transactions the baseline memory system would issue —
+//! but neither gates CI.
+
+use std::collections::HashMap;
+
+use gpu_sim::isa::{AtomicAccess, AtomicOp, Instr, MemAccess, OrderingEffect};
+use gpu_sim::kernel::KernelGrid;
+
+use crate::hb::AccessCtx;
+use crate::lint;
+use crate::report::{sort_findings, ConflictKind, Finding, KernelReport};
+
+/// Sector granularity (bytes) for the transaction/false-sharing passes;
+/// matches the memory system's 32-byte sectors.
+pub const SECTOR_BYTES: u64 = 32;
+
+/// What kind of access touched a word (the conflict-matrix axis).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessCat {
+    /// Plain global load.
+    Load,
+    /// Plain global store.
+    Store,
+    /// Reduction atomic (no return value); includes the reductions inside
+    /// `LockedSection` critical sections.
+    Red(AtomicOp),
+    /// Value-returning atomic.
+    Atom(AtomicOp),
+}
+
+impl AccessCat {
+    /// Whether the access mutates memory.
+    pub fn is_write(self) -> bool {
+        !matches!(self, AccessCat::Load)
+    }
+}
+
+/// Classifies one unordered conflicting pair of access categories.
+///
+/// Returns `None` for non-conflicting pairs (load/load). The matrix is
+/// symmetric; see DESIGN.md for the taxonomy table.
+pub fn classify_pair(a: AccessCat, b: AccessCat) -> Option<ConflictKind> {
+    use AccessCat::*;
+    match (a, b) {
+        (Load, Load) => None,
+        (Store, Store) => Some(ConflictKind::StoreStore),
+        (Load, Store) | (Store, Load) => Some(ConflictKind::StoreLoad),
+        (Load, Red(_)) | (Red(_), Load) | (Load, Atom(_)) | (Atom(_), Load) => {
+            Some(ConflictKind::ReadAtomicRace)
+        }
+        (Store, Red(_)) | (Red(_), Store) | (Store, Atom(_)) | (Atom(_), Store) => {
+            Some(ConflictKind::MixedPlainAtomic)
+        }
+        // Any value-returning atomic in an unordered pair races on its
+        // return value, whatever the final memory bits converge to.
+        (Atom(_), Atom(_)) | (Atom(_), Red(_)) | (Red(_), Atom(_)) => {
+            Some(ConflictKind::AtomReturnRace)
+        }
+        (Red(x), Red(y)) if x != y => Some(ConflictKind::MixedOpAtomics),
+        (Red(op), Red(_)) => Some(if !op.order_sensitive() {
+            // Associative-commutative reductions converge bit-exactly in
+            // any order: the race is on visibility only.
+            ConflictKind::CommutativeRedRace
+        } else if op.fusible() {
+            // `red.add.f32`: deterministic under DAB's ordered buffers,
+            // rounding-divergent on a timing-ordered baseline (Fig. 1).
+            ConflictKind::FpRedRace
+        } else {
+            // `exch`: last writer wins; order-dependent everywhere.
+            ConflictKind::ExchRace
+        }),
+    }
+}
+
+/// All accesses to one word sharing `(category, cta, phase, lock)`.
+///
+/// `ctx.warp` holds a *witness* warp (the first seen); `multi_warp`
+/// records whether the group spans several warps. Outcomes are invariant
+/// under warp renumbering: witness equality only decides ordering when
+/// both groups are single-warp, in which case the witness *is* the warp.
+#[derive(Debug, Clone)]
+struct Group {
+    cat: AccessCat,
+    ctx: AccessCtx,
+    multi_warp: bool,
+    count: u64,
+}
+
+/// Whether some pair of accesses drawn from two distinct groups is
+/// unordered.
+fn groups_unordered(a: &Group, b: &Group) -> bool {
+    if let (Some(la), Some(lb)) = (a.ctx.lock, b.ctx.lock) {
+        if la == lb {
+            return false;
+        }
+    }
+    if a.ctx.cta != b.ctx.cta {
+        return true;
+    }
+    if a.ctx.phase != b.ctx.phase {
+        return false;
+    }
+    a.ctx.warp != b.ctx.warp || a.multi_warp || b.multi_warp
+}
+
+/// Whether a group conflicts with itself (two of its own accesses race).
+fn group_self_unordered(g: &Group) -> bool {
+    g.multi_warp && g.ctx.lock.is_none()
+}
+
+/// Per-sector accumulator for the false-sharing pass.
+#[derive(Debug, Clone)]
+struct SectorInfo {
+    warp: u32,
+    multi_warp: bool,
+    word: u64,
+    multi_word: bool,
+    any_write: bool,
+}
+
+/// Mutable walk state for one kernel grid.
+#[derive(Debug, Default)]
+struct Walk {
+    words: HashMap<u64, Vec<Group>>,
+    sectors: HashMap<u64, SectorInfo>,
+    accesses: u64,
+    transactions: u64,
+}
+
+impl Walk {
+    fn add(&mut self, addr: u64, cat: AccessCat, ctx: AccessCtx) {
+        self.accesses += 1;
+        let word = addr >> 2;
+        let groups = self.words.entry(word).or_default();
+        // The walk is CTA-major, so the matching group is almost always
+        // at the tail; scan backwards.
+        if let Some(g) = groups.iter_mut().rev().find(|g| {
+            g.cat == cat
+                && g.ctx.cta == ctx.cta
+                && g.ctx.phase == ctx.phase
+                && g.ctx.lock == ctx.lock
+        }) {
+            g.count += 1;
+            if g.ctx.warp != ctx.warp {
+                g.multi_warp = true;
+            }
+        } else {
+            groups.push(Group {
+                cat,
+                ctx,
+                multi_warp: false,
+                count: 1,
+            });
+        }
+
+        let sector = addr / SECTOR_BYTES;
+        match self.sectors.get_mut(&sector) {
+            Some(s) => {
+                if s.warp != ctx.warp {
+                    s.multi_warp = true;
+                }
+                if s.word != word {
+                    s.multi_word = true;
+                }
+                s.any_write |= cat.is_write();
+            }
+            None => {
+                self.sectors.insert(
+                    sector,
+                    SectorInfo {
+                        warp: ctx.warp,
+                        multi_warp: false,
+                        word,
+                        multi_word: false,
+                        any_write: cat.is_write(),
+                    },
+                );
+            }
+        }
+    }
+
+    fn add_mem(&mut self, accesses: &[MemAccess], cat: AccessCat, ctx: AccessCtx) {
+        for acc in accesses {
+            self.transactions += acc.sectors(SECTOR_BYTES).len() as u64;
+            for &addr in &acc.addrs {
+                self.add(addr, cat, ctx);
+            }
+        }
+    }
+
+    fn add_atomics(&mut self, accesses: &[AtomicAccess], cat: AccessCat, ctx: AccessCtx) {
+        for acc in accesses {
+            self.add(acc.addr, cat, ctx);
+        }
+    }
+}
+
+/// Statically analyzes one kernel grid: happens-before construction,
+/// conflict classification, lints, and the sector passes.
+///
+/// # Examples
+///
+/// A mixed-opcode atomic race is a hazard:
+///
+/// ```
+/// use analysis::conflict::analyze_kernel;
+/// use analysis::report::{Class, ConflictKind};
+/// use gpu_sim::isa::{AtomicAccess, AtomicOp, Instr, Value, WarpProgram};
+/// use gpu_sim::kernel::{CtaSpec, KernelGrid};
+///
+/// let red = |op| Instr::Red {
+///     op,
+///     accesses: vec![AtomicAccess::new(0, 0x100, Value::U32(1))],
+/// };
+/// let grid = KernelGrid::new(
+///     "mixed",
+///     vec![
+///         CtaSpec::new(0, vec![WarpProgram::new(vec![red(AtomicOp::AddU32)], 1)]),
+///         CtaSpec::new(1, vec![WarpProgram::new(vec![red(AtomicOp::MaxU32)], 1)]),
+///     ],
+/// );
+/// let report = analyze_kernel(&grid);
+/// assert!(report
+///     .findings
+///     .iter()
+///     .any(|f| f.kind == ConflictKind::MixedOpAtomics && f.kind.class() == Class::Hazard));
+/// ```
+pub fn analyze_kernel(grid: &KernelGrid) -> KernelReport {
+    let lints = lint::lint_kernel(grid);
+    let mut walk = Walk::default();
+    let mut divergent_ctas = 0u64;
+    let mut warp_id = 0u32;
+
+    for (cta_idx, cta) in grid.ctas.iter().enumerate() {
+        let cta_idx = cta_idx as u32;
+        let mut bar_counts: Vec<u32> = Vec::with_capacity(cta.warps.len());
+        for warp in &cta.warps {
+            let mut phase = 0u32;
+            for instr in &warp.instrs {
+                let lock = match instr.ordering_effect() {
+                    OrderingEffect::CtaBarrier => {
+                        phase += 1;
+                        continue;
+                    }
+                    OrderingEffect::TicketLock { lock_addr } => Some(lock_addr >> 2),
+                    // Flush points order only the issuing warp's own
+                    // accesses — already covered by program order.
+                    OrderingEffect::FlushPoint | OrderingEffect::None => None,
+                };
+                let ctx = AccessCtx {
+                    cta: cta_idx,
+                    warp: warp_id,
+                    phase,
+                    lock,
+                };
+                match instr {
+                    Instr::Load { accesses } => walk.add_mem(accesses, AccessCat::Load, ctx),
+                    Instr::Store { accesses } => walk.add_mem(accesses, AccessCat::Store, ctx),
+                    Instr::Red { op, accesses } => {
+                        walk.add_atomics(accesses, AccessCat::Red(*op), ctx)
+                    }
+                    Instr::Atom { op, accesses } => {
+                        walk.add_atomics(accesses, AccessCat::Atom(*op), ctx)
+                    }
+                    Instr::LockedSection { op, accesses, .. } => {
+                        walk.add_atomics(accesses, AccessCat::Red(*op), ctx)
+                    }
+                    Instr::Alu { .. } | Instr::Bar | Instr::Fence => {}
+                }
+            }
+            bar_counts.push(phase);
+            warp_id += 1;
+        }
+        if bar_counts.windows(2).any(|w| w[0] != w[1]) {
+            divergent_ctas += 1;
+        }
+    }
+
+    // Classification: per word, find which conflict kinds have at least
+    // one unordered pair among the word's groups. HashMap iteration order
+    // never leaks: all accumulation below is commutative (sums, min/max).
+    let mut acc: Vec<Option<Finding>> = vec![None; crate::report::ALL_KINDS.len()];
+    for (&word, groups) in &walk.words {
+        // Which kinds are even possible here, from the categories present.
+        let mut cats: Vec<AccessCat> = Vec::new();
+        for g in groups {
+            if !cats.contains(&g.cat) {
+                cats.push(g.cat);
+            }
+        }
+        let mut possible: Vec<ConflictKind> = Vec::new();
+        for i in 0..cats.len() {
+            for j in i..cats.len() {
+                if let Some(k) = classify_pair(cats[i], cats[j]) {
+                    if !possible.contains(&k) {
+                        possible.push(k);
+                    }
+                }
+            }
+        }
+        if possible.is_empty() {
+            continue;
+        }
+        let mut found: Vec<ConflictKind> = Vec::new();
+        'pairs: for i in 0..groups.len() {
+            for j in i..groups.len() {
+                let unordered = if i == j {
+                    group_self_unordered(&groups[i])
+                } else {
+                    groups_unordered(&groups[i], &groups[j])
+                };
+                if !unordered {
+                    continue;
+                }
+                if let Some(k) = classify_pair(groups[i].cat, groups[j].cat) {
+                    if !found.contains(&k) {
+                        found.push(k);
+                        if found.len() == possible.len() {
+                            break 'pairs;
+                        }
+                    }
+                }
+            }
+        }
+        if found.is_empty() {
+            continue;
+        }
+        let site_accesses: u64 = groups.iter().map(|g| g.count).sum();
+        let addr = word << 2;
+        for k in found {
+            let slot = &mut acc[kind_index(k)];
+            let f = slot.get_or_insert_with(|| Finding::new(k));
+            f.sites += 1;
+            f.accesses += site_accesses;
+            f.addr_min = f.addr_min.min(addr);
+            f.addr_max = f.addr_max.max(addr);
+        }
+    }
+    if divergent_ctas > 0 {
+        let f = acc[kind_index(ConflictKind::BarrierDivergence)]
+            .get_or_insert_with(|| Finding::new(ConflictKind::BarrierDivergence));
+        f.sites += divergent_ctas;
+    }
+
+    let mut findings: Vec<Finding> = acc
+        .into_iter()
+        .flatten()
+        .map(|mut f| {
+            f.kernels = 1;
+            f
+        })
+        .collect();
+    sort_findings(&mut findings);
+
+    let shared_sectors = walk
+        .sectors
+        .values()
+        .filter(|s| s.multi_warp && s.multi_word && s.any_write)
+        .count() as u64;
+
+    KernelReport {
+        name: grid.name.clone(),
+        warps: grid.total_warps() as u64,
+        sites: walk.words.len() as u64,
+        accesses: walk.accesses,
+        transactions: walk.transactions,
+        shared_sectors,
+        findings,
+        lints,
+    }
+}
+
+fn kind_index(k: ConflictKind) -> usize {
+    crate::report::ALL_KINDS
+        .iter()
+        .position(|&x| x == k)
+        .expect("kind is in ALL_KINDS")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::isa::{LockKind, Value, WarpProgram};
+    use gpu_sim::kernel::CtaSpec;
+
+    fn red_at(op: AtomicOp, addr: u64) -> Instr {
+        Instr::Red {
+            op,
+            accesses: vec![AtomicAccess::new(0, addr, Value::U32(1))],
+        }
+    }
+
+    fn one_warp_ctas(instrs: Vec<Vec<Instr>>) -> KernelGrid {
+        let ctas = instrs
+            .into_iter()
+            .enumerate()
+            .map(|(i, is)| CtaSpec::new(i, vec![WarpProgram::new(is, 1)]))
+            .collect();
+        KernelGrid::new("test", ctas)
+    }
+
+    fn kinds(grid: &KernelGrid) -> Vec<ConflictKind> {
+        analyze_kernel(grid)
+            .findings
+            .iter()
+            .map(|f| f.kind)
+            .collect()
+    }
+
+    #[test]
+    fn pair_matrix_is_symmetric() {
+        use AccessCat::*;
+        let cats = [
+            Load,
+            Store,
+            Red(AtomicOp::AddF32),
+            Red(AtomicOp::AddU32),
+            Red(AtomicOp::ExchB32),
+            Atom(AtomicOp::AddU32),
+        ];
+        for &a in &cats {
+            for &b in &cats {
+                assert_eq!(classify_pair(a, b), classify_pair(b, a), "{a:?} {b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn same_op_red_classification() {
+        use AccessCat::Red;
+        assert_eq!(
+            classify_pair(Red(AtomicOp::AddU32), Red(AtomicOp::AddU32)),
+            Some(ConflictKind::CommutativeRedRace)
+        );
+        assert_eq!(
+            classify_pair(Red(AtomicOp::MaxF32), Red(AtomicOp::MaxF32)),
+            Some(ConflictKind::CommutativeRedRace),
+            "exact fp max converges in any order"
+        );
+        assert_eq!(
+            classify_pair(Red(AtomicOp::AddF32), Red(AtomicOp::AddF32)),
+            Some(ConflictKind::FpRedRace)
+        );
+        assert_eq!(
+            classify_pair(Red(AtomicOp::ExchB32), Red(AtomicOp::ExchB32)),
+            Some(ConflictKind::ExchRace)
+        );
+    }
+
+    #[test]
+    fn cross_cta_fp_red_race() {
+        let grid = one_warp_ctas(vec![
+            vec![red_at(AtomicOp::AddF32, 0x100)],
+            vec![red_at(AtomicOp::AddF32, 0x100)],
+        ]);
+        assert_eq!(kinds(&grid), vec![ConflictKind::FpRedRace]);
+    }
+
+    #[test]
+    fn same_warp_is_ordered() {
+        let grid = one_warp_ctas(vec![vec![
+            red_at(AtomicOp::AddF32, 0x100),
+            red_at(AtomicOp::AddU32, 0x100),
+        ]]);
+        assert!(kinds(&grid).is_empty(), "program order covers one warp");
+    }
+
+    #[test]
+    fn barrier_orders_phases_within_cta() {
+        let mk = |with_bar: bool| {
+            let mut w0 = vec![Instr::Store {
+                accesses: vec![MemAccess { addrs: vec![0x100] }],
+            }];
+            let mut w1 = Vec::new();
+            if with_bar {
+                w0.push(Instr::Bar);
+                w1.push(Instr::Bar);
+            }
+            w1.push(Instr::Load {
+                accesses: vec![MemAccess { addrs: vec![0x100] }],
+            });
+            KernelGrid::new(
+                "bar",
+                vec![CtaSpec::new(
+                    0,
+                    vec![WarpProgram::new(w0, 1), WarpProgram::new(w1, 1)],
+                )],
+            )
+        };
+        assert_eq!(kinds(&mk(false)), vec![ConflictKind::StoreLoad]);
+        assert!(kinds(&mk(true)).is_empty(), "barrier orders the phases");
+    }
+
+    #[test]
+    fn ticket_locks_order_critical_sections() {
+        let locked = |cta: usize| {
+            CtaSpec::new(
+                cta,
+                vec![WarpProgram::new(
+                    vec![Instr::LockedSection {
+                        kind: LockKind::TestAndSet,
+                        lock_addr: 0x4000,
+                        op: AtomicOp::AddF32,
+                        accesses: vec![AtomicAccess::new(0, 0x100, Value::F32(1.0))],
+                        critical_cycles: 4,
+                    }],
+                    1,
+                )],
+            )
+        };
+        let grid = KernelGrid::new("locked", vec![locked(0), locked(1)]);
+        assert!(kinds(&grid).is_empty(), "same lock ⇒ ticket order");
+    }
+
+    #[test]
+    fn different_locks_do_not_order() {
+        let locked = |cta: usize, lock_addr: u64| {
+            CtaSpec::new(
+                cta,
+                vec![WarpProgram::new(
+                    vec![Instr::LockedSection {
+                        kind: LockKind::TestAndSet,
+                        lock_addr,
+                        op: AtomicOp::AddF32,
+                        accesses: vec![AtomicAccess::new(0, 0x100, Value::F32(1.0))],
+                        critical_cycles: 4,
+                    }],
+                    1,
+                )],
+            )
+        };
+        let grid = KernelGrid::new("locked", vec![locked(0, 0x4000), locked(1, 0x4004)]);
+        assert_eq!(kinds(&grid), vec![ConflictKind::FpRedRace]);
+    }
+
+    #[test]
+    fn multi_warp_group_self_conflicts() {
+        // Two warps of one CTA, same phase, same cat, same word: the
+        // accesses collapse into one group that must still race.
+        let grid = KernelGrid::new(
+            "selfpair",
+            vec![CtaSpec::new(
+                0,
+                vec![
+                    WarpProgram::new(vec![red_at(AtomicOp::AddF32, 0x100)], 1),
+                    WarpProgram::new(vec![red_at(AtomicOp::AddF32, 0x100)], 1),
+                ],
+            )],
+        );
+        assert_eq!(kinds(&grid), vec![ConflictKind::FpRedRace]);
+    }
+
+    #[test]
+    fn atom_return_and_store_hazards() {
+        let atom = |addr| Instr::Atom {
+            op: AtomicOp::AddU32,
+            accesses: vec![AtomicAccess::new(0, addr, Value::U32(1))],
+        };
+        let grid = one_warp_ctas(vec![vec![atom(0x100)], vec![atom(0x100)]]);
+        assert_eq!(kinds(&grid), vec![ConflictKind::AtomReturnRace]);
+
+        let store = |addr| Instr::Store {
+            accesses: vec![MemAccess { addrs: vec![addr] }],
+        };
+        let grid = one_warp_ctas(vec![vec![store(0x200)], vec![store(0x200)]]);
+        assert_eq!(kinds(&grid), vec![ConflictKind::StoreStore]);
+
+        let grid = one_warp_ctas(vec![
+            vec![store(0x200)],
+            vec![red_at(AtomicOp::AddU32, 0x200)],
+        ]);
+        assert_eq!(kinds(&grid), vec![ConflictKind::MixedPlainAtomic]);
+    }
+
+    #[test]
+    fn barrier_divergence_detected() {
+        let grid = KernelGrid::new(
+            "div",
+            vec![CtaSpec::new(
+                0,
+                vec![
+                    WarpProgram::new(vec![Instr::Bar], 1),
+                    WarpProgram::new(vec![], 1),
+                ],
+            )],
+        );
+        let report = analyze_kernel(&grid);
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| f.kind == ConflictKind::BarrierDivergence && f.sites == 1));
+    }
+
+    #[test]
+    fn false_sharing_counted_not_classified() {
+        // Two warps in different CTAs write *different* words of one
+        // 32-byte sector: no finding, one shared sector.
+        let store = |addr| Instr::Store {
+            accesses: vec![MemAccess { addrs: vec![addr] }],
+        };
+        let grid = one_warp_ctas(vec![vec![store(0x100)], vec![store(0x104)]]);
+        let report = analyze_kernel(&grid);
+        assert!(report.findings.is_empty());
+        assert_eq!(report.shared_sectors, 1);
+    }
+
+    #[test]
+    fn transactions_reuse_sector_coalescing() {
+        let grid = one_warp_ctas(vec![vec![Instr::Load {
+            accesses: vec![MemAccess::per_lane_f32(0, 32)], // 128 B = 4 sectors
+        }]]);
+        assert_eq!(analyze_kernel(&grid).transactions, 4);
+    }
+}

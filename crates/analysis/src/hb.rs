@@ -1,0 +1,131 @@
+//! The happens-before relation over lowered warp traces.
+//!
+//! Because the simulator is trace-driven, every `WarpProgram` is fully
+//! lowered before execution: the complete set of dynamic memory accesses —
+//! and every ordering construct between them — is statically known. That
+//! makes the happens-before relation *decidable per trace*, which is what
+//! this module implements.
+//!
+//! The rules, one per [`gpu_sim::isa::OrderingEffect`] variant (kernel
+//! grids are analyzed independently — a kernel launch boundary is a
+//! device-wide synchronization point):
+//!
+//! - **program order** — two accesses of the same warp are always ordered;
+//! - **`CtaBarrier`** (`Instr::Bar`) — accesses of different warps of the
+//!   same CTA separated by a barrier (different *barrier phases*) are
+//!   ordered; same-phase accesses of different warps are not;
+//! - **`TicketLock`** (`Instr::LockedSection`) — critical sections
+//!   guarding the same lock variable run in global-thread-id ticket order,
+//!   so their contents are mutually ordered across warps *and* CTAs;
+//! - **`FlushPoint`** (`Instr::Fence`, `Instr::Atom`) — under DAB these
+//!   drain the issuing warp's own atomic buffer before it proceeds. They
+//!   order a warp against its *own* later accesses (already covered by
+//!   program order) and create **no** cross-warp edge, so they do not
+//!   appear in [`AccessCtx`] at all.
+//!
+//! Everything else — different CTAs, or different warps of one CTA within
+//! one barrier phase and no common lock — is unordered, and any
+//! conflicting pair of such accesses is a race for
+//! [`crate::conflict`] to classify.
+
+/// The ordering-relevant context of one memory access: where in the
+/// ordering structure of the kernel it was issued.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessCtx {
+    /// CTA index within the kernel grid.
+    pub cta: u32,
+    /// Warp index within the kernel (globally unique across CTAs).
+    pub warp: u32,
+    /// Barrier phase within the CTA: the number of `Bar` instructions the
+    /// issuing warp has executed before this access.
+    pub phase: u32,
+    /// `Some(lock_word)` when the access happens inside a
+    /// `LockedSection` guarding that lock variable.
+    pub lock: Option<u64>,
+}
+
+/// Whether two accesses are **unordered** — i.e. no happens-before edge
+/// exists between them in either direction.
+///
+/// # Examples
+///
+/// ```
+/// use analysis::hb::{unordered, AccessCtx};
+///
+/// let a = AccessCtx { cta: 0, warp: 0, phase: 0, lock: None };
+/// let same_warp = AccessCtx { cta: 0, warp: 0, phase: 0, lock: None };
+/// let other_cta = AccessCtx { cta: 1, warp: 9, phase: 0, lock: None };
+/// let next_phase = AccessCtx { cta: 0, warp: 1, phase: 1, lock: None };
+/// assert!(!unordered(&a, &same_warp)); // program order
+/// assert!(unordered(&a, &other_cta)); // nothing orders CTAs
+/// assert!(!unordered(&a, &next_phase)); // barrier orders phases
+/// ```
+pub fn unordered(a: &AccessCtx, b: &AccessCtx) -> bool {
+    // Ticket order: critical sections guarding the same lock are serialized
+    // in global-thread-id order across the whole grid.
+    if let (Some(la), Some(lb)) = (a.lock, b.lock) {
+        if la == lb {
+            return false;
+        }
+    }
+    // No device-wide ordering construct inside a kernel: distinct CTAs
+    // are never ordered (short of a shared lock, handled above).
+    if a.cta != b.cta {
+        return true;
+    }
+    // Barriers order the warps of a CTA phase by phase.
+    if a.phase != b.phase {
+        return false;
+    }
+    // Same CTA, same phase: only program order remains.
+    a.warp != b.warp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(cta: u32, warp: u32, phase: u32, lock: Option<u64>) -> AccessCtx {
+        AccessCtx {
+            cta,
+            warp,
+            phase,
+            lock,
+        }
+    }
+
+    #[test]
+    fn program_order_within_a_warp() {
+        assert!(!unordered(&ctx(0, 0, 0, None), &ctx(0, 0, 0, None)));
+        // Even across that warp's own barrier phases.
+        assert!(!unordered(&ctx(0, 0, 0, None), &ctx(0, 0, 2, None)));
+    }
+
+    #[test]
+    fn barriers_order_phases_not_peers() {
+        // Different warps, same phase: racy.
+        assert!(unordered(&ctx(0, 0, 1, None), &ctx(0, 1, 1, None)));
+        // Different warps, different phases: the barrier between them
+        // ordered them.
+        assert!(!unordered(&ctx(0, 0, 0, None), &ctx(0, 1, 1, None)));
+    }
+
+    #[test]
+    fn ctas_are_never_barrier_ordered() {
+        // `Bar` is CTA-local: equal or unequal phases mean nothing across
+        // CTAs.
+        assert!(unordered(&ctx(0, 0, 1, None), &ctx(1, 8, 1, None)));
+        assert!(unordered(&ctx(0, 0, 0, None), &ctx(1, 8, 3, None)));
+    }
+
+    #[test]
+    fn ticket_locks_order_across_everything() {
+        let l = Some(0x2100_0000 >> 2);
+        // Same lock: ordered even across CTAs.
+        assert!(!unordered(&ctx(0, 0, 0, l), &ctx(5, 40, 0, l)));
+        // Different locks: no common ticket sequence.
+        assert!(unordered(&ctx(0, 0, 0, l), &ctx(5, 40, 0, Some(1))));
+        // Locked vs unlocked access: the lock only orders its sections.
+        assert!(unordered(&ctx(0, 0, 0, l), &ctx(5, 40, 0, None)));
+    }
+}

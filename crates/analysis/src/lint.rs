@@ -1,0 +1,293 @@
+//! Well-formedness linting of lowered traces.
+//!
+//! Workload generators hand the simulator fully-lowered warp programs; a
+//! malformed trace (out-of-range lanes, misaligned words, CTA ids that
+//! disagree with their grid position) would silently skew both timing and
+//! determinism results. The linter re-checks the invariants every
+//! generator is supposed to uphold, so a broken generator fails
+//! `dab-analyze` in CI instead of producing quietly-wrong figures.
+//!
+//! Lints are deduplicated per kind: each [`Lint`] carries the first
+//! offending location and a total occurrence count, keeping reports
+//! bounded even for a generator that mis-lowers every instruction.
+
+use std::collections::BTreeSet;
+
+use gpu_sim::isa::Instr;
+use gpu_sim::kernel::KernelGrid;
+
+use crate::report::{Lint, LintKind};
+
+/// Accumulates deduplicated lints.
+#[derive(Debug, Default)]
+struct Lints {
+    found: Vec<Lint>,
+}
+
+impl Lints {
+    fn push(&mut self, kind: LintKind, detail: impl FnOnce() -> String) {
+        match self.found.iter_mut().find(|l| l.kind == kind) {
+            Some(l) => l.count += 1,
+            None => self.found.push(Lint {
+                kind,
+                detail: detail(),
+                count: 1,
+            }),
+        }
+    }
+}
+
+/// Lints one kernel grid; returns deduplicated lints sorted by kind.
+///
+/// # Examples
+///
+/// ```
+/// use analysis::lint::lint_kernel;
+/// use analysis::report::LintKind;
+/// use gpu_sim::kernel::KernelGrid;
+///
+/// let empty = KernelGrid::new("nothing", vec![]);
+/// let lints = lint_kernel(&empty);
+/// assert_eq!(lints[0].kind, LintKind::EmptyKernel);
+/// ```
+pub fn lint_kernel(grid: &KernelGrid) -> Vec<Lint> {
+    let mut lints = Lints::default();
+    if grid.ctas.is_empty() {
+        lints.push(LintKind::EmptyKernel, || {
+            format!("kernel {} has no CTAs", grid.name)
+        });
+    }
+    let mut lock_words: BTreeSet<u64> = BTreeSet::new();
+    let mut data_words: BTreeSet<u64> = BTreeSet::new();
+
+    for (i, cta) in grid.ctas.iter().enumerate() {
+        if cta.cta_id != i {
+            lints.push(LintKind::CtaIdMismatch, || {
+                format!("ctas[{i}] has cta_id {}", cta.cta_id)
+            });
+        }
+        if cta.warps.is_empty() {
+            lints.push(LintKind::EmptyKernel, || format!("cta {i} has no warps"));
+        }
+        for (w, warp) in cta.warps.iter().enumerate() {
+            if warp.instrs.is_empty() {
+                lints.push(LintKind::EmptyProgram, || {
+                    format!("cta {i} warp {w} has no instructions")
+                });
+            }
+            for instr in &warp.instrs {
+                match instr {
+                    Instr::Load { accesses } | Instr::Store { accesses } => {
+                        for acc in accesses {
+                            if acc.addrs.len() > warp.active_lanes {
+                                lints.push(LintKind::TooManyLaneAddrs, || {
+                                    format!(
+                                        "cta {i} warp {w}: {} addresses for {} lanes",
+                                        acc.addrs.len(),
+                                        warp.active_lanes
+                                    )
+                                });
+                            }
+                            for &addr in &acc.addrs {
+                                if addr % 4 != 0 {
+                                    lints.push(LintKind::MisalignedAddress, || {
+                                        format!("cta {i} warp {w}: address 0x{addr:x}")
+                                    });
+                                }
+                                data_words.insert(addr >> 2);
+                            }
+                        }
+                    }
+                    Instr::Red { accesses, .. }
+                    | Instr::Atom { accesses, .. }
+                    | Instr::LockedSection { accesses, .. } => {
+                        let mut lanes_seen: BTreeSet<u8> = BTreeSet::new();
+                        for acc in accesses {
+                            if acc.lane as usize >= warp.active_lanes {
+                                lints.push(LintKind::LaneOutOfRange, || {
+                                    format!(
+                                        "cta {i} warp {w}: lane {} of {} active",
+                                        acc.lane, warp.active_lanes
+                                    )
+                                });
+                            }
+                            if !lanes_seen.insert(acc.lane) {
+                                lints.push(LintKind::DuplicateLane, || {
+                                    format!("cta {i} warp {w}: lane {} repeated", acc.lane)
+                                });
+                            }
+                            if acc.addr % 4 != 0 {
+                                lints.push(LintKind::MisalignedAddress, || {
+                                    format!("cta {i} warp {w}: address 0x{:x}", acc.addr)
+                                });
+                            }
+                            data_words.insert(acc.addr >> 2);
+                        }
+                        if let Instr::LockedSection { lock_addr, .. } = instr {
+                            if lock_addr % 4 != 0 {
+                                lints.push(LintKind::MisalignedAddress, || {
+                                    format!("cta {i} warp {w}: lock address 0x{lock_addr:x}")
+                                });
+                            }
+                            lock_words.insert(lock_addr >> 2);
+                        }
+                    }
+                    Instr::Alu { .. } | Instr::Bar | Instr::Fence => {}
+                }
+            }
+        }
+    }
+
+    for &word in lock_words.intersection(&data_words) {
+        lints.push(LintKind::LockAliasesData, || {
+            format!("lock word 0x{:x} also accessed as data", word << 2)
+        });
+    }
+
+    let mut out = lints.found;
+    out.sort_by_key(|l| l.kind);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::isa::{AtomicAccess, AtomicOp, LockKind, MemAccess, Value, WarpProgram};
+    use gpu_sim::kernel::CtaSpec;
+
+    fn kinds(grid: &KernelGrid) -> Vec<LintKind> {
+        lint_kernel(grid).iter().map(|l| l.kind).collect()
+    }
+
+    fn grid_of(instrs: Vec<Instr>, lanes: usize) -> KernelGrid {
+        KernelGrid::new(
+            "lint",
+            vec![CtaSpec::new(0, vec![WarpProgram::new(instrs, lanes)])],
+        )
+    }
+
+    #[test]
+    fn clean_trace_has_no_lints() {
+        let grid = grid_of(
+            vec![
+                Instr::Load {
+                    accesses: vec![MemAccess::per_lane_f32(0x1000, 32)],
+                },
+                Instr::Red {
+                    op: AtomicOp::AddF32,
+                    accesses: (0..32)
+                        .map(|l| AtomicAccess::new(l, 0x2000, Value::F32(1.0)))
+                        .collect(),
+                },
+            ],
+            32,
+        );
+        assert!(kinds(&grid).is_empty());
+    }
+
+    #[test]
+    fn lane_out_of_range_and_duplicates() {
+        let grid = grid_of(
+            vec![Instr::Red {
+                op: AtomicOp::AddF32,
+                accesses: vec![
+                    AtomicAccess::new(0, 0x2000, Value::F32(1.0)),
+                    AtomicAccess::new(0, 0x2004, Value::F32(1.0)),
+                    AtomicAccess::new(40, 0x2008, Value::F32(1.0)),
+                ],
+            }],
+            32,
+        );
+        let ks = kinds(&grid);
+        assert!(ks.contains(&LintKind::LaneOutOfRange));
+        assert!(ks.contains(&LintKind::DuplicateLane));
+    }
+
+    #[test]
+    fn too_many_lane_addrs() {
+        let grid = grid_of(
+            vec![Instr::Load {
+                accesses: vec![MemAccess::per_lane_f32(0x1000, 32)],
+            }],
+            16,
+        );
+        assert_eq!(kinds(&grid), vec![LintKind::TooManyLaneAddrs]);
+    }
+
+    #[test]
+    fn misaligned_addresses() {
+        let grid = grid_of(
+            vec![Instr::Store {
+                accesses: vec![MemAccess {
+                    addrs: vec![0x1001],
+                }],
+            }],
+            1,
+        );
+        assert_eq!(kinds(&grid), vec![LintKind::MisalignedAddress]);
+    }
+
+    #[test]
+    fn empty_shapes() {
+        assert_eq!(
+            kinds(&KernelGrid::new("e", vec![])),
+            vec![LintKind::EmptyKernel]
+        );
+        assert_eq!(
+            kinds(&KernelGrid::new("e", vec![CtaSpec::new(0, vec![])])),
+            vec![LintKind::EmptyKernel]
+        );
+        assert_eq!(kinds(&grid_of(vec![], 32)), vec![LintKind::EmptyProgram]);
+    }
+
+    #[test]
+    fn cta_id_mismatch() {
+        let grid = KernelGrid::new(
+            "ids",
+            vec![CtaSpec::new(
+                7,
+                vec![WarpProgram::new(vec![Instr::Bar], 32)],
+            )],
+        );
+        assert_eq!(kinds(&grid), vec![LintKind::CtaIdMismatch]);
+    }
+
+    #[test]
+    fn lock_aliasing_data() {
+        let grid = grid_of(
+            vec![
+                Instr::LockedSection {
+                    kind: LockKind::TestAndSet,
+                    lock_addr: 0x4000,
+                    op: AtomicOp::AddF32,
+                    accesses: vec![AtomicAccess::new(0, 0x2000, Value::F32(1.0))],
+                    critical_cycles: 4,
+                },
+                Instr::Load {
+                    accesses: vec![MemAccess {
+                        addrs: vec![0x4000],
+                    }],
+                },
+            ],
+            1,
+        );
+        assert_eq!(kinds(&grid), vec![LintKind::LockAliasesData]);
+    }
+
+    #[test]
+    fn lints_deduplicate_with_counts() {
+        let grid = grid_of(
+            vec![Instr::Store {
+                accesses: vec![MemAccess {
+                    addrs: vec![0x1001, 0x1002, 0x1003],
+                }],
+            }],
+            4,
+        );
+        let lints = lint_kernel(&grid);
+        assert_eq!(lints.len(), 1);
+        assert_eq!(lints[0].kind, LintKind::MisalignedAddress);
+        assert_eq!(lints[0].count, 3);
+        assert!(lints[0].detail.contains("0x1001"), "{}", lints[0].detail);
+    }
+}

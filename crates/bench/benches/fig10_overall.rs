@@ -4,6 +4,7 @@
 //! Expected shape: DAB within tens of percent of the baseline (the paper
 //! reports a 23% geomean slowdown), GPUDet 2-4x slower than DAB.
 
+use analysis::{analyze_benchmark, Class};
 use dab::DabConfig;
 use dab_bench::{banner, geomean, ratio, ResultsSink, Runner, Sweep, Table};
 use dab_workloads::suite::full_suite;
@@ -63,10 +64,31 @@ fn main() {
         ratio(geomean(&det_ratios) / geomean(&dab_ratios))
     );
 
+    // Static hazard context for the same suite: which of the measured
+    // slowdowns buy full determinism (no weak-det-ok sites left) and which
+    // only weak determinism. Runs the dab-analyze passes in-process.
+    let mut hazards = Table::new(&["benchmark", "benign", "weak-det-ok", "hazard"]);
+    let mut hazard_sites = 0u64;
+    for b in &suite {
+        let report = analyze_benchmark(b);
+        hazard_sites += report.class_sites(Class::Hazard);
+        hazards.row(vec![
+            b.name.clone(),
+            report.class_sites(Class::Benign).to_string(),
+            report.class_sites(Class::WeakDetOk).to_string(),
+            report.class_sites(Class::Hazard).to_string(),
+        ]);
+    }
+    println!();
+    println!("static determinism analysis (dab-analyze):");
+    hazards.print();
+
     let mut sink = ResultsSink::new("fig10_overall", &runner);
     sink.sweep(&results)
         .metric("geomean_dab_vs_baseline", geomean(&dab_ratios))
         .metric("geomean_gpudet_vs_baseline", geomean(&det_ratios))
-        .table("main", &t);
+        .metric("hazard_sites", hazard_sites as f64)
+        .table("main", &t)
+        .table("hazard_classes", &hazards);
     sink.write();
 }

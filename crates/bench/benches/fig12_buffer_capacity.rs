@@ -45,6 +45,8 @@ fn main() {
         let (label, title) = match family {
             Family::Graph => ("(a) graph applications", "graphs"),
             Family::Conv => ("(b) convolutions", "convolutions"),
+            // The figures iterate the evaluation families only.
+            Family::Micro => continue,
         };
         println!("--- {label} ---");
         let mut t = Table::new(&["benchmark", "GWAT-32", "GWAT-64", "GWAT-128", "GWAT-256"]);

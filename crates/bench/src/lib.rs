@@ -87,6 +87,7 @@ impl Runner {
 
     /// Runs under DAB with the given design point.
     pub fn dab(&self, cfg: DabConfig, kernels: &[KernelGrid]) -> RunReport {
+        cfg.validate().expect("invalid DAB design point");
         self.run(Box::new(DabModel::new(&self.gpu, cfg)), kernels)
     }
 

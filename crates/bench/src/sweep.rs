@@ -196,6 +196,7 @@ impl<'k> Sweep<'k> {
         cfg: DabConfig,
         kernels: &'k [KernelGrid],
     ) -> JobId {
+        cfg.validate().expect("invalid DAB design point");
         let model = DabModel::new(&self.runner.gpu, cfg);
         self.push(SweepJob::new(label, Box::new(model), kernels))
     }

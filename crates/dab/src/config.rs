@@ -166,6 +166,47 @@ impl DabConfig {
         self
     }
 
+    /// Validates internal consistency of the design point, mirroring
+    /// [`gpu_sim::config::GpuConfig::validate`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DabConfigError`] describing the first violated
+    /// constraint: zero-entry buffers, a zero buffer-write cost, gating to
+    /// zero SMs, or a scheduler-level buffer paired with a scheduler that
+    /// cannot make the shared fill order deterministic (the per-warp /
+    /// per-scheduler inconsistency of Section IV-C).
+    pub fn validate(&self) -> Result<(), DabConfigError> {
+        if self.capacity == 0 {
+            return Err(DabConfigError::new("buffer must have at least one entry"));
+        }
+        if self.buffer_write_cycles == 0 {
+            return Err(DabConfigError::new(
+                "buffer write must cost at least one cycle",
+            ));
+        }
+        if self.active_sms == Some(0) {
+            return Err(DabConfigError::new(
+                "SM gating must leave at least one active SM",
+            ));
+        }
+        if self.level == BufferLevel::Scheduler
+            && !self.scheduler.is_determinism_aware()
+            && self.relax.is_deterministic()
+        {
+            return Err(DabConfigError::new(
+                "scheduler-level buffers need a determinism-aware scheduler \
+                 (or an explicitly relaxed variant)",
+            ));
+        }
+        if self.offset_flush && self.capacity < 2 {
+            return Err(DabConfigError::new(
+                "offset flushing needs at least two buffer entries",
+            ));
+        }
+        Ok(())
+    }
+
     /// Short label in the paper's naming style, e.g.
     /// `"GWAT-64-AF-Coalescing"`.
     pub fn label(&self) -> String {
@@ -197,6 +238,35 @@ impl Default for DabConfig {
         Self::paper_default()
     }
 }
+
+/// Error returned by [`DabConfig::validate`] for inconsistent design points.
+///
+/// # Examples
+///
+/// ```
+/// use dab::DabConfig;
+///
+/// let cfg = DabConfig::paper_default().with_capacity(0);
+/// assert!(cfg.validate().is_err());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DabConfigError {
+    message: &'static str,
+}
+
+impl DabConfigError {
+    fn new(message: &'static str) -> Self {
+        Self { message }
+    }
+}
+
+impl std::fmt::Display for DabConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid DAB configuration: {}", self.message)
+    }
+}
+
+impl std::error::Error for DabConfigError {}
 
 #[cfg(test)]
 mod tests {
@@ -241,5 +311,74 @@ mod tests {
     #[test]
     fn warp_level_label() {
         assert_eq!(DabConfig::warp_level().label(), "WarpGTO-32");
+    }
+
+    #[test]
+    fn presets_validate() {
+        DabConfig::paper_default().validate().unwrap();
+        DabConfig::warp_level().validate().unwrap();
+        for relax in [Relaxation::Nr, Relaxation::NrOf, Relaxation::NrCif] {
+            DabConfig::paper_default()
+                .with_relaxation(relax)
+                .validate()
+                .unwrap();
+        }
+    }
+
+    #[test]
+    fn zero_capacity_rejected() {
+        let err = DabConfig::paper_default()
+            .with_capacity(0)
+            .validate()
+            .unwrap_err();
+        assert!(err.to_string().contains("at least one entry"), "{err}");
+    }
+
+    #[test]
+    fn zero_write_cost_rejected() {
+        let cfg = DabConfig {
+            buffer_write_cycles: 0,
+            ..DabConfig::paper_default()
+        };
+        assert!(cfg.validate().unwrap_err().to_string().contains("cycle"));
+    }
+
+    #[test]
+    fn zero_active_sms_rejected() {
+        let err = DabConfig::paper_default()
+            .with_active_sms(0)
+            .validate()
+            .unwrap_err();
+        assert!(err.to_string().contains("active SM"), "{err}");
+        DabConfig::paper_default()
+            .with_active_sms(1)
+            .validate()
+            .unwrap();
+    }
+
+    #[test]
+    fn scheduler_level_needs_determinism_aware_scheduler() {
+        let cfg = DabConfig::paper_default().with_scheduler(SchedKind::Gto);
+        let err = cfg.validate().unwrap_err();
+        assert!(err.to_string().contains("determinism-aware"), "{err}");
+        // Warp-level buffers tolerate any scheduler (contents are
+        // deterministic from program order alone)...
+        let mut warp = DabConfig::warp_level();
+        warp.scheduler = SchedKind::Lrr;
+        warp.validate().unwrap();
+        // ...and explicitly relaxed variants opt out of the guarantee.
+        DabConfig::paper_default()
+            .with_scheduler(SchedKind::Gto)
+            .with_relaxation(Relaxation::Nr)
+            .validate()
+            .unwrap();
+    }
+
+    #[test]
+    fn offset_flush_needs_two_entries() {
+        let cfg = DabConfig::paper_default()
+            .with_capacity(1)
+            .with_offset_flush(true);
+        assert!(cfg.validate().is_err());
     }
 }

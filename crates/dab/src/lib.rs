@@ -68,5 +68,5 @@ pub mod flush;
 pub mod model;
 
 pub use buffer::AtomicBuffer;
-pub use config::{BufferLevel, DabConfig, Relaxation};
+pub use config::{BufferLevel, DabConfig, DabConfigError, Relaxation};
 pub use model::DabModel;

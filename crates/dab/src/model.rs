@@ -1,7 +1,7 @@
 //! The DAB execution model: deterministic atomic buffering end to end.
 //!
 //! [`DabModel`] plugs into the simulator's
-//! [`ExecutionModel`](gpu_sim::exec::ExecutionModel) hooks and implements
+//! [`gpu_sim::exec::ExecutionModel`] hooks and implements
 //! the paper's full mechanism:
 //!
 //! - **Intra-core determinism**: `red` instructions are written into atomic

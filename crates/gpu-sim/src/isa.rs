@@ -119,10 +119,33 @@ impl AtomicOp {
         !matches!(self, AtomicOp::ExchB32)
     }
 
+    /// Whether the *final value* of a reduction over this opcode depends on
+    /// the order operations commit.
+    ///
+    /// `AddF32` is the paper's Fig. 1 case: floating-point addition is
+    /// commutative but not associative, so different commit orders produce
+    /// different bits. `ExchB32` keeps whichever operation commits last.
+    /// The integer reductions and `MaxF32` (an exact comparison, no
+    /// rounding) converge to the same value in any order — though an
+    /// `atom`'s *return value* still races even for those.
+    pub fn order_sensitive(self) -> bool {
+        matches!(self, AtomicOp::AddF32 | AtomicOp::ExchB32)
+    }
+
+    /// Whether the operation reduces floating-point payloads.
+    pub fn is_float(self) -> bool {
+        matches!(self, AtomicOp::AddF32 | AtomicOp::MaxF32)
+    }
+
     /// Combines two arguments of the same fused entry.
     ///
     /// For `AddF32` this is a local floating point reduction whose order is
-    /// the deterministic buffer-fill order.
+    /// the deterministic buffer-fill order. Note that fusion *re-associates*
+    /// the reduction: `apply(apply(x, a), b)` and `apply(x, fuse(a, b))`
+    /// agree bit-exactly for the integer opcodes but not in general for
+    /// `AddF32`, which is why fused entries are only deterministic when the
+    /// fill order itself is deterministic (see
+    /// `crates/gpu-sim/tests/properties.rs`).
     ///
     /// # Panics
     ///
@@ -213,6 +236,35 @@ pub enum LockKind {
     TestAndTestAndSet,
 }
 
+/// The cross-thread ordering contribution of one instruction under DAB
+/// semantics, as consumed by static trace analysis (`crates/analysis`).
+///
+/// The variants mirror the happens-before rules of the design: a CTA
+/// barrier orders *other* warps of the same CTA around it, a ticket lock
+/// orders all critical sections guarding the same lock variable, and flush
+/// points (fences and value-returning atomics) order a warp's *own*
+/// buffered operations against its subsequent instructions without creating
+/// any cross-warp edge on their own.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OrderingEffect {
+    /// No ordering beyond warp program order.
+    None,
+    /// CTA-wide barrier: everything before it in any warp of the CTA
+    /// happens-before everything after it in any other warp of the CTA.
+    CtaBarrier,
+    /// Flush point: under DAB the warp's buffered atomics are written back
+    /// before the warp proceeds (`Fence`, and `Atom` which also blocks on
+    /// its return value). Orders only the issuing warp's own accesses.
+    FlushPoint,
+    /// Deterministic ticket lock: all critical sections guarding the same
+    /// lock address execute in global-thread-id order, so their contents
+    /// are mutually ordered across warps and CTAs.
+    TicketLock {
+        /// Address of the lock variable.
+        lock_addr: u64,
+    },
+}
+
 /// One warp-level instruction.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Instr {
@@ -283,6 +335,19 @@ impl Instr {
             self,
             Instr::Red { .. } | Instr::Atom { .. } | Instr::LockedSection { .. }
         )
+    }
+
+    /// The instruction's cross-thread ordering contribution under DAB
+    /// semantics (see [`OrderingEffect`]).
+    pub fn ordering_effect(&self) -> OrderingEffect {
+        match self {
+            Instr::Bar => OrderingEffect::CtaBarrier,
+            Instr::Fence | Instr::Atom { .. } => OrderingEffect::FlushPoint,
+            Instr::LockedSection { lock_addr, .. } => OrderingEffect::TicketLock {
+                lock_addr: *lock_addr,
+            },
+            _ => OrderingEffect::None,
+        }
     }
 
     /// Number of atomic (red/atom) thread-level operations in the instruction.
@@ -417,6 +482,59 @@ mod tests {
     #[should_panic(expected = "cannot be fused")]
     fn fuse_exch_panics() {
         AtomicOp::ExchB32.fuse(Value::U32(1), Value::U32(2));
+    }
+
+    #[test]
+    fn order_sensitivity_metadata() {
+        assert!(AtomicOp::AddF32.order_sensitive());
+        assert!(AtomicOp::ExchB32.order_sensitive());
+        for op in [
+            AtomicOp::AddU32,
+            AtomicOp::MaxU32,
+            AtomicOp::MinU32,
+            AtomicOp::MaxF32,
+        ] {
+            assert!(!op.order_sensitive(), "{op:?} converges in any order");
+        }
+        assert!(AtomicOp::AddF32.is_float());
+        assert!(AtomicOp::MaxF32.is_float());
+        assert!(!AtomicOp::AddU32.is_float());
+        assert!(!AtomicOp::ExchB32.is_float());
+    }
+
+    #[test]
+    fn ordering_effects_per_variant() {
+        assert_eq!(Instr::Bar.ordering_effect(), OrderingEffect::CtaBarrier);
+        assert_eq!(Instr::Fence.ordering_effect(), OrderingEffect::FlushPoint);
+        let atom = Instr::Atom {
+            op: AtomicOp::AddU32,
+            accesses: vec![AtomicAccess::new(0, 0, Value::U32(1))],
+        };
+        assert_eq!(atom.ordering_effect(), OrderingEffect::FlushPoint);
+        let locked = Instr::LockedSection {
+            kind: LockKind::TestAndSet,
+            lock_addr: 0x42,
+            op: AtomicOp::AddF32,
+            accesses: vec![],
+            critical_cycles: 1,
+        };
+        assert_eq!(
+            locked.ordering_effect(),
+            OrderingEffect::TicketLock { lock_addr: 0x42 }
+        );
+        let red = Instr::Red {
+            op: AtomicOp::AddF32,
+            accesses: vec![],
+        };
+        assert_eq!(red.ordering_effect(), OrderingEffect::None);
+        assert_eq!(
+            Instr::Alu {
+                cycles: 1,
+                count: 1
+            }
+            .ordering_effect(),
+            OrderingEffect::None
+        );
     }
 
     #[test]

@@ -12,6 +12,76 @@ use gpu_sim::ndet::NdetSource;
 use gpu_sim::values::ValueMem;
 
 proptest! {
+    /// Atomic fusion is a lossless local reduction for every fusible
+    /// *integer* opcode: applying two buffered operations one after the
+    /// other is bit-identical to applying their fused combination once.
+    /// This is the algebraic fact that lets DAB fuse buffer entries
+    /// without changing results (Section IV-E).
+    #[test]
+    fn integer_fuse_matches_apply_composition(
+        op_idx in 0usize..3,
+        x in any::<u32>(),
+        a in any::<u32>(),
+        b in any::<u32>(),
+    ) {
+        let op = [AtomicOp::AddU32, AtomicOp::MaxU32, AtomicOp::MinU32][op_idx];
+        prop_assert!(op.fusible() && !op.order_sensitive());
+        let sequential = op.apply(op.apply(x, Value::U32(a)), Value::U32(b));
+        let fused = op.apply(x, op.fuse(Value::U32(a), Value::U32(b)));
+        prop_assert_eq!(sequential, fused, "{:?} x={} a={} b={}", op, x, a, b);
+    }
+
+    /// `MaxF32` is fusible and order-insensitive too: max is an exact
+    /// comparison, so re-association cannot change the result (NaN payloads
+    /// excluded — the workloads never produce them, and `apply` drops them).
+    #[test]
+    fn maxf32_fuse_matches_apply_composition(
+        x in any::<f32>(), a in any::<f32>(), b in any::<f32>(),
+    ) {
+        let op = AtomicOp::MaxF32;
+        let sequential = op.apply(op.apply(x.to_bits(), Value::F32(a)), Value::F32(b));
+        let fused = op.apply(x.to_bits(), op.fuse(Value::F32(a), Value::F32(b)));
+        prop_assert_eq!(sequential, fused);
+    }
+}
+
+/// `AddF32` fusion is *not* composition-exact: fusing re-associates the
+/// reduction (`(x + a) + b` vs `x + (a + b)`), and f32 addition is not
+/// associative. Fused entries are therefore only deterministic because
+/// DAB's buffer-fill order — the order `fuse` is called in — is itself
+/// deterministic; on a timing-dependent fill order fusion would launder
+/// rounding non-determinism into results.
+#[test]
+fn addf32_fusion_is_order_sensitive() {
+    assert!(AtomicOp::AddF32.order_sensitive());
+    let x = 1.0f32;
+    let e = 1.5 * 2f32.powi(-25);
+    let sequential = AtomicOp::AddF32.apply(
+        AtomicOp::AddF32.apply(x.to_bits(), Value::F32(e)),
+        Value::F32(e),
+    );
+    let fused = AtomicOp::AddF32.apply(
+        x.to_bits(),
+        AtomicOp::AddF32.fuse(Value::F32(e), Value::F32(e)),
+    );
+    // (1 + e) + e rounds both addends away; 1 + (e + e) rounds up one ulp.
+    assert_ne!(
+        sequential, fused,
+        "AddF32 composition must differ from fusion for this pattern"
+    );
+    // Same fill order => same fused value: the pairwise combine itself is
+    // commutative (f32 addition is commutative, just not associative).
+    assert_eq!(
+        AtomicOp::AddF32
+            .fuse(Value::F32(0.1), Value::F32(0.2))
+            .to_bits(),
+        AtomicOp::AddF32
+            .fuse(Value::F32(0.2), Value::F32(0.1))
+            .to_bits(),
+    );
+}
+
+proptest! {
     /// Filling a sector makes it resident until evicted; a re-probe
     /// immediately after a fill always hits.
     #[test]

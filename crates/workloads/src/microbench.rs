@@ -21,6 +21,10 @@ pub const INPUT_BASE: u64 = 0x1000_0000;
 pub const OUTPUT_ADDR: u64 = 0x2000_0000;
 /// Address of the lock variable (its home partition serializes the locks).
 pub const LOCK_ADDR: u64 = 0x2100_0000;
+/// Address of the shared worklist cursor of [`ticket_counter_grid`].
+pub const CURSOR_ADDR: u64 = 0x2200_0000;
+/// Base address of the per-thread output slots of [`ticket_counter_grid`].
+pub const SLOTS_BASE: u64 = 0x2300_0000;
 
 /// Threads per CTA used by the microbenchmarks.
 const CTA_THREADS: usize = 256;
@@ -132,6 +136,40 @@ pub fn lock_sum_grid(n: usize, kind: LockKind) -> KernelGrid {
             critical_cycles: 8,
         }]
     })
+}
+
+/// An *intentionally racy* worklist microbenchmark: every thread draws a
+/// slot index with `atom.add.u32` on a shared cursor, then stores its
+/// element into a per-thread cell. The cursor's final value is fixed, but
+/// each `atom`'s *return value* depends on commit order even under DAB —
+/// the classic atomic-return race. `dab-analyze` must classify it as a
+/// `Hazard`, and the suite allowlist must name it explicitly
+/// (`crates/analysis/suite-allowlist.txt`).
+pub fn ticket_counter_grid(n: usize) -> KernelGrid {
+    grid_over(
+        n,
+        &format!("ticket_counter_{n}"),
+        move |t, _addrs, _vals| {
+            let lanes = (n - t).min(32);
+            vec![
+                // Draw a ticket: the return value races on ordering.
+                Instr::Atom {
+                    op: AtomicOp::AddU32,
+                    accesses: (0..lanes)
+                        .map(|l| AtomicAccess::new(l, CURSOR_ADDR, Value::U32(1)))
+                        .collect(),
+                },
+                // Publish into this thread's own slot (no store conflict).
+                Instr::Store {
+                    accesses: vec![MemAccess {
+                        addrs: (0..lanes)
+                            .map(|l| SLOTS_BASE + 4 * (t + l) as u64)
+                            .collect(),
+                    }],
+                },
+            ]
+        },
+    )
 }
 
 /// The Section V determinism-validation kernel: output bits are sensitive to
@@ -277,6 +315,20 @@ mod tests {
             })
             .collect();
         assert!(digests.windows(2).any(|w| w[0] != w[1]), "{digests:?}");
+    }
+
+    #[test]
+    fn ticket_counter_draws_every_ticket() {
+        let grid = ticket_counter_grid(500);
+        // One atom per thread, one store word per thread.
+        assert_eq!(grid.atomics(), 500);
+        let sim = GpuSim::new(
+            GpuConfig::tiny(),
+            Box::new(BaselineModel::new()),
+            NdetSource::seeded(3),
+        );
+        let r = sim.run(&[grid]);
+        assert_eq!(r.values.read_u32(CURSOR_ADDR), 500);
     }
 
     #[test]

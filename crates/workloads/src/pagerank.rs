@@ -36,6 +36,15 @@ pub fn rank_next_addr(v: usize, iter: usize) -> u64 {
     base + 4 * v as u64
 }
 
+/// Byte address of `rank[v]` as *read* by iteration `iter`: the array the
+/// previous iteration accumulated into, i.e. the opposite buffer from
+/// [`rank_next_addr`]. Reading the same buffer the iteration pushes into
+/// would race the loads against the reductions (dab-analyze flags it as a
+/// read-atomic-race hazard).
+pub fn rank_addr(v: usize, iter: usize) -> u64 {
+    rank_next_addr(v, iter + 1)
+}
+
 /// Statistics about a generated PageRank trace.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TraceInfo {
@@ -73,7 +82,7 @@ fn push_kernel(
                 // Load rank and degree for the warp's nodes (coalesced).
                 Instr::Load {
                     accesses: vec![
-                        MemAccess::per_lane_f32(RANK_BASE + 4 * t as u64, lanes),
+                        MemAccess::per_lane_f32(rank_addr(t, iter), lanes),
                         MemAccess::per_lane_f32(DEG_BASE + 4 * t as u64, lanes),
                     ],
                 },
@@ -230,6 +239,16 @@ mod tests {
                 "node {v}: got {got}, want {}",
                 reference[v]
             );
+        }
+    }
+
+    #[test]
+    fn ping_pong_buffers_alternate() {
+        for iter in 0..4 {
+            // Never read the buffer the iteration is pushing into.
+            assert_ne!(rank_addr(7, iter), rank_next_addr(7, iter));
+            // Each iteration reads what the previous one accumulated.
+            assert_eq!(rank_addr(7, iter + 1), rank_next_addr(7, iter));
         }
     }
 

@@ -1,10 +1,14 @@
 //! The evaluation benchmark suite: every workload the paper's figures run.
 
+use gpu_sim::isa::LockKind;
 use gpu_sim::kernel::KernelGrid;
 
 use crate::bc::bc_trace_with_budget;
 use crate::conv::{conv_trace, table3_layers};
 use crate::graph::table2_configs;
+use crate::microbench::{
+    atomic_sum_grid, lock_sum_grid, order_sensitive_grid, ticket_counter_grid, OUTPUT_ADDR,
+};
 use crate::pagerank::pagerank_trace_with_pki;
 use crate::scale::Scale;
 
@@ -15,6 +19,11 @@ pub enum Family {
     Graph,
     /// Convolution layers — Figs. 11b/12b/13b/14/16/17.
     Conv,
+    /// Section II-C microbenchmarks (Figs. 1/2). Not part of the figure
+    /// suites; covered by [`analyze_all`] so `dab-analyze` sees every
+    /// access pattern the repo can generate, including the intentionally
+    /// racy ones.
+    Micro,
 }
 
 /// One named, ready-to-run benchmark.
@@ -116,6 +125,56 @@ pub fn full_suite(scale: Scale) -> Vec<Benchmark> {
     v
 }
 
+/// The Section II-C microbenchmarks as named suite members. Smaller than
+/// the figure workloads: they exist to pin down ordering *semantics*
+/// (atomic-sum races, deterministic ticket locks, the Fig. 1 rounding
+/// demo, and the intentionally racy ticket counter), not performance.
+pub fn micro_suite(scale: Scale) -> Vec<Benchmark> {
+    let micro = |name: &str, kernels: Vec<KernelGrid>| Benchmark {
+        name: name.to_string(),
+        family: Family::Micro,
+        kernels,
+    };
+    let sum_n = scale.shrink(65_536, 16);
+    let lock_n = scale.shrink(16_384, 16);
+    vec![
+        micro(
+            "micro_atomic_sum",
+            vec![atomic_sum_grid(sum_n, OUTPUT_ADDR)],
+        ),
+        micro(
+            "micro_lock_ts",
+            vec![lock_sum_grid(lock_n, LockKind::TestAndSet)],
+        ),
+        micro(
+            "micro_lock_bo",
+            vec![lock_sum_grid(lock_n, LockKind::TestAndSetBackoff)],
+        ),
+        micro(
+            "micro_lock_tts",
+            vec![lock_sum_grid(lock_n, LockKind::TestAndTestAndSet)],
+        ),
+        micro(
+            "micro_order_sensitive",
+            vec![order_sensitive_grid(scale.shrink(256, 16))],
+        ),
+        micro(
+            "micro_ticket_counter",
+            vec![ticket_counter_grid(scale.shrink(32_768, 16))],
+        ),
+    ]
+}
+
+/// Everything `dab-analyze --suite` covers: the full evaluation suite plus
+/// the microbenchmarks. The microbenchmarks are deliberately included even
+/// though the figures skip them — they exercise IR constructs (`Atom`,
+/// `Store`, `LockedSection`) the evaluation workloads never emit.
+pub fn analyze_all(scale: Scale) -> Vec<Benchmark> {
+    let mut v = full_suite(scale);
+    v.extend(micro_suite(scale));
+    v
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -132,6 +191,32 @@ mod tests {
         assert!(convs.iter().all(|b| b.family == Family::Conv));
 
         assert_eq!(full_suite(Scale::Ci).len(), 16);
+
+        let micros = micro_suite(Scale::Ci);
+        assert_eq!(micros.len(), 6);
+        assert!(micros.iter().all(|b| b.family == Family::Micro));
+        assert!(micros.iter().all(|b| b.name.starts_with("micro_")));
+
+        assert_eq!(analyze_all(Scale::Ci).len(), 22);
+    }
+
+    #[test]
+    fn micro_suite_exercises_extra_ir_constructs() {
+        use gpu_sim::isa::Instr;
+        let micros = micro_suite(Scale::Ci);
+        let has = |m: fn(&Instr) -> bool| {
+            micros.iter().any(|b| {
+                b.kernels.iter().any(|k| {
+                    k.ctas
+                        .iter()
+                        .flat_map(|c| c.warps.iter())
+                        .any(|w| w.instrs.iter().any(&m))
+                })
+            })
+        };
+        assert!(has(|i| matches!(i, Instr::Atom { .. })));
+        assert!(has(|i| matches!(i, Instr::Store { .. })));
+        assert!(has(|i| matches!(i, Instr::LockedSection { .. })));
     }
 
     #[test]

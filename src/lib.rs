@@ -10,7 +10,10 @@
 //!   serialized atomics);
 //! - [`workloads`] — the atomic-intensive workload generators (atomic-sum
 //!   and ticket-lock microbenchmarks, BC, PageRank, cuDNN-style backward
-//!   convolutions).
+//!   convolutions);
+//! - [`analysis`] — the static trace-level determinism analyzer
+//!   (`dab-analyze`): happens-before race detection and hazard linting
+//!   over the warp IR, without running the timing simulator.
 //!
 //! See `examples/` for runnable entry points and `crates/bench` for the
 //! harnesses that regenerate every table and figure of the paper.
@@ -30,6 +33,7 @@
 //! assert!((sum - reference_sum(1024)).abs() < 0.05);
 //! ```
 
+pub use analysis;
 pub use dab;
 pub use dab_workloads as workloads;
 pub use gpu_sim;

@@ -1,0 +1,122 @@
+//! Workspace-manifest hygiene: the root `Cargo.toml` keeps its dependency
+//! tables alphabetically sorted and its member globs resolving to real
+//! crates, so diffs stay one-line and merge-friendly as crates are added.
+
+use std::path::Path;
+
+fn manifest() -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("Cargo.toml");
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+/// Key lines of one `[section]`, in file order.
+fn section_keys(manifest: &str, section: &str) -> Vec<String> {
+    let mut keys = Vec::new();
+    let mut inside = false;
+    for line in manifest.lines() {
+        let line = line.trim();
+        if let Some(name) = line.strip_prefix('[') {
+            inside = name.strip_suffix(']') == Some(section);
+            continue;
+        }
+        if !inside || line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let key = line.split(['=', ' ', '.']).next().unwrap_or("");
+        if !key.is_empty() {
+            keys.push(key.to_string());
+        }
+    }
+    keys
+}
+
+fn assert_sorted(what: &str, keys: &[String]) {
+    let mut sorted = keys.to_vec();
+    sorted.sort();
+    assert_eq!(
+        keys,
+        &sorted[..],
+        "{what} keys must stay alphabetically sorted"
+    );
+    for pair in sorted.windows(2) {
+        assert_ne!(pair[0], pair[1], "{what} lists {} twice", pair[0]);
+    }
+}
+
+#[test]
+fn workspace_dependency_keys_are_sorted() {
+    let manifest = manifest();
+    let keys = section_keys(&manifest, "workspace.dependencies");
+    assert!(
+        keys.len() >= 9,
+        "expected every workspace crate to be listed, got {keys:?}"
+    );
+    assert_sorted("[workspace.dependencies]", &keys);
+}
+
+#[test]
+fn package_dependency_keys_are_sorted() {
+    let manifest = manifest();
+    for section in ["dependencies", "dev-dependencies"] {
+        let keys = section_keys(&manifest, section);
+        assert!(!keys.is_empty(), "[{section}] missing from root manifest");
+        assert_sorted(&format!("[{section}]"), &keys);
+    }
+}
+
+#[test]
+fn member_globs_resolve_to_crates() {
+    let manifest = manifest();
+    let members_line = manifest
+        .lines()
+        .find(|l| l.trim_start().starts_with("members"))
+        .expect("workspace members list");
+    let globs: Vec<&str> = members_line.split('"').skip(1).step_by(2).collect();
+    let mut sorted = globs.clone();
+    sorted.sort();
+    assert_eq!(globs, sorted, "members globs must stay sorted");
+
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let mut workspace_deps = section_keys(&manifest, "workspace.dependencies");
+    workspace_deps.sort();
+    for glob in globs {
+        let dir = glob
+            .strip_suffix("/*")
+            .unwrap_or_else(|| panic!("members entry {glob:?} is not a <dir>/* glob"));
+        let mut found = 0;
+        for entry in std::fs::read_dir(root.join(dir)).expect("member dir readable") {
+            let path = entry.expect("dir entry").path();
+            if !path.is_dir() {
+                continue;
+            }
+            found += 1;
+            let crate_manifest = path.join("Cargo.toml");
+            assert!(
+                crate_manifest.is_file(),
+                "{} matches the members glob but has no Cargo.toml",
+                path.display()
+            );
+            // Every member must be addressable via [workspace.dependencies].
+            let text = std::fs::read_to_string(&crate_manifest).expect("member manifest");
+            let name = section_keys(&text, "package")
+                .into_iter()
+                .next()
+                .map(|_| {
+                    text.lines()
+                        .find_map(|l| {
+                            l.trim()
+                                .strip_prefix("name")
+                                .and_then(|r| r.trim().strip_prefix('='))
+                                .map(|v| v.trim().trim_matches('"').to_string())
+                        })
+                        .expect("member package name")
+                })
+                .expect("member [package] section");
+            assert!(
+                workspace_deps.binary_search(&name).is_ok(),
+                "member crate {name} missing from [workspace.dependencies]"
+            );
+        }
+        assert!(found > 0, "members glob {glob:?} matches no crates");
+    }
+}
