@@ -8,9 +8,11 @@
 //!
 //! Scale is controlled by `DAB_SCALE=ci|paper` (default `ci`); see
 //! [`dab_workloads::scale::Scale`]. Independent design points run in
-//! parallel via [`Sweep`]/[`Runner::run_many`] (`DAB_JOBS` workers), and
-//! every target also writes machine-readable `results/<target>.json`
-//! through [`ResultsSink`].
+//! parallel via [`Sweep`]/[`Runner::run_many`] (`DAB_JOBS` workers), each
+//! simulation can additionally shard its clusters across worker threads
+//! (`DAB_SIM_THREADS`, default 1 — see [`gpu_sim::par`]), and every target
+//! also writes machine-readable `results/<target>.json` through
+//! [`ResultsSink`]. Neither parallelism knob changes any result bit.
 
 use std::time::Instant;
 
@@ -18,7 +20,7 @@ mod results;
 mod sweep;
 
 pub use results::ResultsSink;
-pub use sweep::{jobs_from_env, JobId, Sweep, SweepJob, SweepResults, SweepRun};
+pub use sweep::{jobs_from_env, JobId, Sweep, SweepJob, SweepResults, SweepRun, JOBS_VAR};
 
 use dab::{DabConfig, DabModel};
 use dab_workloads::scale::Scale;
@@ -42,11 +44,19 @@ pub struct Runner {
 }
 
 impl Runner {
-    /// Builds a runner from the environment (`DAB_SCALE`).
+    /// Builds a runner from the environment (`DAB_SCALE`,
+    /// `DAB_SIM_THREADS`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `DAB_SIM_THREADS` is set to an invalid value (anything
+    /// but a positive integer).
     pub fn from_env() -> Self {
         let scale = Scale::from_env();
+        let mut gpu = scale.gpu();
+        gpu.sim_threads = gpu_sim::par::sim_threads_from_env();
         Self {
-            gpu: scale.gpu(),
+            gpu,
             scale,
             seed: 1,
             verbose: std::env::var("DAB_QUIET").is_err(),

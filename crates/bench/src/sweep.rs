@@ -11,7 +11,10 @@
 //!
 //! Worker count comes from `DAB_JOBS` (default: available parallelism);
 //! tests that must not race on the environment use
-//! [`Runner::run_many_with_workers`] / [`Sweep::run_with_workers`].
+//! [`Runner::run_many_with_workers`] / [`Sweep::run_with_workers`]. This
+//! knob is orthogonal to `DAB_SIM_THREADS`, which parallelizes *inside* one
+//! simulation (see [`gpu_sim::par`]); both compose and neither changes any
+//! result bit.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -26,17 +29,29 @@ use gpudet::{GpuDetConfig, GpuDetModel};
 
 use crate::Runner;
 
-/// Resolves the sweep worker count: `DAB_JOBS` if set and parseable,
-/// otherwise the machine's available parallelism.
+/// Environment variable selecting how many sweep jobs run concurrently.
+pub const JOBS_VAR: &str = "DAB_JOBS";
+
+/// Resolves the sweep worker count: `DAB_JOBS` if set, otherwise the
+/// machine's available parallelism.
+///
+/// # Panics
+///
+/// Panics when `DAB_JOBS` is set to anything other than a positive integer
+/// (`0`, empty, or garbage). A typo'd worker count used to fall back to the
+/// default silently, turning an intended `DAB_JOBS=16` sweep into a slow
+/// serial one with no warning; an invalid value now stops the run instead.
 pub fn jobs_from_env() -> usize {
-    if let Ok(s) = std::env::var("DAB_JOBS") {
-        if let Ok(n) = s.trim().parse::<usize>() {
-            return n.max(1);
-        }
+    match std::env::var(JOBS_VAR) {
+        Ok(raw) => match gpu_sim::par::parse_count(JOBS_VAR, &raw) {
+            Ok(n) => n,
+            Err(e) => panic!("{e}"),
+        },
+        Err(std::env::VarError::NotPresent) => std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1),
+        Err(e) => panic!("{JOBS_VAR} is not valid unicode: {e}"),
     }
-    std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1)
 }
 
 /// One simulation in a sweep: a model, the kernels to run it on, a label

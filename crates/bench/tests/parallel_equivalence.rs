@@ -64,6 +64,65 @@ fn worker_count_never_changes_results() {
 }
 
 #[test]
+fn sim_threads_never_change_results_on_any_axis() {
+    // Both parallelism axes at once: intra-sim cluster threads
+    // (`sim_threads`, the engine's worker pool) composed with the sweep
+    // layer's job workers. Every combination must be bit-identical to the
+    // fully serial run — digests, cycle counts, and stats counters.
+    let serial_runner = tiny_runner();
+    let grids: Vec<Vec<KernelGrid>> = (0..2)
+        .map(|i| vec![atomic_sum_grid(96 + 64 * i, 0x2000_0000)])
+        .collect();
+    let reference = mixed_sweep(&serial_runner, &grids).run_with_workers(1);
+
+    for sim_threads in [2, 4, 8] {
+        let mut runner = tiny_runner();
+        runner.gpu.sim_threads = sim_threads;
+        for workers in [1, 4] {
+            let got = mixed_sweep(&runner, &grids).run_with_workers(workers);
+            assert_eq!(reference.runs().len(), got.runs().len());
+            for (s, p) in reference.runs().iter().zip(got.runs()) {
+                assert_eq!(s.label, p.label, "submission order must be preserved");
+                assert_eq!(
+                    s.report.cycles(),
+                    p.report.cycles(),
+                    "{}: cycle count depends on sim_threads={sim_threads}/workers={workers}",
+                    s.label
+                );
+                assert_eq!(
+                    s.report.digest(),
+                    p.report.digest(),
+                    "{}: digest depends on sim_threads={sim_threads}/workers={workers}",
+                    s.label
+                );
+                assert_eq!(
+                    format!("{:?}", s.report.stats),
+                    format!("{:?}", p.report.stats),
+                    "{}: stats depend on sim_threads={sim_threads}/workers={workers}",
+                    s.label
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn sim_threads_figure_suite_scale_matches_serial() {
+    // The CI figure scale (GpuConfig::small, 8 clusters) with a DAB and a
+    // GPUDet run: the pooled engine must agree with serial bit-for-bit.
+    let grids = vec![vec![atomic_sum_grid(256, 0x2000_0000)]];
+    let serial = mixed_sweep(&Runner::at_scale(Scale::Ci), &grids).run_with_workers(1);
+    let mut threaded_runner = Runner::at_scale(Scale::Ci);
+    threaded_runner.gpu.sim_threads = 4;
+    let threaded = mixed_sweep(&threaded_runner, &grids).run_with_workers(1);
+    for (s, p) in serial.runs().iter().zip(threaded.runs()) {
+        assert_eq!(s.label, p.label);
+        assert_eq!(s.report.cycles(), p.report.cycles(), "{}", s.label);
+        assert_eq!(s.report.digest(), p.report.digest(), "{}", s.label);
+    }
+}
+
+#[test]
 fn deterministic_models_agree_across_worker_counts_and_seeds() {
     // DAB and GPUDet promise seed-independence too: re-run the parallel
     // sweep under a different timing seed and check the deterministic

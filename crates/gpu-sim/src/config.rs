@@ -98,6 +98,14 @@ pub struct GpuConfig {
     pub rop_throughput: usize,
     /// Extra pipeline latency of one ROP atomic operation.
     pub rop_latency: u32,
+
+    /// Host worker threads used *inside* one simulation (not a Table I row:
+    /// this is a simulator-host knob, set from `DAB_SIM_THREADS`). Per-SM
+    /// front-end work is sharded by compute cluster across this many workers
+    /// and re-merged at a deterministic per-cycle boundary, so results are
+    /// bit-identical at any value. `1` (the default) is the serial engine;
+    /// values above the cluster count are clamped to it.
+    pub sim_threads: usize,
 }
 
 impl GpuConfig {
@@ -137,6 +145,7 @@ impl GpuConfig {
             // bound every atomic burst.
             rop_throughput: 4,
             rop_latency: 8,
+            sim_threads: 1,
         }
     }
 
@@ -235,6 +244,11 @@ impl GpuConfig {
         if self.icnt_flit_size == 0 || self.icnt_flits_per_cycle == 0 {
             return Err(ConfigError::new("interconnect bandwidth must be non-zero"));
         }
+        if self.sim_threads == 0 {
+            return Err(ConfigError::new(
+                "sim_threads must be at least 1 (1 = serial engine)",
+            ));
+        }
         Ok(())
     }
 }
@@ -332,6 +346,14 @@ mod tests {
         let mut cfg = GpuConfig::small();
         cfg.num_clusters = 0;
         assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn zero_sim_threads_rejected() {
+        let mut cfg = GpuConfig::small();
+        cfg.sim_threads = 0;
+        let err = cfg.validate().unwrap_err();
+        assert!(err.to_string().contains("sim_threads"));
     }
 
     #[test]

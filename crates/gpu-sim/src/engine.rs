@@ -10,9 +10,13 @@
 //! 3. arrived responses wake warps and fill L1s;
 //! 4. the deterministic lock manager serves ticket holders;
 //! 5. every warp scheduler picks and issues one instruction, consulting the
-//!    execution model for gating and atomic routing;
-//! 6. CTAs are dispatched per the model's distribution policy;
-//! 7. the model ticks (flush controllers, quantum state machines) and its
+//!    execution model for gating and atomic routing (warp-view construction
+//!    optionally runs on a [`par::WorkerPool`](crate::par::WorkerPool), one
+//!    cluster per job, when `sim_threads > 1`);
+//! 6. packets staged in per-cluster outboxes merge into the interconnect in
+//!    cluster-index order (the deterministic merge point);
+//! 7. CTAs are dispatched per the model's distribution policy;
+//! 8. the model ticks (flush controllers, quantum state machines) and its
 //!    wake commands are applied.
 //!
 //! A run executes a sequence of [`KernelGrid`]s back to back and returns a
@@ -37,6 +41,7 @@ use crate::mem::packet::{AtomKind, Packet, Payload, RopOp, WarpRef};
 use crate::mem::partition::MemPartition;
 use crate::mem::{partition_of, sector_align};
 use crate::ndet::NdetSource;
+use crate::par::{ClusterShard, Phase, WorkerPool};
 use crate::sched::{SchedKind, WarpView};
 use crate::sm::{Sm, WarpState};
 use crate::stats::SimStats;
@@ -145,9 +150,23 @@ impl Dispatcher {
 pub struct GpuSim {
     cfg: GpuConfig,
     model: Box<dyn ExecutionModel>,
+    /// Root non-determinism stream (CTA-dispatch tiebreaks). Per-endpoint
+    /// child streams below are split off this root at construction so that
+    /// draws stay independent of how many worker threads participate.
     ndet: NdetSource,
+    /// One child stream per memory partition (DRAM timing jitter).
+    part_ndet: Vec<NdetSource>,
+    /// One child stream per memory partition (interconnect arbitration,
+    /// cluster→memory direction).
+    icnt_mem_ndet: Vec<NdetSource>,
+    /// One child stream per cluster (interconnect arbitration,
+    /// memory→cluster direction).
+    icnt_cl_ndet: Vec<NdetSource>,
     values: ValueMem,
-    sms: Vec<Sm>,
+    /// Per-cluster shards: the SMs plus the worker-local scratch (warp
+    /// views, census rows, outbound packet staging) that migrates to pool
+    /// threads when `cfg.sim_threads > 1`.
+    clusters: Vec<ClusterShard>,
     icnt: Interconnect,
     partitions: Vec<MemPartition>,
     locks: LockManager,
@@ -172,18 +191,34 @@ impl GpuSim {
     pub fn new(cfg: GpuConfig, model: Box<dyn ExecutionModel>, ndet: NdetSource) -> Self {
         cfg.validate().expect("invalid GPU configuration");
         let sched_kind = model.scheduler_kind();
-        let sms = (0..cfg.num_sms())
-            .map(|id| Sm::new(id, &cfg, sched_kind))
+        let clusters = (0..cfg.num_clusters)
+            .map(|c| {
+                let sms = (0..cfg.sms_per_cluster)
+                    .map(|i| Sm::new(c * cfg.sms_per_cluster + i, &cfg, sched_kind))
+                    .collect();
+                ClusterShard::new(c, sms, cfg.num_schedulers_per_sm)
+            })
             .collect();
         let dram_jitter = if ndet.is_enabled() { 16 } else { 0 };
         let partitions = (0..cfg.num_mem_partitions)
             .map(|id| MemPartition::new(id, &cfg, dram_jitter))
             .collect();
         let census = vec![SchedCensus::default(); cfg.num_sms() * cfg.num_schedulers_per_sm];
+        // Fixed stream tags keep every endpoint's draw sequence a pure
+        // function of the seed, independent of worker-thread interleaving.
+        let part_ndet = (0..cfg.num_mem_partitions)
+            .map(|p| ndet.split(0x1000_0000 + p as u64))
+            .collect();
+        let icnt_mem_ndet = (0..cfg.num_mem_partitions)
+            .map(|p| ndet.split(0x2000_0000 + p as u64))
+            .collect();
+        let icnt_cl_ndet = (0..cfg.num_clusters)
+            .map(|c| ndet.split(0x3000_0000 + c as u64))
+            .collect();
         Self {
             icnt: Interconnect::new(&cfg),
             locks: LockManager::new(&cfg),
-            sms,
+            clusters,
             partitions,
             values: ValueMem::new(),
             stats: SimStats::default(),
@@ -193,9 +228,37 @@ impl GpuSim {
             sched_kind,
             model,
             ndet,
+            part_ndet,
+            icnt_mem_ndet,
+            icnt_cl_ndet,
             cfg,
             last_progress_cycle: 0,
         }
+    }
+
+    /// The SM with global index `idx`.
+    fn sm(&self, idx: usize) -> &Sm {
+        let spc = self.cfg.sms_per_cluster;
+        &self.clusters[idx / spc].sms[idx % spc]
+    }
+
+    /// Mutable access to the SM with global index `idx`.
+    fn sm_mut(&mut self, idx: usize) -> &mut Sm {
+        let spc = self.cfg.sms_per_cluster;
+        &mut self.clusters[idx / spc].sms[idx % spc]
+    }
+
+    /// Iterates SMs in global (cluster-major) order.
+    fn sms(&self) -> impl Iterator<Item = &Sm> {
+        self.clusters.iter().flat_map(|c| c.sms.iter())
+    }
+
+    /// Marks an SM's prebuilt warp views stale for this cycle (a barrier
+    /// release mutated warp state across schedulers after the parallel
+    /// prepare phase); the commit loop rebuilds views for dirty SMs.
+    fn mark_views_dirty(&mut self, sm_idx: usize) {
+        let spc = self.cfg.sms_per_cluster;
+        self.clusters[sm_idx / spc].mark_dirty(sm_idx % spc);
     }
 
     /// The configuration this simulator was built with.
@@ -209,13 +272,35 @@ impl GpuSim {
     ///
     /// Panics if the machine makes no progress for an implausibly long time
     /// (a model/scheduler deadlock — always a bug, never expected load).
-    pub fn run(mut self, kernels: &[KernelGrid]) -> RunReport {
+    pub fn run(self, kernels: &[KernelGrid]) -> RunReport {
+        // Effective worker count: clamped to the cluster count (a worker per
+        // cluster is the maximum useful parallelism) and floored at 1.
+        let threads = self.cfg.sim_threads.min(self.clusters.len()).max(1);
+        if threads > 1 {
+            std::thread::scope(|scope| {
+                let pool = WorkerPool::start(scope, threads);
+                self.run_inner(kernels, Some(&pool))
+            })
+        } else {
+            self.run_inner(kernels, None)
+        }
+    }
+
+    fn run_inner(mut self, kernels: &[KernelGrid], pool: Option<&WorkerPool>) -> RunReport {
         let started = std::time::Instant::now();
         let mut kernel_cycles = Vec::with_capacity(kernels.len());
         for grid in kernels {
             let start = self.cycle;
-            self.run_kernel(grid);
+            self.run_kernel(grid, pool);
             kernel_cycles.push((grid.name.clone(), self.cycle - start));
+        }
+        // Issue-path counters accumulate per shard while a kernel runs (so
+        // pool workers never touch shared stats); fold them in here in
+        // cluster-index order, which keeps merged counters identical at any
+        // thread count.
+        for cluster in &mut self.clusters {
+            let shard_stats = std::mem::take(&mut cluster.stats);
+            self.stats.merge(&shard_stats);
         }
         self.stats.cycles = self.cycle;
         for p in &self.partitions {
@@ -236,7 +321,7 @@ impl GpuSim {
         }
     }
 
-    fn run_kernel(&mut self, grid: &KernelGrid) {
+    fn run_kernel(&mut self, grid: &KernelGrid, pool: Option<&WorkerPool>) {
         let dist = self.model.cta_distribution(self.cfg.num_sms());
         let mut dispatcher = Dispatcher::new(grid, dist, self.cfg.num_sms());
         // Pre-register deterministic lock tickets.
@@ -252,12 +337,17 @@ impl GpuSim {
 
         loop {
             self.tick_partitions();
-            self.icnt.tick(self.cycle, &mut self.ndet);
+            self.icnt
+                .tick(self.cycle, &mut self.icnt_mem_ndet, &mut self.icnt_cl_ndet);
             self.deliver_responses();
             self.tick_locks();
-            self.issue_all();
+            self.issue_all(pool);
+            // Deterministic merge point: packets the issue phase staged in
+            // per-cluster outboxes enter the interconnect in cluster-index
+            // order, regardless of which worker produced them.
+            self.merge_outboxes();
             self.dispatch(grid, &mut dispatcher);
-            self.model_tick(dispatcher.all_dispatched());
+            self.model_tick(dispatcher.all_dispatched(), pool);
             self.apply_wakes();
 
             if self.kernel_done(&dispatcher) {
@@ -266,7 +356,7 @@ impl GpuSim {
             self.advance_cycle();
             if self.cycle - self.last_progress_cycle >= DEADLOCK_HORIZON {
                 let mut dump = String::new();
-                for (sm_idx, sm) in self.sms.iter().enumerate() {
+                for (sm_idx, sm) in self.sms().enumerate() {
                     for (slot, warp) in sm.warps.iter().enumerate() {
                         if let Some(w) = warp {
                             dump.push_str(&format!(
@@ -291,9 +381,11 @@ impl GpuSim {
             }
         }
         self.model.on_kernel_end();
-        for sm in &mut self.sms {
-            for sched in &mut sm.schedulers {
-                sched.on_kernel_boundary();
+        for cluster in &mut self.clusters {
+            for sm in &mut cluster.sms {
+                for sched in &mut sm.schedulers {
+                    sched.on_kernel_boundary();
+                }
             }
         }
         self.locks.reset();
@@ -302,7 +394,8 @@ impl GpuSim {
 
     fn kernel_done(&self, dispatcher: &Dispatcher) -> bool {
         dispatcher.all_dispatched()
-            && self.sms.iter().all(|sm| sm.live_warps() == 0)
+            && self.sms().all(|sm| sm.live_warps() == 0)
+            && self.clusters.iter().all(|c| c.outbox.is_empty())
             && !self.icnt.is_busy()
             && self.partitions.iter().all(|p| !p.is_busy())
             && !self.locks.is_busy()
@@ -311,10 +404,13 @@ impl GpuSim {
 
     fn advance_cycle(&mut self) {
         // Conservative fast-forward: only when the memory system is quiet
-        // may we jump to the next warp-ready or lock-service event.
-        let quiet = !self.icnt.is_busy() && self.partitions.iter().all(|p| !p.is_busy());
+        // (including packets still staged in cluster outboxes) may we jump
+        // to the next warp-ready or lock-service event.
+        let quiet = !self.icnt.is_busy()
+            && self.clusters.iter().all(|c| c.outbox.is_empty())
+            && self.partitions.iter().all(|p| !p.is_busy());
         if quiet {
-            let mut target = self.sms.iter().filter_map(Sm::earliest_ready).min();
+            let mut target = self.sms().filter_map(Sm::earliest_ready).min();
             let mut fold = |ev: Option<u64>| {
                 if let Some(e) = ev {
                     target = Some(target.map_or(e, |t| t.min(e)));
@@ -368,7 +464,8 @@ impl GpuSim {
                     _ => self.partitions[p].handle_request(pkt, self.cycle),
                 }
             }
-            let responses = self.partitions[p].tick(self.cycle, &mut self.values, &mut self.ndet);
+            let responses =
+                self.partitions[p].tick(self.cycle, &mut self.values, &mut self.part_ndet[p]);
             for mut pkt in responses {
                 self.progress();
                 let sm = match &pkt.payload {
@@ -376,7 +473,14 @@ impl GpuSim {
                     | Payload::StoreAck { warp }
                     | Payload::AtomicAck { warp, .. } => warp.sm,
                     Payload::FlushAck { sm } => *sm,
-                    other => panic!("partition emitted non-response {other:?}"),
+                    other => panic!(
+                        "partition {p} emitted non-response {kind} at cycle {cycle} \
+                         (model {model}): payload {other:?}; partition queues: {queues}",
+                        kind = other.kind(),
+                        cycle = self.cycle,
+                        model = self.model.name(),
+                        queues = self.partitions[p].queue_summary(),
+                    ),
                 };
                 pkt.dest = sm / self.cfg.sms_per_cluster;
                 self.icnt.inject_response(p, pkt);
@@ -402,11 +506,12 @@ impl GpuSim {
                         let remaining = self.complete_write(warp);
                         self.model.on_atomic_ack(warp, kind, remaining, self.cycle);
                         if kind == AtomKind::Atom {
-                            let sm = &mut self.sms[warp.sm];
+                            let cycle = self.cycle;
+                            let sm = self.sm_mut(warp.sm);
                             if let Some(w) = sm.warps[warp.slot].as_mut() {
                                 if w.state == WarpState::WaitAtom {
                                     w.state = WarpState::Ready;
-                                    w.next_ready = self.cycle + 1;
+                                    w.next_ready = cycle + 1;
                                 }
                             }
                         }
@@ -415,14 +520,22 @@ impl GpuSim {
                     Payload::FlushAck { sm } => {
                         self.model.on_flush_ack(sm, self.cycle);
                     }
-                    other => panic!("cluster received non-response {other:?}"),
+                    other => panic!(
+                        "cluster {cluster} received non-response {kind} at cycle {cycle} \
+                         (model {model}): payload {other:?}; interconnect queues: {queues}",
+                        kind = other.kind(),
+                        cycle = self.cycle,
+                        model = self.model.name(),
+                        queues = self.icnt.queue_summary(),
+                    ),
                 }
             }
         }
     }
 
     fn handle_load_resp(&mut self, sector_addr: u64, warp: WarpRef) {
-        let sm = &mut self.sms[warp.sm];
+        let cycle = self.cycle;
+        let sm = self.sm_mut(warp.sm);
         sm.l1.fill(sector_addr);
         let Some(waiters) = sm.l1_mshrs.remove(&sector_addr) else {
             return;
@@ -432,7 +545,7 @@ impl GpuSim {
                 w.outstanding_loads = w.outstanding_loads.saturating_sub(1);
                 if w.outstanding_loads == 0 && w.state == WarpState::WaitMem {
                     w.state = WarpState::Ready;
-                    w.next_ready = self.cycle + 1;
+                    w.next_ready = cycle + 1;
                 }
             }
         }
@@ -444,7 +557,7 @@ impl GpuSim {
 
     fn complete_write(&mut self, warp: WarpRef) -> u32 {
         let cycle = self.cycle;
-        let sm = &mut self.sms[warp.sm];
+        let sm = self.sm_mut(warp.sm);
         let mut remaining = 0;
         if let Some(w) = sm.warps[warp.slot].as_mut() {
             w.outstanding_writes = w.outstanding_writes.saturating_sub(1);
@@ -462,10 +575,11 @@ impl GpuSim {
         let released = self.locks.tick(self.cycle, &mut self.values);
         for warp in released {
             self.progress();
-            if let Some(w) = self.sms[warp.sm].warps[warp.slot].as_mut() {
+            let cycle = self.cycle;
+            if let Some(w) = self.sm_mut(warp.sm).warps[warp.slot].as_mut() {
                 if w.state == WarpState::WaitLock {
                     w.state = WarpState::Ready;
-                    w.next_ready = self.cycle + 1;
+                    w.next_ready = cycle + 1;
                 }
             }
             self.try_retire(warp.sm, warp.slot);
@@ -476,86 +590,91 @@ impl GpuSim {
     // Issue
     // ------------------------------------------------------------------
 
-    fn issue_all(&mut self) {
-        let num_sched = self.cfg.num_schedulers_per_sm;
+    /// Issues at most one instruction per warp scheduler.
+    ///
+    /// With a worker pool, warp-view construction (the read-only scan over
+    /// each SM's warp contexts) runs on pool threads, one [`ClusterShard`]
+    /// per job; the pick-and-issue *commit* then walks schedulers in global
+    /// `(cluster, sm, sched)` order on this thread. Without a pool the whole
+    /// loop runs interleaved exactly as the serial engine always has. Both
+    /// paths perform the identical computation in the identical order, so
+    /// results are bit-equal at any `DAB_SIM_THREADS`.
+    fn issue_all(&mut self, pool: Option<&WorkerPool>) {
         let det_aware = self.sched_kind.is_determinism_aware();
         let srr_like = self.sched_kind == SchedKind::Srr;
-        for sm_idx in 0..self.sms.len() {
+        match pool {
+            None => self.issue_all_serial(det_aware, srr_like),
+            Some(pool) => {
+                pool.run_phase(
+                    &mut self.clusters,
+                    Phase::Views {
+                        cycle: self.cycle,
+                        det_aware,
+                        srr_like,
+                    },
+                );
+                self.issue_commit(det_aware, srr_like);
+            }
+        }
+    }
+
+    /// The serial issue loop: build views, gate, pick, issue — one scheduler
+    /// at a time in global order (the pre-parallelism algorithm, verbatim).
+    fn issue_all_serial(&mut self, det_aware: bool, srr_like: bool) {
+        let num_sched = self.cfg.num_schedulers_per_sm;
+        let num_sms = self.cfg.num_sms();
+        for sm_idx in 0..num_sms {
             for sched in 0..num_sched {
-                if self.sms[sm_idx].schedulers[sched].live == 0 {
+                if self.sm(sm_idx).schedulers[sched].live == 0 {
                     continue;
                 }
-                let views = self.build_views(sm_idx, sched, det_aware, srr_like);
+                let cycle = self.cycle;
+                let mut views = self
+                    .sm(sm_idx)
+                    .build_views(sched, cycle, det_aware, srr_like);
                 if views.is_empty() {
                     continue;
                 }
-                let picked = {
-                    let cycle = self.cycle;
-                    self.sms[sm_idx].schedulers[sched]
-                        .policy
-                        .pick(&views, cycle)
-                };
-                if let Some(slot) = picked {
-                    debug_assert!(
-                        views.iter().any(|v| v.slot == slot && v.ready),
-                        "scheduler picked a non-ready warp"
-                    );
-                    self.issue_one(sm_idx, sched, slot);
+                self.apply_model_gating(sm_idx, sched, &mut views);
+                self.pick_and_issue(sm_idx, sched, &views);
+            }
+        }
+    }
+
+    /// The commit half of the pooled issue phase: consume the prebuilt views
+    /// in global scheduler order, rebuilding any an earlier barrier release
+    /// made stale this cycle.
+    fn issue_commit(&mut self, det_aware: bool, srr_like: bool) {
+        let num_sched = self.cfg.num_schedulers_per_sm;
+        let spc = self.cfg.sms_per_cluster;
+        for cl in 0..self.clusters.len() {
+            for local in 0..spc {
+                let sm_idx = cl * spc + local;
+                for sched in 0..num_sched {
+                    if self.clusters[cl].sms[local].schedulers[sched].live == 0 {
+                        continue;
+                    }
+                    let mut views = if self.clusters[cl].is_dirty(local) {
+                        let cycle = self.cycle;
+                        self.clusters[cl].sms[local].build_views(sched, cycle, det_aware, srr_like)
+                    } else {
+                        std::mem::take(&mut self.clusters[cl].views[local * num_sched + sched])
+                    };
+                    if views.is_empty() {
+                        continue;
+                    }
+                    self.apply_model_gating(sm_idx, sched, &mut views);
+                    self.pick_and_issue(sm_idx, sched, &views);
                 }
             }
         }
     }
 
-    fn build_views(
-        &mut self,
-        sm_idx: usize,
-        sched: usize,
-        det_aware: bool,
-        srr_like: bool,
-    ) -> Vec<WarpView> {
-        let num_sched = self.cfg.num_schedulers_per_sm;
+    /// Model gating (GPUDet quanta / serial mode) applied to ready views.
+    /// Model hooks run only here on the committing thread, in global
+    /// scheduler order — never on pool workers.
+    fn apply_model_gating(&mut self, sm_idx: usize, sched: usize, views: &mut [WarpView]) {
         let cycle = self.cycle;
-        let mut views: Vec<WarpView> = Vec::new();
-        let mut any_ready = false;
-        {
-            let sm = &self.sms[sm_idx];
-            let sctx = &sm.schedulers[sched];
-            let mut slot = sched;
-            while slot < sm.warps.len() {
-                if let Some(w) = &sm.warps[slot] {
-                    debug_assert_eq!(w.sched, sched);
-                    let next_is_atomic = w.next_is_atomic();
-                    let mut ready =
-                        w.state == WarpState::Ready && w.next_ready <= cycle && !w.finished();
-                    let mut batch_gated = false;
-                    if ready && det_aware && !sctx.batch_may_issue_atomics(w.batch) {
-                        // Later batches may not issue atomics; under SRR they
-                        // may not issue anything.
-                        if next_is_atomic || srr_like {
-                            ready = false;
-                            batch_gated = true;
-                        }
-                    }
-                    views.push(WarpView {
-                        slot,
-                        unique: w.unique,
-                        arrival: w.arrival,
-                        ready,
-                        next_is_atomic,
-                        at_barrier: w.state == WarpState::WaitBarrier,
-                        flush_wait: w.state == WarpState::WaitFlush,
-                        batch_gated,
-                    });
-                    any_ready |= ready;
-                }
-                slot += num_sched;
-            }
-        }
-        if !any_ready {
-            return Vec::new();
-        }
-        views.sort_unstable_by_key(|v| v.unique);
-        // Model gating (GPUDet quanta / serial mode).
         for v in views.iter_mut().filter(|v| v.ready) {
             let warp_id = WarpId {
                 sched: SchedId { sm: sm_idx, sched },
@@ -564,13 +683,51 @@ impl GpuSim {
             };
             v.ready = self.model.can_issue(warp_id, v.next_is_atomic, cycle);
         }
-        views
+    }
+
+    fn pick_and_issue(&mut self, sm_idx: usize, sched: usize, views: &[WarpView]) {
+        let picked = {
+            let cycle = self.cycle;
+            self.sm_mut(sm_idx).schedulers[sched]
+                .policy
+                .pick(views, cycle)
+        };
+        if let Some(slot) = picked {
+            debug_assert!(
+                views.iter().any(|v| v.slot == slot && v.ready),
+                "scheduler picked a non-ready warp"
+            );
+            self.issue_one(sm_idx, sched, slot);
+        }
+    }
+
+    /// Drains every cluster's staged outbound packets into the interconnect,
+    /// in cluster-index order: the per-cycle deterministic merge point.
+    fn merge_outboxes(&mut self) {
+        for c in 0..self.clusters.len() {
+            while let Some(pkt) = self.clusters[c].outbox.pop() {
+                self.icnt.inject_request(c, pkt);
+            }
+        }
+    }
+
+    /// Whether the interconnect can accept `flits` more request flits from
+    /// `cluster`, counting flits already staged in its outbox this cycle.
+    fn can_send_request(&self, cluster: usize, flits: u32) -> bool {
+        self.icnt
+            .can_inject_request(cluster, flits + self.clusters[cluster].outbox.flits())
+    }
+
+    /// Stages an outbound request packet in the cluster's outbox; it enters
+    /// the interconnect at this cycle's merge point.
+    fn send_request(&mut self, cluster: usize, pkt: Packet) {
+        self.clusters[cluster].outbox.stage(pkt);
     }
 
     fn issue_one(&mut self, sm_idx: usize, sched: usize, slot: usize) {
         let cycle = self.cycle;
         let (program, pc, unique, lanes) = {
-            let w = self.sms[sm_idx].warps[slot].as_ref().expect("picked warp");
+            let w = self.sm(sm_idx).warps[slot].as_ref().expect("picked warp");
             (
                 Arc::clone(&w.program),
                 w.pc,
@@ -591,7 +748,9 @@ impl GpuSim {
         let mut thread_instrs = instr.thread_instr_count(lanes);
         match instr {
             Instr::Alu { cycles, count } => {
-                let w = self.sms[sm_idx].warps[slot].as_mut().expect("picked warp");
+                let w = self.sm_mut(sm_idx).warps[slot]
+                    .as_mut()
+                    .expect("picked warp");
                 if w.alu_rem == 0 {
                     w.alu_rem = (*count).max(1);
                 }
@@ -632,7 +791,9 @@ impl GpuSim {
                 critical_cycles,
             } => {
                 let occurrence = {
-                    let w = self.sms[sm_idx].warps[slot].as_mut().expect("picked warp");
+                    let w = self.sm_mut(sm_idx).warps[slot]
+                        .as_mut()
+                        .expect("picked warp");
                     w.next_lock_occurrence(*lock_addr)
                 };
                 self.locks.acquire(
@@ -645,7 +806,9 @@ impl GpuSim {
                     *critical_cycles,
                     *op,
                 );
-                let w = self.sms[sm_idx].warps[slot].as_mut().expect("picked warp");
+                let w = self.sm_mut(sm_idx).warps[slot]
+                    .as_mut()
+                    .expect("picked warp");
                 w.pc += 1;
                 w.state = WarpState::WaitLock;
             }
@@ -653,11 +816,15 @@ impl GpuSim {
 
         if issued {
             self.progress();
-            self.stats.warp_instrs += 1;
-            self.stats.thread_instrs += thread_instrs;
-            self.stats.atomics += instr.atomic_count();
+            // Issue-path counters accumulate per cluster shard and merge in
+            // cluster-index order at end of run, keeping totals identical at
+            // any thread count.
+            let shard_stats = &mut self.clusters[cluster].stats;
+            shard_stats.warp_instrs += 1;
+            shard_stats.thread_instrs += thread_instrs;
+            shard_stats.atomics += instr.atomic_count();
             let was_atomic = instr.is_atomic();
-            self.sms[sm_idx].schedulers[sched]
+            self.sm_mut(sm_idx).schedulers[sched]
                 .policy
                 .on_issue(unique, was_atomic, cycle);
             self.model.on_issue(warp_id, was_atomic, cycle);
@@ -689,44 +856,52 @@ impl GpuSim {
         // Probe L1 for each sector.
         let mut missing: Vec<u64> = Vec::new();
         {
-            let sm = &mut self.sms[sm_idx];
+            let spc = self.cfg.sms_per_cluster;
+            let shard = &mut self.clusters[cluster];
+            let sm = &mut shard.sms[sm_idx % spc];
             for &s in &sectors {
-                self.stats.l1_accesses += 1;
+                shard.stats.l1_accesses += 1;
                 match sm.l1.probe(s) {
                     Probe::Hit => {}
                     Probe::SectorMiss | Probe::LineMiss => {
-                        self.stats.l1_misses += 1;
+                        shard.stats.l1_misses += 1;
                         missing.push(s);
                     }
                 }
             }
         }
         if missing.is_empty() {
-            let w = self.sms[sm_idx].warps[slot].as_mut().expect("picked warp");
+            let l1_hit_latency = self.cfg.l1_hit_latency as u64;
+            let w = self.sm_mut(sm_idx).warps[slot]
+                .as_mut()
+                .expect("picked warp");
             w.pc += 1;
-            w.next_ready = cycle + self.cfg.l1_hit_latency as u64;
+            w.next_ready = cycle + l1_hit_latency;
             return true;
         }
         // Structural checks: MSHR space for new sectors, interconnect room.
         let new_sectors: Vec<u64> = missing
             .iter()
             .copied()
-            .filter(|s| !self.sms[sm_idx].l1_mshrs.contains_key(s))
+            .filter(|s| !self.sm(sm_idx).l1_mshrs.contains_key(s))
             .collect();
-        if self.sms[sm_idx].l1_mshrs.len() + new_sectors.len() > self.sms[sm_idx].l1_mshr_capacity {
-            self.stats.bump("stall.l1_mshr", 1);
+        if self.sm(sm_idx).l1_mshrs.len() + new_sectors.len() > self.sm(sm_idx).l1_mshr_capacity {
+            self.clusters[cluster].stats.bump("stall.l1_mshr", 1);
             return false;
         }
         let flits_needed = new_sectors.len() as u32;
-        if !self.icnt.can_inject_request(cluster, flits_needed) {
-            self.stats.icnt_stall_cycles += 1;
+        if !self.can_send_request(cluster, flits_needed) {
+            self.clusters[cluster].stats.icnt_stall_cycles += 1;
             return false;
         }
         let warp_ref = WarpRef { sm: sm_idx, slot };
         for &s in &missing {
-            let sm = &mut self.sms[sm_idx];
-            let is_new = !sm.l1_mshrs.contains_key(&s);
-            sm.l1_mshrs.entry(s).or_default().push(slot);
+            let is_new = {
+                let sm = self.sm_mut(sm_idx);
+                let is_new = !sm.l1_mshrs.contains_key(&s);
+                sm.l1_mshrs.entry(s).or_default().push(slot);
+                is_new
+            };
             if is_new {
                 let pkt = Packet::new(
                     partition_of(s, self.cfg.num_mem_partitions),
@@ -736,11 +911,13 @@ impl GpuSim {
                     },
                     self.cfg.icnt_flit_size,
                 );
-                self.stats.mem_transactions += 1;
-                self.icnt.inject_request(cluster, pkt);
+                self.clusters[cluster].stats.mem_transactions += 1;
+                self.send_request(cluster, pkt);
             }
         }
-        let w = self.sms[sm_idx].warps[slot].as_mut().expect("picked warp");
+        let w = self.sm_mut(sm_idx).warps[slot]
+            .as_mut()
+            .expect("picked warp");
         w.outstanding_loads += missing.len() as u32;
         w.pc += 1;
         w.state = WarpState::WaitMem;
@@ -754,16 +931,15 @@ impl GpuSim {
         let sectors = self.sectors_of(accesses);
         if self.model.on_store(warp_id, sectors.len(), cycle) == StoreRoute::Buffered {
             // Absorbed by a model-side store buffer: no traffic now.
-            let w = self.sms[sm_idx].warps[slot].as_mut().expect("picked warp");
+            let w = self.sm_mut(sm_idx).warps[slot]
+                .as_mut()
+                .expect("picked warp");
             w.pc += 1;
             w.next_ready = cycle + 1;
             return true;
         }
-        if !self
-            .icnt
-            .can_inject_request(cluster, 2 * sectors.len() as u32)
-        {
-            self.stats.icnt_stall_cycles += 1;
+        if !self.can_send_request(cluster, 2 * sectors.len() as u32) {
+            self.clusters[cluster].stats.icnt_stall_cycles += 1;
             return false;
         }
         // Functional write (DRF programs: order vs. other warps irrelevant).
@@ -778,7 +954,7 @@ impl GpuSim {
         let warp_ref = WarpRef { sm: sm_idx, slot };
         for &s in &sectors {
             // Write-through, write-evict at the L1.
-            self.sms[sm_idx].l1.evict_sector(s);
+            self.sm_mut(sm_idx).l1.evict_sector(s);
             let pkt = Packet::new(
                 partition_of(s, self.cfg.num_mem_partitions),
                 Payload::StoreReq {
@@ -787,10 +963,12 @@ impl GpuSim {
                 },
                 self.cfg.icnt_flit_size,
             );
-            self.stats.mem_transactions += 1;
-            self.icnt.inject_request(cluster, pkt);
+            self.clusters[cluster].stats.mem_transactions += 1;
+            self.send_request(cluster, pkt);
         }
-        let w = self.sms[sm_idx].warps[slot].as_mut().expect("picked warp");
+        let w = self.sm_mut(sm_idx).warps[slot]
+            .as_mut()
+            .expect("picked warp");
         w.outstanding_writes += sectors.len() as u32;
         w.pc += 1;
         w.next_ready = cycle + 1;
@@ -819,21 +997,25 @@ impl GpuSim {
         );
         match route {
             AtomicRoute::Buffered { cycles } => {
-                let w = self.sms[sm_idx].warps[slot].as_mut().expect("picked warp");
+                let w = self.sm_mut(sm_idx).warps[slot]
+                    .as_mut()
+                    .expect("picked warp");
                 w.pc += 1;
                 w.next_ready = cycle + cycles.max(1) as u64;
                 true
             }
             AtomicRoute::StallFlush => {
                 self.set_flush_wait(sm_idx, slot);
-                self.stats.bump("stall.atomic_buffer_full", 1);
+                self.clusters[cluster]
+                    .stats
+                    .bump("stall.atomic_buffer_full", 1);
                 false
             }
             AtomicRoute::ToMemory => {
                 // Fast-fail when the injection queue is jammed, before
                 // building coalescing groups (retried every cycle).
-                if !self.icnt.can_inject_request(cluster, 1) {
-                    self.stats.icnt_stall_cycles += 1;
+                if !self.can_send_request(cluster, 1) {
+                    self.clusters[cluster].stats.icnt_stall_cycles += 1;
                     return false;
                 }
                 // Coalesce into one transaction per sector (baseline GPU).
@@ -855,8 +1037,8 @@ impl GpuSim {
                     .iter()
                     .map(|(_, ops)| (8 + 9 * ops.len()).div_ceil(self.cfg.icnt_flit_size) as u32)
                     .sum();
-                if !self.icnt.can_inject_request(cluster, total_flits) {
-                    self.stats.icnt_stall_cycles += 1;
+                if !self.can_send_request(cluster, total_flits) {
+                    self.clusters[cluster].stats.icnt_stall_cycles += 1;
                     return false;
                 }
                 let warp_ref = WarpRef { sm: sm_idx, slot };
@@ -871,10 +1053,12 @@ impl GpuSim {
                         },
                         self.cfg.icnt_flit_size,
                     );
-                    self.stats.mem_transactions += 1;
-                    self.icnt.inject_request(cluster, pkt);
+                    self.clusters[cluster].stats.mem_transactions += 1;
+                    self.send_request(cluster, pkt);
                 }
-                let w = self.sms[sm_idx].warps[slot].as_mut().expect("picked warp");
+                let w = self.sm_mut(sm_idx).warps[slot]
+                    .as_mut()
+                    .expect("picked warp");
                 w.outstanding_writes += n_groups;
                 w.pc += 1;
                 match kind {
@@ -889,7 +1073,7 @@ impl GpuSim {
     fn issue_barrier(&mut self, sm_idx: usize, slot: usize) {
         let cycle = self.cycle;
         let (cta_key, warp_id) = {
-            let sm = &mut self.sms[sm_idx];
+            let sm = self.sm_mut(sm_idx);
             let w = sm.warps[slot].as_mut().expect("picked warp");
             w.pc += 1;
             w.state = WarpState::WaitBarrier;
@@ -906,7 +1090,7 @@ impl GpuSim {
         };
         self.model.on_barrier_wait(warp_id, cycle);
         {
-            let sm = &mut self.sms[sm_idx];
+            let sm = self.sm_mut(sm_idx);
             // The policy consumes the warp's token/turn so atomic grants
             // never deadlock behind the barrier.
             sm.schedulers[warp_id.sched.sched]
@@ -924,7 +1108,7 @@ impl GpuSim {
     fn try_release_barrier(&mut self, sm_idx: usize, cta_key: u64) {
         let cycle = self.cycle;
         let waiting = {
-            let sm = &mut self.sms[sm_idx];
+            let sm = self.sm_mut(sm_idx);
             let Some(barrier) = sm.barriers.get_mut(&cta_key) else {
                 return;
             };
@@ -935,10 +1119,13 @@ impl GpuSim {
             }
             std::mem::take(&mut barrier.waiting_slots)
         };
+        // An actual release mutates warp state across this SM's schedulers;
+        // views a pool worker prebuilt for it this cycle are now stale.
+        self.mark_views_dirty(sm_idx);
         let waiting_ids: Vec<WarpId> = waiting
             .iter()
             .map(|&s| {
-                let w = self.sms[sm_idx].warps[s].as_ref().expect("at barrier");
+                let w = self.sm(sm_idx).warps[s].as_ref().expect("at barrier");
                 WarpId {
                     sched: SchedId {
                         sm: sm_idx,
@@ -951,14 +1138,14 @@ impl GpuSim {
             .collect();
         let release = self.model.on_barrier_release(sm_idx, &waiting_ids, cycle);
         for id in &waiting_ids {
-            let sm = &mut self.sms[sm_idx];
+            let sm = self.sm_mut(sm_idx);
             sm.schedulers[id.sched.sched].barrier_wait -= 1;
         }
         match release {
             BarrierRelease::Immediate => {
                 for s in waiting {
                     {
-                        let sm = &mut self.sms[sm_idx];
+                        let sm = self.sm_mut(sm_idx);
                         let w = sm.warps[s].as_mut().expect("at barrier");
                         w.state = WarpState::Ready;
                         w.next_ready = cycle + 1;
@@ -986,7 +1173,9 @@ impl GpuSim {
         let slot = warp_id.slot;
         match self.model.on_fence(warp_id, cycle) {
             FenceAction::DrainWarp => {
-                let w = self.sms[sm_idx].warps[slot].as_mut().expect("picked warp");
+                let w = self.sm_mut(sm_idx).warps[slot]
+                    .as_mut()
+                    .expect("picked warp");
                 w.pc += 1;
                 if w.outstanding_writes > 0 {
                     w.state = WarpState::WaitDrain;
@@ -995,7 +1184,9 @@ impl GpuSim {
                 }
             }
             FenceAction::WaitFlush => {
-                let w = self.sms[sm_idx].warps[slot].as_mut().expect("picked warp");
+                let w = self.sm_mut(sm_idx).warps[slot]
+                    .as_mut()
+                    .expect("picked warp");
                 w.pc += 1;
                 self.set_flush_wait(sm_idx, slot);
             }
@@ -1003,7 +1194,7 @@ impl GpuSim {
     }
 
     fn set_flush_wait(&mut self, sm_idx: usize, slot: usize) {
-        let sm = &mut self.sms[sm_idx];
+        let sm = self.sm_mut(sm_idx);
         let w = sm.warps[slot].as_mut().expect("warp resident");
         if w.state != WarpState::WaitFlush {
             w.state = WarpState::WaitFlush;
@@ -1013,7 +1204,7 @@ impl GpuSim {
 
     fn wake_flush_wait(&mut self, sm_idx: usize, slot: usize) {
         let cycle = self.cycle;
-        let sm = &mut self.sms[sm_idx];
+        let sm = self.sm_mut(sm_idx);
         if let Some(w) = sm.warps[slot].as_mut() {
             if w.state == WarpState::WaitFlush {
                 w.state = WarpState::Ready;
@@ -1032,7 +1223,7 @@ impl GpuSim {
     /// outstanding transactions.
     fn try_retire(&mut self, sm_idx: usize, slot: usize) {
         let retire = {
-            match self.sms[sm_idx].warps[slot].as_mut() {
+            match self.sm_mut(sm_idx).warps[slot].as_mut() {
                 Some(w) if w.finished() => {
                     if w.outstanding_loads == 0 && w.outstanding_writes == 0 {
                         // Only a warp that is not waiting on anything may
@@ -1053,9 +1244,7 @@ impl GpuSim {
             return;
         }
         let (unique, sched) = {
-            let w = self.sms[sm_idx].warps[slot]
-                .as_ref()
-                .expect("finished warp");
+            let w = self.sm(sm_idx).warps[slot].as_ref().expect("finished warp");
             (w.unique, w.sched)
         };
         // Warp-level DAB holds finished warps until their buffer flushes.
@@ -1071,7 +1260,7 @@ impl GpuSim {
         // `no_more_arrivals` is refreshed by the dispatcher each cycle; the
         // conservative value here only delays partial-batch completion by a
         // cycle at worst.
-        let warp = self.sms[sm_idx].retire_warp(slot, false);
+        let warp = self.sm_mut(sm_idx).retire_warp(slot, false);
         debug_assert_eq!(warp.unique, unique);
         self.model.on_warp_exit(WarpId {
             sched: SchedId { sm: sm_idx, sched },
@@ -1092,15 +1281,15 @@ impl GpuSim {
         }
         let cycle = self.cycle;
         if dispatcher.is_static {
-            for sm_idx in 0..self.sms.len() {
+            for sm_idx in 0..self.cfg.num_sms() {
                 let Some(&cta_idx) = dispatcher.static_queues[sm_idx].front() else {
                     continue;
                 };
                 let cta = &grid.ctas[cta_idx];
-                if self.sms[sm_idx].can_accept(cta) {
+                if self.sm(sm_idx).can_accept(cta) {
                     dispatcher.static_queues[sm_idx].pop_front();
                     let base = dispatcher.unique_bases[cta_idx];
-                    let slots = self.sms[sm_idx].add_cta(cta, base, cycle);
+                    let slots = self.sm_mut(sm_idx).add_cta(cta, base, cycle);
                     self.notify_spawns(sm_idx, &slots);
                     self.progress();
                 }
@@ -1108,7 +1297,7 @@ impl GpuSim {
         } else {
             // Rotating start with non-deterministic perturbation: which SM
             // grabs the next CTA depends on timing, as on real hardware.
-            let n = self.sms.len();
+            let n = self.cfg.num_sms();
             let start = (dispatcher.rr + self.ndet.arbitration_tiebreak(2)) % n;
             let mut assigned = 0;
             for i in 0..n {
@@ -1117,10 +1306,10 @@ impl GpuSim {
                     break;
                 };
                 let cta = &grid.ctas[cta_idx];
-                if self.sms[sm_idx].can_accept(cta) {
+                if self.sm(sm_idx).can_accept(cta) {
                     dispatcher.dynamic_queue.pop_front();
                     let base = dispatcher.unique_bases[cta_idx];
-                    let slots = self.sms[sm_idx].add_cta(cta, base, cycle);
+                    let slots = self.sm_mut(sm_idx).add_cta(cta, base, cycle);
                     self.notify_spawns(sm_idx, &slots);
                     assigned += 1;
                     self.progress();
@@ -1131,9 +1320,11 @@ impl GpuSim {
             }
         }
         if dispatcher.all_dispatched() {
-            for sm in &mut self.sms {
-                for sched in &mut sm.schedulers {
-                    sched.advance_completed(true);
+            for cluster in &mut self.clusters {
+                for sm in &mut cluster.sms {
+                    for sched in &mut sm.schedulers {
+                        sched.advance_completed(true);
+                    }
                 }
             }
         }
@@ -1142,7 +1333,7 @@ impl GpuSim {
     fn notify_spawns(&mut self, sm_idx: usize, slots: &[usize]) {
         for &slot in slots {
             let (sched, unique) = {
-                let w = self.sms[sm_idx].warps[slot].as_ref().expect("spawned");
+                let w = self.sm(sm_idx).warps[slot].as_ref().expect("spawned");
                 (w.sched, w.unique)
             };
             self.model.on_warp_spawn(WarpId {
@@ -1155,45 +1346,22 @@ impl GpuSim {
         }
     }
 
-    fn model_tick(&mut self, all_dispatched: bool) {
-        let num_sched = self.cfg.num_schedulers_per_sm;
+    fn model_tick(&mut self, all_dispatched: bool, pool: Option<&WorkerPool>) {
         let det_aware = self.sched_kind.is_determinism_aware();
-        let census = &mut self.census;
-        for (sm_idx, sm) in self.sms.iter_mut().enumerate() {
-            for (s, sched) in sm.schedulers.iter().enumerate() {
-                census[sm_idx * num_sched + s] = SchedCensus {
-                    live: sched.live,
-                    flush_wait: sched.flush_wait,
-                    barrier_wait: sched.barrier_wait,
-                    atomic_stuck: 0,
-                };
-            }
-            if det_aware {
-                // Count ready warps whose next atomic is steadily refused
-                // (policy token/turn/phase or the batch gate): they cannot
-                // change any buffer before a flush, so DAB may seal. First
-                // give the policies a chance to account for the pending
-                // atomics (GTRR's greedy->round-robin switch), so transient
-                // one-cycle refusals are not mistaken for steady ones.
-                let pending: Vec<(usize, u64, u64)> = sm
-                    .warps
-                    .iter()
-                    .flatten()
-                    .filter(|w| w.state == WarpState::Ready && w.next_is_atomic())
-                    .map(|w| (w.sched, w.unique, w.batch))
-                    .collect();
-                for &(sc, unique, _) in &pending {
-                    sm.schedulers[sc].policy.note_atomic_pending(unique);
-                }
-                for &(sc, unique, batch) in &pending {
-                    let sched = &sm.schedulers[sc];
-                    if !sched.batch_may_issue_atomics(batch)
-                        || sched.policy.blocks_atomic_of(unique)
-                    {
-                        census[sm_idx * num_sched + sc].atomic_stuck += 1;
-                    }
+        // Census rows are SM-local (counts plus per-scheduler policy
+        // bookkeeping), so each cluster's rows build independently — on pool
+        // workers when parallel, in cluster order when serial.
+        match pool {
+            None => {
+                for shard in &mut self.clusters {
+                    shard.prepare_census(det_aware);
                 }
             }
+            Some(pool) => pool.run_phase(&mut self.clusters, Phase::Census { det_aware }),
+        }
+        let rows = self.cfg.sms_per_cluster * self.cfg.num_schedulers_per_sm;
+        for shard in &self.clusters {
+            self.census[shard.id * rows..(shard.id + 1) * rows].copy_from_slice(&shard.census);
         }
         let mut ctx = ModelCtx::new(
             self.cycle,
@@ -1213,7 +1381,7 @@ impl GpuSim {
             self.progress();
             match wake {
                 WakeCmd::FlushWaiters { sm } => {
-                    for slot in 0..self.sms[sm].warps.len() {
+                    for slot in 0..self.sm(sm).warps.len() {
                         self.wake_flush_wait(sm, slot);
                     }
                 }
@@ -1655,5 +1823,74 @@ mod tests {
         let grid = KernelGrid::new("empty", vec![CtaSpec::new(0, vec![WarpProgram::empty(32)])]);
         let report = run_baseline(grid);
         assert_eq!(report.stats.warp_instrs, 0);
+    }
+
+    #[test]
+    fn staged_outbox_packets_block_quiescence() {
+        // Regression: a packet staged in a cluster outbox but not yet merged
+        // into the interconnect must keep the machine "busy" — both for
+        // kernel completion and for the fast-forward's quiet check.
+        let mut sim = GpuSim::new(
+            GpuConfig::tiny(),
+            Box::new(BaselineModel::new()),
+            NdetSource::disabled(),
+        );
+        let empty = KernelGrid::new("noop", vec![]);
+        let dispatcher = Dispatcher::new(&empty, CtaDistribution::Dynamic, sim.cfg.num_sms());
+        assert!(sim.kernel_done(&dispatcher), "idle machine must be done");
+
+        let pkt = Packet::new(
+            0,
+            Payload::LoadReq {
+                sector_addr: 0x40,
+                warp: WarpRef { sm: 0, slot: 0 },
+            },
+            sim.cfg.icnt_flit_size,
+        );
+        sim.clusters[0].outbox.stage(pkt);
+        assert!(
+            !sim.kernel_done(&dispatcher),
+            "staged outbox packet must count as in-flight work"
+        );
+        // The quiet fast-forward must also refuse to jump over the merge.
+        let before = sim.cycle;
+        sim.advance_cycle();
+        assert_eq!(sim.cycle, before + 1, "no fast-forward while staged");
+
+        sim.merge_outboxes();
+        assert!(sim.clusters[0].outbox.is_empty());
+        assert!(sim.icnt.is_busy(), "merged packet now rides the icnt");
+    }
+
+    #[test]
+    fn sim_threads_run_is_bit_identical_to_serial() {
+        // The pooled engine must produce byte-identical results and stats.
+        let run = |threads: usize, seed: u64| {
+            let mut cfg = GpuConfig::small();
+            cfg.sim_threads = threads;
+            let sim = GpuSim::new(
+                cfg,
+                Box::new(BaselineModel::new()),
+                NdetSource::seeded(seed),
+            );
+            let r = sim.run(&[sum_grid(64, 32, 0x300)]);
+            (r.cycles(), r.digest(), format!("{:?}", r.stats))
+        };
+        for seed in [0, 7] {
+            let serial = run(1, seed);
+            for threads in [2, 4, 16] {
+                assert_eq!(serial, run(threads, seed), "threads={threads} seed={seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn sim_threads_clamps_to_cluster_count() {
+        // More workers than clusters is clamped, not an error.
+        let mut cfg = GpuConfig::tiny();
+        cfg.sim_threads = 64;
+        let sim = GpuSim::new(cfg, Box::new(BaselineModel::new()), NdetSource::disabled());
+        let r = sim.run(&[sum_grid(4, 32, 0x500)]);
+        assert_eq!(r.values.read_f32(0x500), 128.0);
     }
 }

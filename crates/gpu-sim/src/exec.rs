@@ -224,6 +224,16 @@ pub enum WakeCmd {
 /// All methods have neutral defaults matching the baseline GPU, so a model
 /// only overrides the hooks it cares about. See the crate-level docs of
 /// `dab` and `gpudet` for the two non-trivial implementations.
+///
+/// # Threading contract
+///
+/// Every hook on this trait runs on the engine's coordinating thread, in
+/// the same fixed (cluster, SM, scheduler) order, at any `DAB_SIM_THREADS`
+/// setting — the worker pool only prebuilds SM-local state, never calls
+/// into the model. Implementations may therefore keep plain mutable state
+/// and need no internal synchronization; the `Send` bound exists only
+/// because the engine itself may migrate between threads (e.g. when a
+/// sweep job runs on a `DAB_JOBS` worker).
 #[allow(unused_variables)]
 pub trait ExecutionModel: std::fmt::Debug + Send {
     /// Human-readable model name (used in experiment reports).

@@ -160,13 +160,29 @@ impl Interconnect {
     }
 
     /// Advances the network by one cycle.
-    pub fn tick(&mut self, cycle: u64, ndet: &mut NdetSource) {
-        self.tick_direction_mem(cycle, ndet);
-        self.tick_direction_cluster(cycle, ndet);
+    ///
+    /// `mem_ndet` holds one perturbation stream per memory partition and
+    /// `cl_ndet` one per cluster: every arbitration point draws from its
+    /// *own* stream (forked from the run seed via
+    /// [`NdetSource::split`]), so the sequence one endpoint sees never
+    /// depends on how work for other endpoints is ordered — a prerequisite
+    /// for sharding the engine across threads without perturbation drift.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a slice is shorter than the endpoint count.
+    pub fn tick(&mut self, cycle: u64, mem_ndet: &mut [NdetSource], cl_ndet: &mut [NdetSource]) {
+        assert!(
+            mem_ndet.len() >= self.num_partitions,
+            "stream per partition"
+        );
+        assert!(cl_ndet.len() >= self.num_clusters, "stream per cluster");
+        self.tick_direction_mem(cycle, mem_ndet);
+        self.tick_direction_cluster(cycle, cl_ndet);
     }
 
-    fn tick_direction_mem(&mut self, cycle: u64, ndet: &mut NdetSource) {
-        for p in 0..self.num_partitions {
+    fn tick_direction_mem(&mut self, cycle: u64, ndet: &mut [NdetSource]) {
+        for (p, nd) in ndet.iter_mut().enumerate().take(self.num_partitions) {
             // Deliver transfers whose pipeline latency has elapsed
             // (in-flight queue is ordered by arrival cycle).
             while let Some(t) = self.mem_pull[p].front() {
@@ -182,7 +198,7 @@ impl Interconnect {
             // this cycle: occupancy is `flits / flits_per_cycle`, latency is
             // pipelined on top.
             while self.mem_free_at[p] <= cycle {
-                let start = (self.mem_rr[p] + ndet.arbitration_tiebreak(2)) % self.num_clusters;
+                let start = (self.mem_rr[p] + nd.arbitration_tiebreak(2)) % self.num_clusters;
                 let mut started = false;
                 for i in 0..self.num_clusters {
                     let c = (start + i) % self.num_clusters;
@@ -218,8 +234,8 @@ impl Interconnect {
         }
     }
 
-    fn tick_direction_cluster(&mut self, cycle: u64, ndet: &mut NdetSource) {
-        for c in 0..self.num_clusters {
+    fn tick_direction_cluster(&mut self, cycle: u64, ndet: &mut [NdetSource]) {
+        for (c, nd) in ndet.iter_mut().enumerate().take(self.num_clusters) {
             while let Some(t) = self.cl_pull[c].front() {
                 if t.arrive_cycle <= cycle {
                     let t = self.cl_pull[c].pop_front().expect("checked above");
@@ -230,7 +246,7 @@ impl Interconnect {
                 }
             }
             while self.cl_free_at[c] <= cycle {
-                let start = (self.cl_rr[c] + ndet.arbitration_tiebreak(2)) % self.num_partitions;
+                let start = (self.cl_rr[c] + nd.arbitration_tiebreak(2)) % self.num_partitions;
                 let mut started = false;
                 for i in 0..self.num_partitions {
                     let p = (start + i) % self.num_partitions;
@@ -264,6 +280,35 @@ impl Interconnect {
         }
     }
 
+    /// One-line occupancy summary of every queue family, for diagnostics
+    /// (matches the `lock.rs`/`dram.rs` panic-context style).
+    pub fn queue_summary(&self) -> String {
+        let occupied = |qs: &[VecDeque<Packet>]| -> String {
+            let counts: Vec<String> = qs
+                .iter()
+                .enumerate()
+                .filter(|(_, q)| !q.is_empty())
+                .map(|(i, q)| format!("{i}:{}", q.len()))
+                .collect();
+            if counts.is_empty() {
+                "-".to_string()
+            } else {
+                counts.join(",")
+            }
+        };
+        let in_flight = |ts: &[VecDeque<Transfer>]| -> usize { ts.iter().map(VecDeque::len).sum() };
+        format!(
+            "cluster_out[{}] mem_in_flight={} mem_in[{}] part_out[{}] cl_in_flight={} cl_in[{}] moved={}",
+            occupied(&self.cluster_out),
+            in_flight(&self.mem_pull),
+            occupied(&self.mem_in),
+            occupied(&self.part_out),
+            in_flight(&self.cl_pull),
+            occupied(&self.cl_in),
+            self.packets_moved,
+        )
+    }
+
     /// Earliest cycle at which an in-flight transfer completes, if any.
     /// Used by the engine's idle fast-forward.
     pub fn next_event_cycle(&self) -> Option<u64> {
@@ -285,6 +330,14 @@ mod tests {
         GpuConfig::tiny()
     }
 
+    /// Disabled per-endpoint streams for `cfg` (mem, cluster).
+    fn streams(c: &GpuConfig) -> (Vec<NdetSource>, Vec<NdetSource>) {
+        (
+            vec![NdetSource::disabled(); c.num_mem_partitions],
+            vec![NdetSource::disabled(); c.num_clusters],
+        )
+    }
+
     fn load_req(dest: usize) -> Packet {
         Packet::new(
             dest,
@@ -300,11 +353,11 @@ mod tests {
     fn request_traverses() {
         let c = cfg();
         let mut icnt = Interconnect::new(&c);
-        let mut ndet = NdetSource::disabled();
+        let (mut mem_ndet, mut cl_ndet) = streams(&c);
         icnt.inject_request(0, load_req(1));
         let mut arrived = None;
         for cycle in 0..100 {
-            icnt.tick(cycle, &mut ndet);
+            icnt.tick(cycle, &mut mem_ndet, &mut cl_ndet);
             if let Some(p) = icnt.pop_arrived_request(1) {
                 arrived = Some((cycle, p));
                 break;
@@ -321,14 +374,14 @@ mod tests {
     fn response_traverses() {
         let c = cfg();
         let mut icnt = Interconnect::new(&c);
-        let mut ndet = NdetSource::disabled();
+        let (mut mem_ndet, mut cl_ndet) = streams(&c);
         icnt.inject_response(
             0,
             Packet::new(1, Payload::FlushAck { sm: 3 }, c.icnt_flit_size),
         );
         let mut got = false;
         for cycle in 0..100 {
-            icnt.tick(cycle, &mut ndet);
+            icnt.tick(cycle, &mut mem_ndet, &mut cl_ndet);
             if icnt.pop_ejected(1).is_some() {
                 got = true;
                 break;
@@ -341,7 +394,7 @@ mod tests {
     fn fifo_order_preserved_per_cluster() {
         let c = cfg();
         let mut icnt = Interconnect::new(&c);
-        let mut ndet = NdetSource::disabled();
+        let (mut mem_ndet, mut cl_ndet) = streams(&c);
         for i in 0..5u64 {
             let mut p = load_req(0);
             if let Payload::LoadReq { sector_addr, .. } = &mut p.payload {
@@ -351,7 +404,7 @@ mod tests {
         }
         let mut order = Vec::new();
         for cycle in 0..500 {
-            icnt.tick(cycle, &mut ndet);
+            icnt.tick(cycle, &mut mem_ndet, &mut cl_ndet);
             while let Some(p) = icnt.pop_arrived_request(0) {
                 if let Payload::LoadReq { sector_addr, .. } = p.payload {
                     order.push(sector_addr / 32);
@@ -381,15 +434,25 @@ mod tests {
         let mut c = cfg();
         c.icnt_input_buffer = 1; // tiny input buffer: nothing fits
         let mut icnt = Interconnect::new(&c);
-        let mut ndet = NdetSource::disabled();
+        let (mut mem_ndet, mut cl_ndet) = streams(&c);
         let mut p = load_req(0);
         p.flits = 2; // can never fit into a 1-flit input buffer
         icnt.inject_request(0, p);
         icnt.inject_request(0, load_req(1));
         for cycle in 0..50 {
-            icnt.tick(cycle, &mut ndet);
+            icnt.tick(cycle, &mut mem_ndet, &mut cl_ndet);
         }
         assert!(icnt.pop_arrived_request(1).is_none());
+    }
+
+    #[test]
+    fn queue_summary_reports_occupancy() {
+        let c = cfg();
+        let mut icnt = Interconnect::new(&c);
+        assert!(icnt.queue_summary().contains("cluster_out[-]"));
+        icnt.inject_request(1, load_req(0));
+        let summary = icnt.queue_summary();
+        assert!(summary.contains("cluster_out[1:1]"), "got: {summary}");
     }
 
     #[test]
@@ -399,13 +462,19 @@ mod tests {
         let c = cfg();
         let run = |seed: u64| -> Vec<usize> {
             let mut icnt = Interconnect::new(&c);
-            let mut ndet = NdetSource::seeded(seed);
+            let root = NdetSource::seeded(seed);
+            let mut mem_ndet: Vec<NdetSource> = (0..c.num_mem_partitions)
+                .map(|p| root.split(p as u64))
+                .collect();
+            let mut cl_ndet: Vec<NdetSource> = (0..c.num_clusters)
+                .map(|cl| root.split(0x100 + cl as u64))
+                .collect();
             let mut order = Vec::new();
             for round in 0..20u64 {
                 icnt.inject_request(0, load_req(0));
                 icnt.inject_request(1, load_req(0));
                 for cycle in round * 100..round * 100 + 100 {
-                    icnt.tick(cycle, &mut ndet);
+                    icnt.tick(cycle, &mut mem_ndet, &mut cl_ndet);
                 }
                 while icnt.pop_arrived_request(0).is_some() {
                     order.push(0);

@@ -106,6 +106,21 @@ pub enum Payload {
 }
 
 impl Payload {
+    /// Short kind name for diagnostics (`"LoadReq"`, `"FlushAck"`, …).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Payload::LoadReq { .. } => "LoadReq",
+            Payload::StoreReq { .. } => "StoreReq",
+            Payload::AtomicReq { .. } => "AtomicReq",
+            Payload::PreFlush { .. } => "PreFlush",
+            Payload::FlushEntry { .. } => "FlushEntry",
+            Payload::LoadResp { .. } => "LoadResp",
+            Payload::StoreAck { .. } => "StoreAck",
+            Payload::AtomicAck { .. } => "AtomicAck",
+            Payload::FlushAck { .. } => "FlushAck",
+        }
+    }
+
     /// Whether this payload travels from partition to cluster.
     pub fn is_response(&self) -> bool {
         matches!(
@@ -218,6 +233,21 @@ mod tests {
             ops: vec![]
         }
         .is_response());
+    }
+
+    #[test]
+    fn kind_names() {
+        let w = WarpRef { sm: 0, slot: 0 };
+        assert_eq!(
+            Payload::LoadReq {
+                sector_addr: 0,
+                warp: w
+            }
+            .kind(),
+            "LoadReq"
+        );
+        assert_eq!(Payload::PreFlush { sm: 0, expected: 1 }.kind(), "PreFlush");
+        assert_eq!(Payload::FlushAck { sm: 0 }.kind(), "FlushAck");
     }
 
     #[test]

@@ -394,6 +394,20 @@ impl MemPartition {
         std::mem::take(&mut self.retired_flush_acks)
     }
 
+    /// One-line occupancy summary for diagnostics, in the `lock.rs`/`dram.rs`
+    /// panic-context style.
+    pub fn queue_summary(&self) -> String {
+        format!(
+            "rop_queue={} rop_wait_fill={} retry={} pending_responses={} l2_mshrs={} dram[{}]",
+            self.rop.queue.len(),
+            self.rop.wait_fill.is_some(),
+            self.retry.len(),
+            self.pending_responses.len(),
+            self.mshrs.len(),
+            self.dram.queue_summary(),
+        )
+    }
+
     /// Whether the partition still has queued or in-flight work.
     pub fn is_busy(&self) -> bool {
         !self.rop.queue.is_empty()

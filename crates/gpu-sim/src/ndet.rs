@@ -60,6 +60,37 @@ impl NdetSource {
         self.enabled
     }
 
+    /// Derives an independent child stream identified by `stream`.
+    ///
+    /// The child is a pure function of the parent's *current* state and the
+    /// stream tag (splitmix64 on both), so a set of children forked at
+    /// construction is fully determined by the seed — no matter which thread
+    /// later consumes which child. This is what lets the engine hand every
+    /// cluster and memory partition its own perturbation stream: draws made
+    /// for one endpoint can never shift another endpoint's sequence, so
+    /// injected "hardware" timing is independent of host thread interleaving.
+    ///
+    /// Children of a disabled source are disabled (still neutral everywhere).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use gpu_sim::ndet::NdetSource;
+    ///
+    /// let root = NdetSource::seeded(7);
+    /// let mut a = root.split(0);
+    /// let mut b = root.split(0);
+    /// assert_eq!(a.latency_jitter(64), b.latency_jitter(64));
+    /// assert!(!NdetSource::disabled().split(3).is_enabled());
+    /// ```
+    pub fn split(&self, stream: u64) -> Self {
+        Self {
+            // `| 1` keeps the xorshift state non-zero, as in `seeded`.
+            state: splitmix64(self.state ^ splitmix64(stream)) | 1,
+            enabled: self.enabled,
+        }
+    }
+
     fn next(&mut self) -> u64 {
         let mut x = self.state;
         x ^= x >> 12;
@@ -103,6 +134,16 @@ impl NdetSource {
         }
         (self.next() % denom as u64) < num as u64
     }
+}
+
+/// The splitmix64 mixer (also behind [`NdetSource::seeded`]'s multiplier):
+/// a bijective finalizer with full avalanche, which makes child streams
+/// statistically independent even for adjacent stream tags.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
 }
 
 #[cfg(test)]
@@ -169,6 +210,42 @@ mod tests {
     #[should_panic(expected = "zero requesters")]
     fn tiebreak_zero_panics() {
         NdetSource::seeded(1).arbitration_tiebreak(0);
+    }
+
+    #[test]
+    fn split_is_reproducible_and_pure() {
+        let root = NdetSource::seeded(11);
+        let mut a = root.split(5);
+        let mut b = root.split(5);
+        for _ in 0..50 {
+            assert_eq!(a.latency_jitter(100), b.latency_jitter(100));
+        }
+        // Splitting does not consume from (or otherwise perturb) the parent.
+        let mut p = NdetSource::seeded(11);
+        let mut q = NdetSource::seeded(11);
+        let _ = q.split(5);
+        assert_eq!(p.latency_jitter(1 << 20), q.latency_jitter(1 << 20));
+    }
+
+    #[test]
+    fn split_streams_are_independent() {
+        let root = NdetSource::seeded(1);
+        let draws = |mut s: NdetSource| -> Vec<u32> {
+            (0..64).map(|_| s.latency_jitter(1 << 20)).collect()
+        };
+        assert_ne!(draws(root.split(0)), draws(root.split(1)));
+        assert_ne!(draws(root.split(1)), draws(root.split(2)));
+        // Child streams also differ from the parent's own sequence.
+        assert_ne!(draws(root.clone()), draws(root.split(0)));
+    }
+
+    #[test]
+    fn split_of_disabled_stays_neutral() {
+        let child = NdetSource::disabled().split(42);
+        assert!(!child.is_enabled());
+        let mut c = child;
+        assert_eq!(c.latency_jitter(100), 0);
+        assert_eq!(c.arbitration_tiebreak(5), 0);
     }
 
     #[test]

@@ -115,6 +115,16 @@ impl WarpView {
 /// [`on_kernel_boundary`](Self::on_kernel_boundary)) and asks it each cycle
 /// to [`pick`](Self::pick) one warp from the live set. After issuing, the
 /// engine reports back via [`on_issue`](Self::on_issue).
+///
+/// # Threading contract
+///
+/// [`pick`](Self::pick) and every callback run on the engine's
+/// coordinating thread in a fixed deterministic order regardless of
+/// `DAB_SIM_THREADS`; policies never observe concurrent calls. `pick` is
+/// invoked every cycle a scheduler has live warps — even when gating
+/// cleared all ready flags — so stateful policies (token rotation,
+/// round-robin cursors) advance identically under the serial and pooled
+/// engines.
 pub trait WarpScheduler: std::fmt::Debug + Send {
     /// The policy's kind tag.
     fn kind(&self) -> SchedKind;

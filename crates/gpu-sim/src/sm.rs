@@ -17,10 +17,11 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use crate::config::GpuConfig;
+use crate::exec::SchedCensus;
 use crate::isa::{Instr, WarpProgram};
 use crate::kernel::CtaSpec;
 use crate::mem::cache::SectoredCache;
-use crate::sched::{make_scheduler, SchedKind, WarpScheduler};
+use crate::sched::{make_scheduler, SchedKind, WarpScheduler, WarpView};
 
 /// Execution state of a warp context.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -380,6 +381,115 @@ impl Sm {
             .map(|w| w.next_ready)
             .min()
     }
+
+    /// Warp schedulers on this SM.
+    pub fn num_schedulers(&self) -> usize {
+        self.num_schedulers
+    }
+
+    /// Builds scheduler `sched`'s warp views for `cycle`, sorted by unique
+    /// id, applying batch gating (`det_aware`; under SRR — `srr_like` — a
+    /// gated batch may not issue anything, elsewhere only its atomics are
+    /// held). Returns an empty vector when no warp is ready pre-gating.
+    ///
+    /// This is a pure read of SM-local state — no interconnect, lock, or
+    /// execution-model inputs — which is what lets the engine prebuild views
+    /// for many clusters on worker threads. Model issue gating
+    /// (`ExecutionModel::can_issue`) is layered on by the engine afterwards,
+    /// on the coordinating thread.
+    pub fn build_views(
+        &self,
+        sched: usize,
+        cycle: u64,
+        det_aware: bool,
+        srr_like: bool,
+    ) -> Vec<WarpView> {
+        let sctx = &self.schedulers[sched];
+        let mut views: Vec<WarpView> = Vec::new();
+        let mut any_ready = false;
+        let mut slot = sched;
+        while slot < self.warps.len() {
+            if let Some(w) = &self.warps[slot] {
+                debug_assert_eq!(w.sched, sched);
+                let next_is_atomic = w.next_is_atomic();
+                let mut ready =
+                    w.state == WarpState::Ready && w.next_ready <= cycle && !w.finished();
+                let mut batch_gated = false;
+                if ready && det_aware && !sctx.batch_may_issue_atomics(w.batch) {
+                    // Later batches may not issue atomics; under SRR they
+                    // may not issue anything.
+                    if next_is_atomic || srr_like {
+                        ready = false;
+                        batch_gated = true;
+                    }
+                }
+                views.push(WarpView {
+                    slot,
+                    unique: w.unique,
+                    arrival: w.arrival,
+                    ready,
+                    next_is_atomic,
+                    at_barrier: w.state == WarpState::WaitBarrier,
+                    flush_wait: w.state == WarpState::WaitFlush,
+                    batch_gated,
+                });
+                any_ready |= ready;
+            }
+            slot += self.num_schedulers;
+        }
+        if !any_ready {
+            return Vec::new();
+        }
+        views.sort_unstable_by_key(|v| v.unique);
+        views
+    }
+
+    /// Writes one [`SchedCensus`] row per scheduler into `out`.
+    ///
+    /// Like [`build_views`](Self::build_views) this reads (and, through
+    /// `note_atomic_pending`, updates) only SM-local scheduler state, so the
+    /// engine may run it for different clusters on different worker threads;
+    /// rows land at fixed indices, so the merged census is identical to the
+    /// serial engine's.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` is shorter than the scheduler count.
+    pub fn census_into(&mut self, det_aware: bool, out: &mut [SchedCensus]) {
+        assert!(out.len() >= self.num_schedulers, "census row per scheduler");
+        for (s, sched) in self.schedulers.iter().enumerate() {
+            out[s] = SchedCensus {
+                live: sched.live,
+                flush_wait: sched.flush_wait,
+                barrier_wait: sched.barrier_wait,
+                atomic_stuck: 0,
+            };
+        }
+        if det_aware {
+            // Count ready warps whose next atomic is steadily refused
+            // (policy token/turn/phase or the batch gate): they cannot
+            // change any buffer before a flush, so DAB may seal. First
+            // give the policies a chance to account for the pending
+            // atomics (GTRR's greedy->round-robin switch), so transient
+            // one-cycle refusals are not mistaken for steady ones.
+            let pending: Vec<(usize, u64, u64)> = self
+                .warps
+                .iter()
+                .flatten()
+                .filter(|w| w.state == WarpState::Ready && w.next_is_atomic())
+                .map(|w| (w.sched, w.unique, w.batch))
+                .collect();
+            for &(sc, unique, _) in &pending {
+                self.schedulers[sc].policy.note_atomic_pending(unique);
+            }
+            for &(sc, unique, batch) in &pending {
+                let sched = &self.schedulers[sc];
+                if !sched.batch_may_issue_atomics(batch) || sched.policy.blocks_atomic_of(unique) {
+                    out[sc].atomic_stuck += 1;
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -503,6 +613,32 @@ mod tests {
         assert_eq!(warp.next_lock_occurrence(0x10), 0);
         assert_eq!(warp.next_lock_occurrence(0x10), 1);
         assert_eq!(warp.next_lock_occurrence(0x20), 0);
+    }
+
+    #[test]
+    fn build_views_sorted_and_ready_gated() {
+        let mut sm = sm();
+        sm.add_cta(&cta(8, 32), 0, 0);
+        let views = sm.build_views(0, 0, false, false);
+        assert_eq!(views.len(), 2, "scheduler 0 owns 2 of the 8 warps");
+        assert!(views.windows(2).all(|w| w[0].unique < w[1].unique));
+        assert!(views.iter().all(|v| v.ready));
+        // Park every warp of scheduler 0: no pre-gating ready warp → empty.
+        let slots: Vec<usize> = views.iter().map(|v| v.slot).collect();
+        for slot in slots {
+            sm.warps[slot].as_mut().expect("resident").state = WarpState::WaitMem;
+        }
+        assert!(sm.build_views(0, 0, false, false).is_empty());
+    }
+
+    #[test]
+    fn census_counts_live_per_scheduler() {
+        let mut sm = sm();
+        sm.add_cta(&cta(8, 32), 0, 0);
+        let mut rows = vec![SchedCensus::default(); sm.num_schedulers()];
+        sm.census_into(false, &mut rows);
+        assert!(rows.iter().all(|r| r.live == 2));
+        assert!(rows.iter().all(|r| r.atomic_stuck == 0));
     }
 
     #[test]

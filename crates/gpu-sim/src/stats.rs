@@ -7,6 +7,11 @@
 //! [`counters`](SimStats::counters) map so models can define their own
 //! categories without widening this struct.
 //!
+//! Under `DAB_SIM_THREADS` the engine accumulates issue-path counters into
+//! per-cluster shard copies and folds them into the run total with
+//! [`merge`](SimStats::merge) in cluster-index order at the end of the
+//! run, so the reported statistics are bit-identical at any thread count.
+//!
 //! # Examples
 //!
 //! ```

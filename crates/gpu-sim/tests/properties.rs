@@ -164,7 +164,13 @@ proptest! {
     ) {
         let cfg = GpuConfig::tiny();
         let mut icnt = Interconnect::new(&cfg);
-        let mut ndet = NdetSource::seeded(seed);
+        let root = NdetSource::seeded(seed);
+        let mut mem_ndet: Vec<NdetSource> = (0..cfg.num_mem_partitions)
+            .map(|p| root.split(p as u64))
+            .collect();
+        let mut cl_ndet: Vec<NdetSource> = (0..cfg.num_clusters)
+            .map(|c| root.split(0x100 + c as u64))
+            .collect();
         // Tag packets by their per-flow sequence via the sector address.
         let mut flow_seq = std::collections::HashMap::new();
         let mut injected = 0usize;
@@ -195,7 +201,7 @@ proptest! {
                     break;
                 }
             }
-            icnt.tick(cycle, &mut ndet);
+            icnt.tick(cycle, &mut mem_ndet, &mut cl_ndet);
             for (p, bucket) in received.iter_mut().enumerate() {
                 while let Some(pkt) = icnt.pop_arrived_request(p) {
                     if let Payload::LoadReq { sector_addr, .. } = pkt.payload {
