@@ -1,0 +1,157 @@
+//! Hot-loop comparison of the dense and activity-driven event engine
+//! cores (`DAB_ENGINE=dense|event`) on two idle-heavy workloads: the
+//! single-cell atomic-reduction microbenchmark and a small BC graph trace.
+//!
+//! Each engine × workload combination runs the DAB model end to end under
+//! the vendored criterion harness. Digests are cross-checked between
+//! engines (the bench doubles as an equivalence smoke test), and the
+//! measured wall-clock plus the event engine's activity counters are
+//! written to `BENCH_engine.json` for the CI artifact.
+//!
+//! Simulations take far longer than the stub's 100 ms calibration target,
+//! so `CRITERION_ITERS` defaults to 3 here (override in the environment).
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dab::{DabConfig, DabModel};
+use dab_bench::geomean;
+use dab_workloads::bc::bc_trace;
+use dab_workloads::graph::Graph;
+use dab_workloads::microbench::{atomic_sum_grid, OUTPUT_ADDR};
+use dab_workloads::scale::Scale;
+use gpu_sim::config::{EngineKind, GpuConfig};
+use gpu_sim::engine::{GpuSim, RunReport};
+use gpu_sim::kernel::KernelGrid;
+use gpu_sim::ndet::NdetSource;
+
+/// One engine × workload measurement: the last run's report and the best
+/// (minimum) single-run wall-clock across the timed iterations.
+struct Measurement {
+    report: RunReport,
+    best_secs: f64,
+}
+
+fn config(engine: EngineKind) -> GpuConfig {
+    let mut cfg = Scale::Ci.gpu();
+    cfg.engine = engine;
+    cfg
+}
+
+fn run(engine: EngineKind, kernels: &[KernelGrid]) -> RunReport {
+    let cfg = config(engine);
+    let model = DabModel::new(&cfg, DabConfig::paper_default());
+    let sim = GpuSim::new(cfg, Box::new(model), NdetSource::seeded(1));
+    sim.run(kernels)
+}
+
+/// The two hot-loop workloads: a serialized atomic reduction (every warp
+/// hammers one cell, so most SM cycles are response waits) and a BC trace
+/// on a small uniform graph (bursty atomics with long drain phases).
+fn workloads() -> Vec<(&'static str, Vec<KernelGrid>)> {
+    let atomic = vec![atomic_sum_grid(65536, OUTPUT_ADDR)];
+    let graph = Graph::uniform(96, 256, 7);
+    let (bc, _) = bc_trace(&graph, "u96", 20.0);
+    vec![("atomic_sum_64k", atomic), ("bc_uniform_96", bc)]
+}
+
+fn bench_engines(c: &mut Criterion) {
+    let mut rows = Vec::new();
+    for (name, kernels) in workloads() {
+        let mut g = c.benchmark_group(name);
+        let mut measured = Vec::new();
+        for (label, engine) in [("dense", EngineKind::Dense), ("event", EngineKind::Event)] {
+            let mut last: Option<Measurement> = None;
+            g.bench_function(label, |b| {
+                b.iter(|| {
+                    let started = Instant::now();
+                    let report = run(engine, &kernels);
+                    let secs = started.elapsed().as_secs_f64();
+                    let best = last.as_ref().map_or(secs, |m| m.best_secs.min(secs));
+                    last = Some(Measurement {
+                        report,
+                        best_secs: best,
+                    });
+                });
+            });
+            measured.push(last.expect("bencher ran at least once"));
+        }
+        let [dense, event] = <[Measurement; 2]>::try_from(measured)
+            .ok()
+            .expect("two engines measured");
+        assert_eq!(
+            (dense.report.cycles(), dense.report.digest()),
+            (event.report.cycles(), event.report.digest()),
+            "dense and event engines diverged on {name}"
+        );
+        rows.push((name, dense, event));
+    }
+    write_json(&rows);
+}
+
+fn write_json(rows: &[(&str, Measurement, Measurement)]) {
+    let speedups: Vec<f64> = rows
+        .iter()
+        .map(|(_, dense, event)| dense.best_secs / event.best_secs.max(1e-12))
+        .collect();
+    let mut out = String::from("{\n  \"target\": \"engine_hot_loop\",\n  \"workloads\": [");
+    for (i, ((name, dense, event), speedup)) in rows.iter().zip(&speedups).enumerate() {
+        let stats = &event.report.stats;
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        let _ = write!(
+            out,
+            "\n    {{ \"name\": \"{name}\", \"cycles\": {}, \"digest\": \"0x{:016x}\",\n      \
+             \"dense_secs\": {:.6}, \"event_secs\": {:.6}, \"speedup\": {:.4},\n      \
+             \"cycles_skipped\": {}, \"wakeup_events\": {}, \"sms_ticked\": {}, \
+             \"scheduler_scans\": {} }}{comma}",
+            event.report.cycles(),
+            event.report.digest(),
+            dense.best_secs,
+            event.best_secs,
+            speedup,
+            stats.counter("engine.cycles_skipped"),
+            stats.counter("engine.wakeup_events"),
+            stats.counter("engine.sms_ticked"),
+            stats.counter("engine.scheduler_scans"),
+        );
+    }
+    let _ = write!(
+        out,
+        "\n  ],\n  \"geomean_speedup\": {:.4}\n}}\n",
+        geomean(&speedups)
+    );
+    let path = json_path();
+    match std::fs::write(&path, &out) {
+        Ok(()) => println!("results: {}", path.display()),
+        Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+    }
+    println!(
+        "engine hot loop: geomean event-engine speedup {:.2}x over dense",
+        geomean(&speedups)
+    );
+}
+
+/// `BENCH_engine.json` in `DAB_RESULTS_DIR` if set, else the repo root.
+fn json_path() -> PathBuf {
+    let dir = match std::env::var("DAB_RESULTS_DIR") {
+        Ok(dir) => PathBuf::from(dir),
+        Err(_) => PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../.."),
+    };
+    dir.join("BENCH_engine.json")
+}
+
+fn set_default_iters() {
+    if std::env::var("CRITERION_ITERS").is_err() {
+        std::env::set_var("CRITERION_ITERS", "3");
+    }
+}
+
+fn benches_entry(c: &mut Criterion) {
+    set_default_iters();
+    bench_engines(c);
+}
+
+criterion_group!(benches, benches_entry);
+criterion_main!(benches);

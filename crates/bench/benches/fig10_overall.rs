@@ -83,12 +83,43 @@ fn main() {
     println!("static determinism analysis (dab-analyze):");
     hazards.print();
 
+    // Engine-activity counters for the DAB runs: how much work the cycle
+    // loop actually did. Dense and event engines report different values by
+    // design (the event engine skips provably idle cycles), so the
+    // engine-equivalence CI diff strips this table along with wall-clock.
+    let mut activity = Table::new(&[
+        "benchmark",
+        "cycles",
+        "skipped",
+        "wakeups",
+        "sms_ticked",
+        "sched_scans",
+    ]);
+    for (b, &(_, dab_id, _)) in suite.iter().zip(&ids) {
+        let s = &results[dab_id].stats;
+        activity.row(vec![
+            b.name.clone(),
+            s.cycles.to_string(),
+            s.counter("engine.cycles_skipped").to_string(),
+            s.counter("engine.wakeup_events").to_string(),
+            s.counter("engine.sms_ticked").to_string(),
+            s.counter("engine.scheduler_scans").to_string(),
+        ]);
+    }
+    println!();
+    println!(
+        "engine activity (DAB runs, {} engine):",
+        format!("{:?}", runner.gpu.engine).to_lowercase()
+    );
+    activity.print();
+
     let mut sink = ResultsSink::new("fig10_overall", &runner);
     sink.sweep(&results)
         .metric("geomean_dab_vs_baseline", geomean(&dab_ratios))
         .metric("geomean_gpudet_vs_baseline", geomean(&det_ratios))
         .metric("hazard_sites", hazard_sites as f64)
         .table("main", &t)
-        .table("hazard_classes", &hazards);
+        .table("hazard_classes", &hazards)
+        .table("engine_activity", &activity);
     sink.write();
 }

@@ -12,7 +12,10 @@
 //! simulation can additionally shard its clusters across worker threads
 //! (`DAB_SIM_THREADS`, default 1 — see [`gpu_sim::par`]), and every target
 //! also writes machine-readable `results/<target>.json` through
-//! [`ResultsSink`]. Neither parallelism knob changes any result bit.
+//! [`ResultsSink`]. Neither parallelism knob changes any result bit, and
+//! neither does the engine-core selection (`DAB_ENGINE=dense|event`,
+//! default `event`) — the dense sweep is kept as the equivalence oracle
+//! for the activity-driven engine.
 
 use std::time::Instant;
 
@@ -45,16 +48,18 @@ pub struct Runner {
 
 impl Runner {
     /// Builds a runner from the environment (`DAB_SCALE`,
-    /// `DAB_SIM_THREADS`).
+    /// `DAB_SIM_THREADS`, `DAB_ENGINE`).
     ///
     /// # Panics
     ///
     /// Panics when `DAB_SIM_THREADS` is set to an invalid value (anything
-    /// but a positive integer).
+    /// but a positive integer) or `DAB_ENGINE` to anything but
+    /// `dense`/`event`.
     pub fn from_env() -> Self {
         let scale = Scale::from_env();
         let mut gpu = scale.gpu();
         gpu.sim_threads = gpu_sim::par::sim_threads_from_env();
+        gpu.engine = gpu_sim::par::engine_from_env();
         Self {
             gpu,
             scale,

@@ -14,9 +14,11 @@
 //!   "seed": 1,
 //!   "workers": 8,
 //!   "wall_secs": 1.234,
+//!   "speedup": 3.21,
 //!   "runs": [
 //!     { "label": "BC_1k/baseline", "model": "baseline", "seed": 1,
-//!       "cycles": 12345, "digest": "0x0123456789abcdef", "wall_secs": 0.01 }
+//!       "cycles": 12345, "digest": "0x0123456789abcdef", "wall_secs": 0.01,
+//!       "cycles_per_sec": 1234500.0 }
 //!   ],
 //!   "metrics": { "geomean_dab": 1.23 },
 //!   "tables": [
@@ -28,8 +30,10 @@
 //!
 //! `digest` is the run's [`gpu_sim::mem::value::ValueMem`] digest — the
 //! determinism criterion — rendered as a hex string so 64-bit values
-//! survive JSON readers that parse numbers as doubles. `wall_secs` fields
-//! are host measurements and are **not** deterministic; everything else is
+//! survive JSON readers that parse numbers as doubles. `wall_secs`,
+//! `speedup` (summed per-run wall over sweep wall: the parallel-sweep win)
+//! and `cycles_per_sec` (per-run simulator throughput) are host
+//! measurements and are **not** deterministic; everything else is
 //! bit-stable for a given scale/seed regardless of `DAB_JOBS`.
 
 use std::fmt::Write as _;
@@ -48,6 +52,8 @@ pub struct ResultsSink {
     seed: u64,
     workers: Option<usize>,
     wall_secs: Option<f64>,
+    /// Summed per-run wall-clock, for the sweep-level `speedup` field.
+    run_secs: f64,
     runs: Vec<RunRecord>,
     metrics: Vec<(String, f64)>,
     tables: Vec<(String, Vec<String>, Vec<Vec<String>>)>,
@@ -61,6 +67,7 @@ struct RunRecord {
     cycles: u64,
     digest: u64,
     wall_secs: f64,
+    cycles_per_sec: f64,
 }
 
 impl ResultsSink {
@@ -75,6 +82,7 @@ impl ResultsSink {
             seed: runner.seed,
             workers: None,
             wall_secs: None,
+            run_secs: 0.0,
             runs: Vec::new(),
             metrics: Vec::new(),
             tables: Vec::new(),
@@ -87,6 +95,7 @@ impl ResultsSink {
         self.workers = Some(results.workers);
         self.wall_secs = Some(self.wall_secs.unwrap_or(0.0) + results.wall.as_secs_f64());
         for run in results.runs() {
+            self.run_secs += run.report.wall_secs();
             self.runs.push(RunRecord {
                 label: run.label.clone(),
                 model: run.report.model.clone(),
@@ -94,6 +103,7 @@ impl ResultsSink {
                 cycles: run.report.cycles(),
                 digest: run.report.digest(),
                 wall_secs: run.report.wall_secs(),
+                cycles_per_sec: run.report.cycles_per_sec(),
             });
         }
         self
@@ -128,6 +138,13 @@ impl ResultsSink {
         }
         if let Some(wall) = self.wall_secs {
             let _ = writeln!(out, "  \"wall_secs\": {},", json_f64(wall));
+            // Parallel-sweep win: how much wall-clock the `DAB_JOBS`
+            // workers saved over running every job back to back.
+            let _ = writeln!(
+                out,
+                "  \"speedup\": {},",
+                json_f64(self.run_secs / wall.max(1e-9))
+            );
         }
         out.push_str("  \"runs\": [");
         for (i, r) in self.runs.iter().enumerate() {
@@ -135,13 +152,14 @@ impl ResultsSink {
             let _ = write!(
                 out,
                 "\n    {{ \"label\": {}, \"model\": {}, \"seed\": {}, \"cycles\": {}, \
-                 \"digest\": \"0x{:016x}\", \"wall_secs\": {} }}{comma}",
+                 \"digest\": \"0x{:016x}\", \"wall_secs\": {}, \"cycles_per_sec\": {} }}{comma}",
                 json_str(&r.label),
                 json_str(&r.model),
                 r.seed,
                 r.cycles,
                 r.digest,
                 json_f64(r.wall_secs),
+                json_f64(r.cycles_per_sec),
             );
         }
         out.push_str(if self.runs.is_empty() {

@@ -621,6 +621,17 @@ impl ExecutionModel for DabModel {
             && self.preflush_delivered == self.preflush_sent
             && self.total_entries == 0
     }
+
+    fn needs_tick(&self) -> bool {
+        // While idle with no cluster flushing, `tick` only probes the
+        // flush-start conditions, and every input to those (flush requests,
+        // census seals, dispatch status, buffered-entry counts) changes only
+        // through engine actions on cycles the engine visits anyway — so
+        // skipping the probe on idle cycles cannot change when a flush
+        // starts. Buffered entries or in-flight acks alone keep the model
+        // non-quiescent but do not require ticking.
+        self.phase != Phase::Idle || self.cluster_active.iter().any(|&a| a)
+    }
 }
 
 #[cfg(test)]

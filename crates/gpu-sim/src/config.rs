@@ -106,6 +106,29 @@ pub struct GpuConfig {
     /// bit-identical at any value. `1` (the default) is the serial engine;
     /// values above the cluster count are clamped to it.
     pub sim_threads: usize,
+
+    /// Cycle-loop implementation (not a Table I row: a simulator-host knob,
+    /// set from `DAB_ENGINE`). [`EngineKind::Dense`] sweeps every cluster,
+    /// SM, and scheduler every cycle; [`EngineKind::Event`] (the default)
+    /// skips provably idle components and fast-forwards through provably
+    /// empty cycle ranges via a deterministic event wheel. Both produce
+    /// bit-identical digests, cycle counts, and architectural statistics.
+    pub engine: EngineKind,
+}
+
+/// Which cycle-loop implementation drives the simulation.
+///
+/// The dense engine is the reference oracle; the event engine is the
+/// activity-driven optimization pinned equivalent to it by
+/// `crates/gpu-sim/tests/engine_equivalence.rs` and the CI byte-diff job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EngineKind {
+    /// Visit every cluster/SM/scheduler every cycle (reference oracle).
+    Dense,
+    /// Activity-driven: hierarchical active sets plus a cycle-skipping
+    /// event wheel. Bit-identical to [`EngineKind::Dense`], faster.
+    #[default]
+    Event,
 }
 
 impl GpuConfig {
@@ -146,6 +169,7 @@ impl GpuConfig {
             rop_throughput: 4,
             rop_latency: 8,
             sim_threads: 1,
+            engine: EngineKind::Event,
         }
     }
 

@@ -27,7 +27,7 @@
 use std::collections::VecDeque;
 use std::sync::Arc;
 
-use crate::config::GpuConfig;
+use crate::config::{EngineKind, GpuConfig};
 use crate::exec::{
     AtomicIssue, AtomicRoute, BarrierRelease, ExecutionModel, FenceAction, ModelCtx, SchedCensus,
     SchedId, StoreRoute, WakeCmd, WarpId,
@@ -141,6 +141,27 @@ impl Dispatcher {
     }
 }
 
+/// Engine-activity accounting: how much work the cycle loop actually did.
+///
+/// Maintained on the coordinating thread only (never on pool workers), so
+/// every value is identical at any `DAB_SIM_THREADS`. The dense and event
+/// engines report different values *by design* — the event engine exists to
+/// visit less — so determinism comparisons between the two engines must
+/// ignore the `engine.*` stat keys these fold into.
+#[derive(Debug, Default)]
+struct ActivityCounters {
+    /// Cycles the engine never visited (event-wheel jumps plus the dense
+    /// engine's quiet fast-forward).
+    cycles_skipped: u64,
+    /// Warp sleep→ready transitions (memory responses, lock grants,
+    /// barrier releases, flush wakes) that re-armed a scheduler.
+    wakeup_events: u64,
+    /// SMs entered by an issue phase (not skipped by the active-set walk).
+    sms_ticked: u64,
+    /// Schedulers scanned by an issue phase (views built or consumed).
+    scheduler_scans: u64,
+}
+
 /// The simulator: one GPU, one execution model, one run.
 ///
 /// Construct with [`GpuSim::new`] and consume with [`GpuSim::run`]; build a
@@ -176,6 +197,7 @@ pub struct GpuSim {
     census: Vec<SchedCensus>,
     sched_kind: SchedKind,
     last_progress_cycle: u64,
+    activity: ActivityCounters,
 }
 
 /// Cycles of engine inactivity after which the engine declares deadlock.
@@ -233,6 +255,7 @@ impl GpuSim {
             icnt_cl_ndet,
             cfg,
             last_progress_cycle: 0,
+            activity: ActivityCounters::default(),
         }
     }
 
@@ -312,6 +335,16 @@ impl GpuSim {
                 .bump("rop.fill_stall_cycles", ps.rop_fill_stall_cycles);
             self.stats.bump("dram.accesses", ps.dram_accesses);
         }
+        // Always fold all four activity keys (zeroes included) so the stat
+        // key set — and hence serialized output — is engine-independent.
+        self.stats
+            .bump("engine.cycles_skipped", self.activity.cycles_skipped);
+        self.stats
+            .bump("engine.wakeup_events", self.activity.wakeup_events);
+        self.stats
+            .bump("engine.sms_ticked", self.activity.sms_ticked);
+        self.stats
+            .bump("engine.scheduler_scans", self.activity.scheduler_scans);
         RunReport {
             model: self.model.name(),
             stats: self.stats,
@@ -334,6 +367,7 @@ impl GpuSim {
         self.locks.finish_prescan();
         self.model.on_kernel_start(&grid.name, grid.ctas.len());
         self.last_progress_cycle = self.cycle;
+        let event = self.cfg.engine == EngineKind::Event;
 
         loop {
             self.tick_partitions();
@@ -341,7 +375,7 @@ impl GpuSim {
                 .tick(self.cycle, &mut self.icnt_mem_ndet, &mut self.icnt_cl_ndet);
             self.deliver_responses();
             self.tick_locks();
-            self.issue_all(pool);
+            self.issue_all(pool, event);
             // Deterministic merge point: packets the issue phase staged in
             // per-cluster outboxes enter the interconnect in cluster-index
             // order, regardless of which worker produced them.
@@ -353,7 +387,11 @@ impl GpuSim {
             if self.kernel_done(&dispatcher) {
                 break;
             }
-            self.advance_cycle();
+            if event {
+                self.advance_cycle_event();
+            } else {
+                self.advance_cycle();
+            }
             if self.cycle - self.last_progress_cycle >= DEADLOCK_HORIZON {
                 let mut dump = String::new();
                 for (sm_idx, sm) in self.sms().enumerate() {
@@ -404,11 +442,13 @@ impl GpuSim {
 
     fn advance_cycle(&mut self) {
         // Conservative fast-forward: only when the memory system is quiet
-        // (including packets still staged in cluster outboxes) may we jump
-        // to the next warp-ready or lock-service event.
+        // (including packets still staged in cluster outboxes) and the
+        // model needs no per-cycle tick may we jump to the next warp-ready
+        // or lock-service event.
         let quiet = !self.icnt.is_busy()
             && self.clusters.iter().all(|c| c.outbox.is_empty())
-            && self.partitions.iter().all(|p| !p.is_busy());
+            && self.partitions.iter().all(|p| !p.is_busy())
+            && !self.model.needs_tick();
         if quiet {
             let mut target = self.sms().filter_map(Sm::earliest_ready).min();
             let mut fold = |ev: Option<u64>| {
@@ -426,10 +466,70 @@ impl GpuSim {
             }
             if let Some(t) = target {
                 if t > self.cycle + 1 {
+                    self.activity.cycles_skipped += t - self.cycle - 1;
                     self.cycle = t;
                     return;
                 }
             }
+        }
+        self.cycle += 1;
+    }
+
+    /// Event-wheel cycle advance (`DAB_ENGINE=event`): jump straight to
+    /// the earliest cycle at which any component can act.
+    ///
+    /// Correctness rests on every elided cycle being a provable no-op of
+    /// the dense loop: no queued interconnect work (so arbitration points
+    /// draw no perturbations), no partition or lock with an immediate
+    /// event, no model tick needed, and no scheduler whose
+    /// [`ready_bound`](crate::sm::SchedulerCtx) admits a pick. Components
+    /// with a known future event fold their absolute event cycle into the
+    /// jump target, clamped to `cycle + 1` so the wheel never stalls or
+    /// re-visits the present.
+    fn advance_cycle_event(&mut self) {
+        // Work that must be processed next cycle forces a dense step.
+        let busy_now = self.icnt.has_queued_work()
+            || self.clusters.iter().any(|c| !c.outbox.is_empty())
+            || self.model.needs_tick()
+            || self
+                .partitions
+                .iter()
+                .any(|p| p.next_event_cycle() == Some(0))
+            || (self.locks.is_busy() && self.locks.next_event_cycle() == Some(0));
+        if !busy_now {
+            let next = self.cycle + 1;
+            let mut target = u64::MAX;
+            let mut fold = |ev: u64| target = target.min(ev.max(next));
+            for sm in self.sms() {
+                let b = sm.ready_bound();
+                if b < u64::MAX {
+                    fold(b);
+                }
+            }
+            for p in &self.partitions {
+                if let Some(t) = p.next_event_cycle() {
+                    fold(t);
+                }
+            }
+            if let Some(t) = self.icnt.next_event_cycle() {
+                fold(t);
+            }
+            if self.locks.is_busy() {
+                if let Some(t) = self.locks.next_event_cycle() {
+                    fold(t);
+                }
+            }
+            if let Some(t) = self.model.next_event_hint() {
+                fold(t);
+            }
+            if target > next && target < u64::MAX {
+                self.activity.cycles_skipped += target - next;
+                self.cycle = target;
+                return;
+            }
+            // `target == u64::MAX` (machine fully idle) means the
+            // kernel-done check declined to finish; step densely and let
+            // the deadlock horizon surface the bug.
         }
         self.cycle += 1;
     }
@@ -508,11 +608,17 @@ impl GpuSim {
                         if kind == AtomKind::Atom {
                             let cycle = self.cycle;
                             let sm = self.sm_mut(warp.sm);
+                            let mut woke = None;
                             if let Some(w) = sm.warps[warp.slot].as_mut() {
                                 if w.state == WarpState::WaitAtom {
                                     w.state = WarpState::Ready;
                                     w.next_ready = cycle + 1;
+                                    woke = Some(w.sched);
                                 }
+                            }
+                            if let Some(sched) = woke {
+                                sm.schedulers[sched].note_ready(cycle + 1);
+                                self.activity.wakeup_events += 1;
                             }
                         }
                         self.try_retire(warp.sm, warp.slot);
@@ -540,15 +646,23 @@ impl GpuSim {
         let Some(waiters) = sm.l1_mshrs.remove(&sector_addr) else {
             return;
         };
+        let mut woke = 0;
         for &slot in &waiters {
+            let mut woke_sched = None;
             if let Some(w) = sm.warps[slot].as_mut() {
                 w.outstanding_loads = w.outstanding_loads.saturating_sub(1);
                 if w.outstanding_loads == 0 && w.state == WarpState::WaitMem {
                     w.state = WarpState::Ready;
                     w.next_ready = cycle + 1;
+                    woke_sched = Some(w.sched);
                 }
             }
+            if let Some(sched) = woke_sched {
+                sm.schedulers[sched].note_ready(cycle + 1);
+                woke += 1;
+            }
         }
+        self.activity.wakeup_events += woke;
         // A woken warp may have nothing left to execute.
         for slot in waiters {
             self.try_retire(warp.sm, slot);
@@ -559,13 +673,19 @@ impl GpuSim {
         let cycle = self.cycle;
         let sm = self.sm_mut(warp.sm);
         let mut remaining = 0;
+        let mut woke = None;
         if let Some(w) = sm.warps[warp.slot].as_mut() {
             w.outstanding_writes = w.outstanding_writes.saturating_sub(1);
             remaining = w.outstanding_writes;
             if w.outstanding_writes == 0 && w.state == WarpState::WaitDrain {
                 w.state = WarpState::Ready;
                 w.next_ready = cycle + 1;
+                woke = Some(w.sched);
             }
+        }
+        if let Some(sched) = woke {
+            sm.schedulers[sched].note_ready(cycle + 1);
+            self.activity.wakeup_events += 1;
         }
         self.try_retire(warp.sm, warp.slot);
         remaining
@@ -576,11 +696,18 @@ impl GpuSim {
         for warp in released {
             self.progress();
             let cycle = self.cycle;
-            if let Some(w) = self.sm_mut(warp.sm).warps[warp.slot].as_mut() {
+            let sm = self.sm_mut(warp.sm);
+            let mut woke = None;
+            if let Some(w) = sm.warps[warp.slot].as_mut() {
                 if w.state == WarpState::WaitLock {
                     w.state = WarpState::Ready;
                     w.next_ready = cycle + 1;
+                    woke = Some(w.sched);
                 }
+            }
+            if let Some(sched) = woke {
+                sm.schedulers[sched].note_ready(cycle + 1);
+                self.activity.wakeup_events += 1;
             }
             self.try_retire(warp.sm, warp.slot);
         }
@@ -599,11 +726,11 @@ impl GpuSim {
     /// loop runs interleaved exactly as the serial engine always has. Both
     /// paths perform the identical computation in the identical order, so
     /// results are bit-equal at any `DAB_SIM_THREADS`.
-    fn issue_all(&mut self, pool: Option<&WorkerPool>) {
+    fn issue_all(&mut self, pool: Option<&WorkerPool>, event: bool) {
         let det_aware = self.sched_kind.is_determinism_aware();
         let srr_like = self.sched_kind == SchedKind::Srr;
         match pool {
-            None => self.issue_all_serial(det_aware, srr_like),
+            None => self.issue_all_serial(det_aware, srr_like, event),
             Some(pool) => {
                 pool.run_phase(
                     &mut self.clusters,
@@ -611,32 +738,63 @@ impl GpuSim {
                         cycle: self.cycle,
                         det_aware,
                         srr_like,
+                        use_ready_bound: event,
                     },
                 );
-                self.issue_commit(det_aware, srr_like);
+                self.issue_commit(det_aware, srr_like, event);
             }
         }
     }
 
     /// The serial issue loop: build views, gate, pick, issue — one scheduler
     /// at a time in global order (the pre-parallelism algorithm, verbatim).
-    fn issue_all_serial(&mut self, det_aware: bool, srr_like: bool) {
+    ///
+    /// With `event` set, the walk is an active-set traversal: clusters, SMs
+    /// and schedulers whose cached [`ready_bound`](Sm::ready_bound) lies in
+    /// the future are skipped in place. Skipping is equivalent to the dense
+    /// visit because `ready_bound > cycle` guarantees `build_views` would
+    /// return empty (the bound is never stale-high), and an empty view set
+    /// is exactly the dense `continue`: no gating, no pick, no issue.
+    /// Bounds are re-derived after every *visited* scheduler, so a stale-low
+    /// bound costs one empty visit and then tightens.
+    fn issue_all_serial(&mut self, det_aware: bool, srr_like: bool, event: bool) {
         let num_sched = self.cfg.num_schedulers_per_sm;
-        let num_sms = self.cfg.num_sms();
-        for sm_idx in 0..num_sms {
-            for sched in 0..num_sched {
-                if self.sm(sm_idx).schedulers[sched].live == 0 {
+        let spc = self.cfg.sms_per_cluster;
+        let cycle = self.cycle;
+        for cl in 0..self.clusters.len() {
+            if event
+                && self.clusters[cl]
+                    .sms
+                    .iter()
+                    .all(|sm| sm.ready_bound() > cycle)
+            {
+                continue;
+            }
+            for local in 0..spc {
+                let sm_idx = cl * spc + local;
+                if event && self.sm(sm_idx).ready_bound() > cycle {
                     continue;
                 }
-                let cycle = self.cycle;
-                let mut views = self
-                    .sm(sm_idx)
-                    .build_views(sched, cycle, det_aware, srr_like);
-                if views.is_empty() {
-                    continue;
+                self.activity.sms_ticked += 1;
+                for sched in 0..num_sched {
+                    if self.sm(sm_idx).schedulers[sched].live == 0 {
+                        continue;
+                    }
+                    if event && self.sm(sm_idx).schedulers[sched].ready_bound > cycle {
+                        continue;
+                    }
+                    self.activity.scheduler_scans += 1;
+                    let mut views = self
+                        .sm(sm_idx)
+                        .build_views(sched, cycle, det_aware, srr_like);
+                    if !views.is_empty() {
+                        self.apply_model_gating(sm_idx, sched, &mut views);
+                        self.pick_and_issue(sm_idx, sched, &views);
+                    }
+                    if event {
+                        self.sm_mut(sm_idx).recompute_ready_bound(sched);
+                    }
                 }
-                self.apply_model_gating(sm_idx, sched, &mut views);
-                self.pick_and_issue(sm_idx, sched, &views);
             }
         }
     }
@@ -644,27 +802,52 @@ impl GpuSim {
     /// The commit half of the pooled issue phase: consume the prebuilt views
     /// in global scheduler order, rebuilding any an earlier barrier release
     /// made stale this cycle.
-    fn issue_commit(&mut self, det_aware: bool, srr_like: bool) {
+    ///
+    /// The `event` skip conditions here match the parked check in
+    /// [`ClusterShard::prepare_views`](crate::par::ClusterShard): mid-commit
+    /// wakes only ever lower a bound to `cycle + 1` (still parked) and
+    /// recomputes happen only after a scheduler's own visit, so prepare and
+    /// commit always agree on which schedulers are active — the walk stays
+    /// bit-identical at any thread count.
+    fn issue_commit(&mut self, det_aware: bool, srr_like: bool, event: bool) {
         let num_sched = self.cfg.num_schedulers_per_sm;
         let spc = self.cfg.sms_per_cluster;
+        let cycle = self.cycle;
         for cl in 0..self.clusters.len() {
+            if event
+                && self.clusters[cl]
+                    .sms
+                    .iter()
+                    .all(|sm| sm.ready_bound() > cycle)
+            {
+                continue;
+            }
             for local in 0..spc {
                 let sm_idx = cl * spc + local;
+                if event && self.clusters[cl].sms[local].ready_bound() > cycle {
+                    continue;
+                }
+                self.activity.sms_ticked += 1;
                 for sched in 0..num_sched {
                     if self.clusters[cl].sms[local].schedulers[sched].live == 0 {
                         continue;
                     }
+                    if event && self.clusters[cl].sms[local].schedulers[sched].ready_bound > cycle {
+                        continue;
+                    }
+                    self.activity.scheduler_scans += 1;
                     let mut views = if self.clusters[cl].is_dirty(local) {
-                        let cycle = self.cycle;
                         self.clusters[cl].sms[local].build_views(sched, cycle, det_aware, srr_like)
                     } else {
                         std::mem::take(&mut self.clusters[cl].views[local * num_sched + sched])
                     };
-                    if views.is_empty() {
-                        continue;
+                    if !views.is_empty() {
+                        self.apply_model_gating(sm_idx, sched, &mut views);
+                        self.pick_and_issue(sm_idx, sched, &views);
                     }
-                    self.apply_model_gating(sm_idx, sched, &mut views);
-                    self.pick_and_issue(sm_idx, sched, &views);
+                    if event {
+                        self.sm_mut(sm_idx).recompute_ready_bound(sched);
+                    }
                 }
             }
         }
@@ -1150,8 +1333,10 @@ impl GpuSim {
                         w.state = WarpState::Ready;
                         w.next_ready = cycle + 1;
                         let (sched, unique) = (w.sched, w.unique);
+                        sm.schedulers[sched].note_ready(cycle + 1);
                         sm.schedulers[sched].policy.on_barrier_released(unique);
                     }
+                    self.activity.wakeup_events += 1;
                     // The barrier may have been the warp's last instruction.
                     self.try_retire(sm_idx, s);
                 }
@@ -1205,16 +1390,22 @@ impl GpuSim {
     fn wake_flush_wait(&mut self, sm_idx: usize, slot: usize) {
         let cycle = self.cycle;
         let sm = self.sm_mut(sm_idx);
+        let mut woke = false;
         if let Some(w) = sm.warps[slot].as_mut() {
             if w.state == WarpState::WaitFlush {
                 w.state = WarpState::Ready;
                 w.next_ready = cycle + 1;
                 let (sched, unique) = (w.sched, w.unique);
                 sm.schedulers[sched].flush_wait -= 1;
+                sm.schedulers[sched].note_ready(cycle + 1);
                 // Un-park barrier waiters at the epoch boundary (no-op for
                 // warps that were flush-blocked for other reasons).
                 sm.schedulers[sched].policy.on_barrier_released(unique);
+                woke = true;
             }
+        }
+        if woke {
+            self.activity.wakeup_events += 1;
         }
         self.try_retire(sm_idx, slot);
     }
@@ -1297,26 +1488,37 @@ impl GpuSim {
         } else {
             // Rotating start with non-deterministic perturbation: which SM
             // grabs the next CTA depends on timing, as on real hardware.
+            // Draw the perturbation only on cycles where the rotation start
+            // can matter — a queued CTA some SM could accept. Placement
+            // capacity changes only through engine actions on visited
+            // cycles, so the draw cursor advances identically whether or
+            // not the event engine elides the intervening idle cycles.
             let n = self.cfg.num_sms();
-            let start = (dispatcher.rr + self.ndet.arbitration_tiebreak(2)) % n;
-            let mut assigned = 0;
-            for i in 0..n {
-                let sm_idx = (start + i) % n;
-                let Some(&cta_idx) = dispatcher.dynamic_queue.front() else {
-                    break;
-                };
+            let placeable = dispatcher.dynamic_queue.front().is_some_and(|&cta_idx| {
                 let cta = &grid.ctas[cta_idx];
-                if self.sm(sm_idx).can_accept(cta) {
-                    dispatcher.dynamic_queue.pop_front();
-                    let base = dispatcher.unique_bases[cta_idx];
-                    let slots = self.sm_mut(sm_idx).add_cta(cta, base, cycle);
-                    self.notify_spawns(sm_idx, &slots);
-                    assigned += 1;
-                    self.progress();
+                (0..n).any(|sm_idx| self.sm(sm_idx).can_accept(cta))
+            });
+            if placeable {
+                let start = (dispatcher.rr + self.ndet.arbitration_tiebreak(2)) % n;
+                let mut assigned = 0;
+                for i in 0..n {
+                    let sm_idx = (start + i) % n;
+                    let Some(&cta_idx) = dispatcher.dynamic_queue.front() else {
+                        break;
+                    };
+                    let cta = &grid.ctas[cta_idx];
+                    if self.sm(sm_idx).can_accept(cta) {
+                        dispatcher.dynamic_queue.pop_front();
+                        let base = dispatcher.unique_bases[cta_idx];
+                        let slots = self.sm_mut(sm_idx).add_cta(cta, base, cycle);
+                        self.notify_spawns(sm_idx, &slots);
+                        assigned += 1;
+                        self.progress();
+                    }
                 }
-            }
-            if assigned > 0 {
-                dispatcher.rr = (dispatcher.rr + 1) % n;
+                if assigned > 0 {
+                    dispatcher.rr = (dispatcher.rr + 1) % n;
+                }
             }
         }
         if dispatcher.all_dispatched() {

@@ -342,6 +342,17 @@ pub trait ExecutionModel: std::fmt::Debug + Send {
         true
     }
 
+    /// `true` while skipping a [`tick`](Self::tick) could change behavior.
+    ///
+    /// The event engine (and the dense engine's fast-forward) only elides
+    /// cycles on which `needs_tick` is `false`; models whose `tick` is a
+    /// provable no-op whenever their externally-driven inputs are unchanged
+    /// may override this to admit cycle-skipping. The default is maximally
+    /// conservative: tick whenever the model is not quiescent.
+    fn needs_tick(&self) -> bool {
+        !self.quiescent()
+    }
+
     /// Earliest future cycle at which the model needs to run even if the
     /// rest of the machine is idle, for engine fast-forwarding.
     fn next_event_hint(&self) -> Option<u64> {

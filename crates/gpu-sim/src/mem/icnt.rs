@@ -196,8 +196,14 @@ impl Interconnect {
             }
             // Start new pulls while the channel has serialization capacity
             // this cycle: occupancy is `flits / flits_per_cycle`, latency is
-            // pipelined on top.
+            // pipelined on top. The arbitration draw happens only when some
+            // source queue could actually be served: the perturbation-stream
+            // cursor must advance identically whether or not the engine
+            // visits the (provably idle) cycles in between.
             while self.mem_free_at[p] <= cycle {
+                if self.cluster_out.iter().all(|q| q.is_empty()) {
+                    break;
+                }
                 let start = (self.mem_rr[p] + nd.arbitration_tiebreak(2)) % self.num_clusters;
                 let mut started = false;
                 for i in 0..self.num_clusters {
@@ -246,6 +252,11 @@ impl Interconnect {
                 }
             }
             while self.cl_free_at[c] <= cycle {
+                // Same draw discipline as the memory direction: no source
+                // traffic, no arbitration draw.
+                if self.part_out.iter().all(|q| q.is_empty()) {
+                    break;
+                }
                 let start = (self.cl_rr[c] + nd.arbitration_tiebreak(2)) % self.num_partitions;
                 let mut started = false;
                 for i in 0..self.num_partitions {
@@ -307,6 +318,19 @@ impl Interconnect {
             occupied(&self.cl_in),
             self.packets_moved,
         )
+    }
+
+    /// Whether any *queued* (not merely in-flight) packet needs per-cycle
+    /// service: injection FIFOs waiting for arbitration, or arrived packets
+    /// waiting for their consumer. The event engine must visit the very next
+    /// cycle while any of these is non-empty; in-flight transfers are
+    /// excluded — their completions are folded through
+    /// [`next_event_cycle`](Self::next_event_cycle) instead.
+    pub fn has_queued_work(&self) -> bool {
+        self.cluster_out.iter().any(|q| !q.is_empty())
+            || self.part_out.iter().any(|q| !q.is_empty())
+            || self.mem_in.iter().any(|q| !q.is_empty())
+            || self.cl_in.iter().any(|q| !q.is_empty())
     }
 
     /// Earliest cycle at which an in-flight transfer completes, if any.

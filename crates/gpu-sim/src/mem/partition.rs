@@ -58,6 +58,12 @@ struct RopState {
     op_index: usize,
     /// Sector the head op is waiting on from DRAM, if any.
     wait_fill: Option<u64>,
+    /// Cycle `wait_fill` was set. Fill-stall cycles are computed
+    /// arithmetically when the fill returns (`arrival - set - 1`, the
+    /// cycles a per-tick counter would have seen) rather than counted per
+    /// tick, so the statistic does not depend on how many idle cycles the
+    /// engine actually visits.
+    wait_fill_since: u64,
 }
 
 /// Counters exported by a partition for whole-run statistics.
@@ -120,6 +126,7 @@ impl MemPartition {
                 queue: VecDeque::new(),
                 op_index: 0,
                 wait_fill: None,
+                wait_fill_since: 0,
             },
             mshrs: BTreeMap::new(),
             mshr_capacity: cfg.l2_mshrs,
@@ -287,6 +294,10 @@ impl MemPartition {
                     self.l2.fill(sector_addr);
                     if self.rop.wait_fill == Some(sector_addr) {
                         self.rop.wait_fill = None;
+                        // The stall spanned the cycles strictly between the
+                        // miss and this fill (the fill cycle itself retires
+                        // ops again; the miss cycle did the probe).
+                        self.stats.rop_fill_stall_cycles += cycle - self.rop.wait_fill_since - 1;
                     }
                 }
                 DramUse::Write => {}
@@ -319,7 +330,8 @@ impl MemPartition {
 
     fn tick_rop(&mut self, cycle: u64, values: &mut ValueMem) {
         if self.rop.wait_fill.is_some() {
-            self.stats.rop_fill_stall_cycles += 1;
+            // Stall cycles are accounted arithmetically when the fill
+            // returns; see `RopState::wait_fill_since`.
             return;
         }
         for _ in 0..self.rop_throughput {
@@ -344,6 +356,7 @@ impl MemPartition {
                     }) {
                         self.stats.dram_accesses += 1;
                         self.rop.wait_fill = Some(sector);
+                        self.rop.wait_fill_since = cycle;
                     }
                     // If DRAM is full we simply retry next cycle.
                     return;

@@ -14,14 +14,15 @@
 //! merge protocol").
 //!
 //! The module also owns the strict parsing of the `DAB_SIM_THREADS` /
-//! `DAB_JOBS` worker-count environment variables: an unparseable or zero
-//! value is an operator error and is rejected loudly instead of silently
-//! falling back to a default.
+//! `DAB_JOBS` worker-count environment variables and of the `DAB_ENGINE`
+//! cycle-loop selector: an unparseable value is an operator error and is
+//! rejected loudly instead of silently falling back to a default.
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::mpsc;
 
+use crate::config::EngineKind;
 use crate::exec::SchedCensus;
 use crate::mem::packet::Packet;
 use crate::sched::WarpView;
@@ -30,6 +31,10 @@ use crate::stats::SimStats;
 
 /// Environment variable selecting worker threads *inside* one simulation.
 pub const SIM_THREADS_VAR: &str = "DAB_SIM_THREADS";
+
+/// Environment variable selecting the cycle-loop implementation
+/// (`dense` or `event`; see [`EngineKind`]).
+pub const ENGINE_VAR: &str = "DAB_ENGINE";
 
 /// Error from [`parse_count`]: a worker-count environment variable held
 /// something other than a positive integer.
@@ -100,6 +105,71 @@ pub fn sim_threads_from_env() -> usize {
         },
         Err(std::env::VarError::NotPresent) => 1,
         Err(e) => panic!("{SIM_THREADS_VAR} is not valid unicode: {e}"),
+    }
+}
+
+/// Error from [`parse_engine`]: `DAB_ENGINE` held something other than
+/// `dense` or `event`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EngineError {
+    raw: String,
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{ENGINE_VAR} must be \"dense\" or \"event\", got {:?}; unset it to use the default",
+            self.raw
+        )
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// Strictly parses a `DAB_ENGINE` value: `dense` or `event`, surrounding
+/// whitespace allowed. Anything else is rejected — same policy as
+/// [`parse_count`].
+///
+/// # Errors
+///
+/// Returns an [`EngineError`] when `raw` names no engine.
+///
+/// # Examples
+///
+/// ```
+/// use gpu_sim::config::EngineKind;
+/// use gpu_sim::par::parse_engine;
+///
+/// assert_eq!(parse_engine(" dense "), Ok(EngineKind::Dense));
+/// assert_eq!(parse_engine("event"), Ok(EngineKind::Event));
+/// assert!(parse_engine("fast").is_err());
+/// ```
+pub fn parse_engine(raw: &str) -> Result<EngineKind, EngineError> {
+    match raw.trim() {
+        "dense" => Ok(EngineKind::Dense),
+        "event" => Ok(EngineKind::Event),
+        _ => Err(EngineError {
+            raw: raw.to_string(),
+        }),
+    }
+}
+
+/// Reads `DAB_ENGINE`; absent means [`EngineKind::default`] (the event
+/// engine).
+///
+/// # Panics
+///
+/// Panics with the [`EngineError`] message on an invalid value — a typo
+/// must stop the run, not silently pick an engine.
+pub fn engine_from_env() -> EngineKind {
+    match std::env::var(ENGINE_VAR) {
+        Ok(raw) => match parse_engine(&raw) {
+            Ok(kind) => kind,
+            Err(e) => panic!("{e}"),
+        },
+        Err(std::env::VarError::NotPresent) => EngineKind::default(),
+        Err(e) => panic!("{ENGINE_VAR} is not valid unicode: {e}"),
     }
 }
 
@@ -191,7 +261,19 @@ impl ClusterShard {
 
     /// Rebuilds every scheduler's warp views for `cycle` and clears the
     /// dirty flags. Pure cluster-local work, safe on any worker thread.
-    pub fn prepare_views(&mut self, cycle: u64, det_aware: bool, srr_like: bool) {
+    ///
+    /// With `use_ready_bound` (the event engine), schedulers whose cached
+    /// [`ready_bound`](crate::sm::SchedulerCtx::ready_bound) lies past
+    /// `cycle` are skipped: the bound invariant guarantees their
+    /// `build_views` would return empty, which is exactly what the commit
+    /// loop treats a skipped entry as.
+    pub fn prepare_views(
+        &mut self,
+        cycle: u64,
+        det_aware: bool,
+        srr_like: bool,
+        use_ready_bound: bool,
+    ) {
         let Self {
             sms,
             views,
@@ -202,7 +284,9 @@ impl ClusterShard {
         dirty.fill(false);
         for (local, sm) in sms.iter().enumerate() {
             for sched in 0..*num_schedulers {
-                views[local * *num_schedulers + sched] = if sm.schedulers[sched].live == 0 {
+                let parked = sm.schedulers[sched].live == 0
+                    || (use_ready_bound && sm.schedulers[sched].ready_bound > cycle);
+                views[local * *num_schedulers + sched] = if parked {
                     Vec::new()
                 } else {
                     sm.build_views(sched, cycle, det_aware, srr_like)
@@ -249,6 +333,9 @@ pub enum Phase {
         det_aware: bool,
         /// Scheduler kind is SRR (gated batches may not issue at all).
         srr_like: bool,
+        /// Event engine: skip schedulers whose ready bound lies past
+        /// `cycle` instead of building (provably empty) views for them.
+        use_ready_bound: bool,
     },
     /// Rebuild census rows ([`ClusterShard::prepare_census`]).
     Census {
@@ -269,7 +356,10 @@ impl PhaseJob {
                 cycle,
                 det_aware,
                 srr_like,
-            } => self.shard.prepare_views(cycle, det_aware, srr_like),
+                use_ready_bound,
+            } => self
+                .shard
+                .prepare_views(cycle, det_aware, srr_like, use_ready_bound),
             Phase::Census { det_aware } => self.shard.prepare_census(det_aware),
         }
         self.shard
@@ -446,6 +536,7 @@ mod tests {
                         cycle: 0,
                         det_aware: false,
                         srr_like: false,
+                        use_ready_bound: false,
                     },
                 );
                 pool.run_phase(&mut clusters, Phase::Census { det_aware: false });
@@ -479,7 +570,24 @@ mod tests {
         let mut shard = shards(&cfg).remove(0);
         shard.mark_dirty(0);
         assert!(shard.is_dirty(0));
-        shard.prepare_views(0, false, false);
+        shard.prepare_views(0, false, false, false);
         assert!(!shard.is_dirty(0));
+    }
+
+    #[test]
+    fn parse_engine_accepts_both_engines() {
+        assert_eq!(parse_engine("dense"), Ok(EngineKind::Dense));
+        assert_eq!(parse_engine(" event\n"), Ok(EngineKind::Event));
+    }
+
+    #[test]
+    fn parse_engine_rejects_garbage() {
+        for bad in ["", "Dense", "EVENT", "fast", "dense,event", "1"] {
+            let err = parse_engine(bad).expect_err("must reject").to_string();
+            assert!(
+                err.contains("DAB_ENGINE") && err.contains("dense"),
+                "unhelpful error for {bad:?}: {err}"
+            );
+        }
     }
 }

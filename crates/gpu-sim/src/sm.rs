@@ -125,6 +125,18 @@ pub struct SchedulerCtx {
     pub flush_wait: u32,
     /// Warps waiting at an incomplete CTA barrier (census).
     pub barrier_wait: u32,
+    /// Lower bound on the earliest cycle any of this scheduler's warps can
+    /// be picked (`u64::MAX` when none is in [`WarpState::Ready`]).
+    ///
+    /// Invariant: whenever a warp of this scheduler is pickable at cycle
+    /// `c`, `ready_bound <= c`. The bound may be stale-*low* (the warp it
+    /// tracked has since issued or parked) — the event engine then pays one
+    /// empty scheduler visit and tightens it via
+    /// [`Sm::recompute_ready_bound`] — but it is never stale-high, so the
+    /// activity-driven engine can skip any scheduler with
+    /// `ready_bound > cycle` without changing behavior. Every transition
+    /// into `Ready` must go through [`note_ready`](Self::note_ready).
+    pub ready_bound: u64,
 }
 
 impl SchedulerCtx {
@@ -139,7 +151,14 @@ impl SchedulerCtx {
             live: 0,
             flush_wait: 0,
             barrier_wait: 0,
+            ready_bound: u64::MAX,
         }
+    }
+
+    /// Lowers the ready bound: a warp of this scheduler became pickable no
+    /// earlier than cycle `t`. Called at every wake site and warp spawn.
+    pub fn note_ready(&mut self, t: u64) {
+        self.ready_bound = self.ready_bound.min(t);
     }
 
     /// Registers a warp arrival and returns `(batch, arrival_seq)`.
@@ -195,6 +214,7 @@ impl SchedulerCtx {
         self.completed_batches = 0;
         self.flush_wait = 0;
         self.barrier_wait = 0;
+        self.ready_bound = u64::MAX;
         self.policy.on_kernel_boundary();
     }
 }
@@ -325,6 +345,7 @@ impl Sm {
             let unique = unique_base + w as u64;
             let (batch, arrival) = self.schedulers[sched].register_arrival();
             self.schedulers[sched].policy.on_warp_arrive(unique);
+            self.schedulers[sched].note_ready(cycle);
             self.warps[slot] = Some(WarpCtx {
                 unique,
                 cta_key,
@@ -385,6 +406,35 @@ impl Sm {
     /// Warp schedulers on this SM.
     pub fn num_schedulers(&self) -> usize {
         self.num_schedulers
+    }
+
+    /// Recomputes scheduler `sched`'s exact ready bound from current warp
+    /// state. The event engine calls this after visiting a scheduler so a
+    /// stale-low bound (see [`SchedulerCtx::ready_bound`]) does not force a
+    /// visit every cycle.
+    pub fn recompute_ready_bound(&mut self, sched: usize) {
+        let mut bound = u64::MAX;
+        let mut slot = sched;
+        while slot < self.warps.len() {
+            if let Some(w) = &self.warps[slot] {
+                if w.state == WarpState::Ready && !w.finished() {
+                    bound = bound.min(w.next_ready);
+                }
+            }
+            slot += self.num_schedulers;
+        }
+        self.schedulers[sched].ready_bound = bound;
+    }
+
+    /// SM-level ready bound: the minimum of its schedulers' bounds
+    /// (`u64::MAX` when no warp is ready). Like the per-scheduler bounds,
+    /// a lower bound — never later than the true earliest pickable cycle.
+    pub fn ready_bound(&self) -> u64 {
+        self.schedulers
+            .iter()
+            .map(|s| s.ready_bound)
+            .min()
+            .unwrap_or(u64::MAX)
     }
 
     /// Builds scheduler `sched`'s warp views for `cycle`, sorted by unique
@@ -639,6 +689,29 @@ mod tests {
         sm.census_into(false, &mut rows);
         assert!(rows.iter().all(|r| r.live == 2));
         assert!(rows.iter().all(|r| r.atomic_stuck == 0));
+    }
+
+    #[test]
+    fn ready_bound_is_a_lower_bound_until_recompute() {
+        let mut sm = sm();
+        let ns = sm.num_schedulers();
+        let slots = sm.add_cta(&cta(8, 32), 0, 5);
+        // Spawn at cycle 5 lowers every scheduler's bound to 5.
+        assert_eq!(sm.ready_bound(), 5);
+        assert_eq!(sm.schedulers[0].ready_bound, 5);
+        // Park scheduler 0's warps; the cached bound is stale-low (allowed)
+        // until an explicit recompute tightens it.
+        for &slot in slots.iter().filter(|&&s| s % ns == 0) {
+            sm.warps[slot].as_mut().expect("resident").state = WarpState::WaitMem;
+        }
+        assert_eq!(sm.schedulers[0].ready_bound, 5, "stale-low is allowed");
+        sm.recompute_ready_bound(0);
+        assert_eq!(sm.schedulers[0].ready_bound, u64::MAX);
+        // A wake lowers it again; raising via note_ready is impossible.
+        sm.schedulers[0].note_ready(9);
+        assert_eq!(sm.schedulers[0].ready_bound, 9);
+        sm.schedulers[0].note_ready(100);
+        assert_eq!(sm.schedulers[0].ready_bound, 9);
     }
 
     #[test]

@@ -400,6 +400,16 @@ impl ExecutionModel for GpuDetModel {
     fn quiescent(&self) -> bool {
         self.mode == Mode::Parallel && self.store_entries == 0 && self.serial_current.is_none()
     }
+
+    fn needs_tick(&self) -> bool {
+        // In parallel mode `tick` only checks quantum completion, whose
+        // inputs (per-warp issue counts, warp arrivals/retirements, dispatch
+        // status) change only on engine-visited cycles and are re-checked
+        // the same cycle; the mode-accounting totals telescope across a
+        // gap. Commit and serial modes advance on their own clock and must
+        // tick every cycle.
+        self.mode != Mode::Parallel
+    }
 }
 
 #[cfg(test)]
