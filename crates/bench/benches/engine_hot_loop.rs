@@ -3,10 +3,13 @@
 //! single-cell atomic-reduction microbenchmark and a small BC graph trace.
 //!
 //! Each engine × workload combination runs the DAB model end to end under
-//! the vendored criterion harness. Digests are cross-checked between
-//! engines (the bench doubles as an equivalence smoke test), and the
-//! measured wall-clock plus the event engine's activity counters are
-//! written to `BENCH_engine.json` for the CI artifact.
+//! the vendored criterion harness, and the event engine additionally runs
+//! a `DAB_TRACE` sweep (off/summary/full) to price the observability
+//! layer. Digests are cross-checked between engines and across trace
+//! modes (the bench doubles as an equivalence smoke test), and the
+//! measured wall-clock, the event engine's activity counters, and the
+//! per-mode trace overheads are written to `BENCH_engine.json` for the CI
+//! artifact.
 //!
 //! Simulations take far longer than the stub's 100 ms calibration target,
 //! so `CRITERION_ITERS` defaults to 3 here (override in the environment).
@@ -34,6 +37,17 @@ struct Measurement {
     best_secs: f64,
 }
 
+/// All measurements for one workload: the engine comparison plus the
+/// event-engine trace-mode sweep.
+struct Row {
+    name: &'static str,
+    dense: Measurement,
+    event: Measurement,
+    off: Measurement,
+    summary: Measurement,
+    full: Measurement,
+}
+
 fn config(engine: EngineKind) -> GpuConfig {
     let mut cfg = Scale::Ci.gpu();
     cfg.engine = engine;
@@ -41,7 +55,12 @@ fn config(engine: EngineKind) -> GpuConfig {
 }
 
 fn run(engine: EngineKind, kernels: &[KernelGrid]) -> RunReport {
-    let cfg = config(engine);
+    run_traced(engine, kernels, obs::TraceMode::Off)
+}
+
+fn run_traced(engine: EngineKind, kernels: &[KernelGrid], trace: obs::TraceMode) -> RunReport {
+    let mut cfg = config(engine);
+    cfg.trace = trace;
     let model = DabModel::new(&cfg, DabConfig::paper_default());
     let sim = GpuSim::new(cfg, Box::new(model), NdetSource::seeded(1));
     sim.run(kernels)
@@ -78,6 +97,32 @@ fn bench_engines(c: &mut Criterion) {
             });
             measured.push(last.expect("bencher ran at least once"));
         }
+        // Trace-overhead sweep on the event engine: off re-measures the
+        // default configuration (bounding the cost of the disabled
+        // instrumentation to measurement noise), summary/full measure the
+        // recording cost. Tracing is an observation, never a perturbation,
+        // so every mode must reproduce the untraced cycles and digest.
+        let mut traced = Vec::new();
+        for (label, mode) in [
+            ("event_trace_off", obs::TraceMode::Off),
+            ("event_trace_summary", obs::TraceMode::Summary),
+            ("event_trace_full", obs::TraceMode::Full),
+        ] {
+            let mut last: Option<Measurement> = None;
+            g.bench_function(label, |b| {
+                b.iter(|| {
+                    let started = Instant::now();
+                    let report = run_traced(EngineKind::Event, &kernels, mode);
+                    let secs = started.elapsed().as_secs_f64();
+                    let best = last.as_ref().map_or(secs, |m| m.best_secs.min(secs));
+                    last = Some(Measurement {
+                        report,
+                        best_secs: best,
+                    });
+                });
+            });
+            traced.push(last.expect("bencher ran at least once"));
+        }
         let [dense, event] = <[Measurement; 2]>::try_from(measured)
             .ok()
             .expect("two engines measured");
@@ -86,41 +131,78 @@ fn bench_engines(c: &mut Criterion) {
             (event.report.cycles(), event.report.digest()),
             "dense and event engines diverged on {name}"
         );
-        rows.push((name, dense, event));
+        for m in &traced {
+            assert_eq!(
+                (m.report.cycles(), m.report.digest()),
+                (event.report.cycles(), event.report.digest()),
+                "tracing perturbed the event engine on {name}"
+            );
+        }
+        let [off, summary, full] = <[Measurement; 3]>::try_from(traced)
+            .ok()
+            .expect("three trace modes measured");
+        rows.push(Row {
+            name,
+            dense,
+            event,
+            off,
+            summary,
+            full,
+        });
     }
     write_json(&rows);
 }
 
-fn write_json(rows: &[(&str, Measurement, Measurement)]) {
+fn write_json(rows: &[Row]) {
     let speedups: Vec<f64> = rows
         .iter()
-        .map(|(_, dense, event)| dense.best_secs / event.best_secs.max(1e-12))
+        .map(|r| r.dense.best_secs / r.event.best_secs.max(1e-12))
         .collect();
+    // Overheads are best-vs-best ratios against the untraced event run;
+    // the off-mode ratio pairs two measurements of the same configuration,
+    // so it reads as 1.0 plus measurement noise.
+    let overhead =
+        |m: &Measurement, base: &Measurement| m.best_secs / base.best_secs.max(1e-12) - 1.0;
     let mut out = String::from("{\n  \"target\": \"engine_hot_loop\",\n  \"workloads\": [");
-    for (i, ((name, dense, event), speedup)) in rows.iter().zip(&speedups).enumerate() {
-        let stats = &event.report.stats;
+    for (i, (row, speedup)) in rows.iter().zip(&speedups).enumerate() {
+        let stats = &row.event.report.stats;
+        let full_stats = &row.full.report.stats;
         let comma = if i + 1 < rows.len() { "," } else { "" };
         let _ = write!(
             out,
-            "\n    {{ \"name\": \"{name}\", \"cycles\": {}, \"digest\": \"0x{:016x}\",\n      \
+            "\n    {{ \"name\": \"{}\", \"cycles\": {}, \"digest\": \"0x{:016x}\",\n      \
              \"dense_secs\": {:.6}, \"event_secs\": {:.6}, \"speedup\": {:.4},\n      \
              \"cycles_skipped\": {}, \"wakeup_events\": {}, \"sms_ticked\": {}, \
-             \"scheduler_scans\": {} }}{comma}",
-            event.report.cycles(),
-            event.report.digest(),
-            dense.best_secs,
-            event.best_secs,
+             \"scheduler_scans\": {},\n      \
+             \"trace_off_overhead\": {:.4}, \"trace_summary_overhead\": {:.4}, \
+             \"trace_full_overhead\": {:.4},\n      \
+             \"trace_events_full\": {}, \"trace_samples_full\": {} }}{comma}",
+            row.name,
+            row.event.report.cycles(),
+            row.event.report.digest(),
+            row.dense.best_secs,
+            row.event.best_secs,
             speedup,
             stats.counter("engine.cycles_skipped"),
             stats.counter("engine.wakeup_events"),
             stats.counter("engine.sms_ticked"),
             stats.counter("engine.scheduler_scans"),
+            overhead(&row.off, &row.event),
+            overhead(&row.summary, &row.event),
+            overhead(&row.full, &row.event),
+            full_stats.counter("obs.trace_events"),
+            full_stats.counter("obs.samples"),
         );
     }
+    let max_off_overhead = rows
+        .iter()
+        .map(|r| overhead(&r.off, &r.event))
+        .fold(f64::NEG_INFINITY, f64::max);
     let _ = write!(
         out,
-        "\n  ],\n  \"geomean_speedup\": {:.4}\n}}\n",
-        geomean(&speedups)
+        "\n  ],\n  \"geomean_speedup\": {:.4},\n  \"max_trace_off_overhead\": {:.4}\n}}\n",
+        geomean(&speedups),
+        max_off_overhead
     );
     let path = json_path();
     match std::fs::write(&path, &out) {

@@ -48,18 +48,23 @@ pub struct Runner {
 
 impl Runner {
     /// Builds a runner from the environment (`DAB_SCALE`,
-    /// `DAB_SIM_THREADS`, `DAB_ENGINE`).
+    /// `DAB_SIM_THREADS`, `DAB_ENGINE`, `DAB_TRACE`,
+    /// `DAB_TRACE_SAMPLE`).
     ///
     /// # Panics
     ///
     /// Panics when `DAB_SIM_THREADS` is set to an invalid value (anything
-    /// but a positive integer) or `DAB_ENGINE` to anything but
-    /// `dense`/`event`.
+    /// but a positive integer), `DAB_ENGINE` to anything but
+    /// `dense`/`event`, `DAB_TRACE` to anything but
+    /// `off`/`summary`/`full`, or `DAB_TRACE_SAMPLE` to anything but a
+    /// positive integer.
     pub fn from_env() -> Self {
         let scale = Scale::from_env();
         let mut gpu = scale.gpu();
         gpu.sim_threads = gpu_sim::par::sim_threads_from_env();
         gpu.engine = gpu_sim::par::engine_from_env();
+        gpu.trace = obs::trace_mode_from_env();
+        gpu.trace_sample_interval = obs::sample_interval_from_env();
         Self {
             gpu,
             scale,
@@ -92,6 +97,7 @@ impl Runner {
                 started.elapsed()
             );
         }
+        maybe_write_trace(&name, &report);
         report
     }
 
@@ -118,6 +124,27 @@ impl Runner {
 impl Default for Runner {
     fn default() -> Self {
         Self::from_env()
+    }
+}
+
+/// Writes a run's event trace to `DAB_TRACE_DIR/<label>.trace` when both a
+/// trace was recorded (`DAB_TRACE=summary|full`) and a directory is set.
+///
+/// `/` in labels (e.g. `BC_1k/dab`) becomes `__` so every run lands in one
+/// flat directory. Labels are unique within a target, so concurrent sweep
+/// workers never write the same file.
+pub fn maybe_write_trace(label: &str, report: &RunReport) {
+    let (Some(dir), Some(trace)) = (obs::trace_dir_from_env(), report.trace.as_ref()) else {
+        return;
+    };
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("warning: cannot create {}: {e}", dir.display());
+        return;
+    }
+    let file = format!("{}.trace", label.replace('/', "__"));
+    let path = dir.join(file);
+    if let Err(e) = std::fs::write(&path, trace.to_text()) {
+        eprintln!("warning: cannot write {}: {e}", path.display());
     }
 }
 

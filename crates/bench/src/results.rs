@@ -17,8 +17,10 @@
 //!   "speedup": 3.21,
 //!   "runs": [
 //!     { "label": "BC_1k/baseline", "model": "baseline", "seed": 1,
-//!       "cycles": 12345, "digest": "0x0123456789abcdef", "wall_secs": 0.01,
-//!       "cycles_per_sec": 1234500.0 }
+//!       "cycles": 12345, "digest": "0x0123456789abcdef",
+//!       "icnt_stall_cycles": 17, "l1_miss_rate": 0.25,
+//!       "l2_miss_rate": 0.05, "atomics_pki": 32.1,
+//!       "wall_secs": 0.01, "cycles_per_sec": 1234500.0 }
 //!   ],
 //!   "metrics": { "geomean_dab": 1.23 },
 //!   "tables": [
@@ -66,6 +68,10 @@ struct RunRecord {
     seed: u64,
     cycles: u64,
     digest: u64,
+    icnt_stall_cycles: u64,
+    l1_miss_rate: f64,
+    l2_miss_rate: f64,
+    atomics_pki: f64,
     wall_secs: f64,
     cycles_per_sec: f64,
 }
@@ -102,6 +108,10 @@ impl ResultsSink {
                 seed: run.seed,
                 cycles: run.report.cycles(),
                 digest: run.report.digest(),
+                icnt_stall_cycles: run.report.stats.icnt_stall_cycles,
+                l1_miss_rate: run.report.stats.l1_miss_rate(),
+                l2_miss_rate: run.report.stats.l2_miss_rate(),
+                atomics_pki: run.report.stats.atomics_pki(),
                 wall_secs: run.report.wall_secs(),
                 cycles_per_sec: run.report.cycles_per_sec(),
             });
@@ -152,12 +162,19 @@ impl ResultsSink {
             let _ = write!(
                 out,
                 "\n    {{ \"label\": {}, \"model\": {}, \"seed\": {}, \"cycles\": {}, \
-                 \"digest\": \"0x{:016x}\", \"wall_secs\": {}, \"cycles_per_sec\": {} }}{comma}",
+                 \"digest\": \"0x{:016x}\",\n      \
+                 \"icnt_stall_cycles\": {}, \"l1_miss_rate\": {}, \
+                 \"l2_miss_rate\": {}, \"atomics_pki\": {},\n      \
+                 \"wall_secs\": {}, \"cycles_per_sec\": {} }}{comma}",
                 json_str(&r.label),
                 json_str(&r.model),
                 r.seed,
                 r.cycles,
                 r.digest,
+                r.icnt_stall_cycles,
+                json_f64(r.l1_miss_rate),
+                json_f64(r.l2_miss_rate),
+                json_f64(r.atomics_pki),
                 json_f64(r.wall_secs),
                 json_f64(r.cycles_per_sec),
             );

@@ -318,6 +318,7 @@ impl Runner {
                             started.elapsed()
                         );
                     }
+                    crate::maybe_write_trace(&job.label, &report);
                     *result_slots[i].lock().expect("sweep slot poisoned") = Some(SweepRun {
                         label: job.label,
                         seed,

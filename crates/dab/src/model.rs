@@ -111,6 +111,11 @@ pub struct DabModel {
     flush_busy_since: Option<u64>,
     /// Deferred statistic increments, drained into `SimStats` each tick.
     stat_deltas: Vec<(&'static str, u64)>,
+    /// Deferred trace events (buffer fills, flush phases, flush-traffic
+    /// injections), drained by the engine after each tick. Only populated
+    /// when `gpu.trace` is enabled — all hooks that push run on the
+    /// coordinating thread, so the queue order is deterministic.
+    trace_events: Vec<obs::Event>,
     /// DAB is toggled off for the currently running kernel (Section IV-G).
     bypassed: bool,
 }
@@ -161,6 +166,7 @@ impl DabModel {
             total_entries: 0,
             flush_busy_since: None,
             stat_deltas: Vec::new(),
+            trace_events: Vec::new(),
             bypassed: false,
             gpu: gpu.clone(),
             dab,
@@ -174,6 +180,41 @@ impl DabModel {
 
     fn bump(&mut self, name: &'static str, n: u64) {
         self.stat_deltas.push((name, n));
+    }
+
+    /// Whether summary-level (or deeper) tracing is on for this run.
+    fn trace_on(&self) -> bool {
+        self.gpu.trace.enabled()
+    }
+
+    /// Whether full-detail tracing is on for this run.
+    fn trace_full(&self) -> bool {
+        self.gpu.trace == obs::TraceMode::Full
+    }
+
+    /// Queues a flush-phase transition event (summary level).
+    fn trace_flush(&mut self, cycle: u64, phase: obs::FlushPhase) {
+        if self.trace_on() {
+            self.trace_events.push(obs::Event::Flush { cycle, phase });
+        }
+    }
+
+    /// Queues injection events for flush-protocol packets the model pushes
+    /// into the interconnect itself (the engine only sees SM-side outboxes).
+    fn trace_inject(&mut self, cycle: u64, cluster: usize, pkt: &Packet) {
+        if self.trace_full() {
+            let kind = match pkt.payload {
+                Payload::PreFlush { .. } => obs::PacketKind::PreFlush,
+                Payload::FlushEntry { .. } => obs::PacketKind::FlushEntry,
+                ref other => unreachable!("model injects only flush traffic, got {other:?}"),
+            };
+            self.trace_events.push(obs::Event::IcntInject {
+                cycle,
+                cluster: cluster as u32,
+                dest: pkt.dest as u32,
+                kind,
+            });
+        }
     }
 
     fn request_flush(&mut self, sm: usize) {
@@ -338,6 +379,7 @@ impl DabModel {
             self.enqueue_cluster_flush(cluster, with_preflush);
         }
         self.bump("dab.flushes", 1);
+        self.trace_flush(ctx.cycle, obs::FlushPhase::Start);
     }
 
     fn complete_epoch(&mut self, ctx: &mut ModelCtx<'_>) {
@@ -349,6 +391,7 @@ impl DabModel {
             self.bump("dab.flush_cycles", ctx.cycle - since);
         }
         self.phase = Phase::Idle;
+        self.trace_flush(ctx.cycle, obs::FlushPhase::Complete);
     }
 
     fn push_packets(&mut self, ctx: &mut ModelCtx<'_>) -> bool {
@@ -357,6 +400,7 @@ impl DabModel {
             while let Some(head) = self.push_queues[c].front() {
                 if ctx.icnt.can_inject_request(c, head.flits) {
                     let pkt = self.push_queues[c].pop_front().expect("front exists");
+                    self.trace_inject(ctx.cycle, c, &pkt);
                     ctx.icnt.inject_request(c, pkt);
                 } else {
                     break;
@@ -392,6 +436,7 @@ impl DabModel {
                         self.complete_epoch(ctx);
                     } else {
                         self.phase = Phase::Drain;
+                        self.trace_flush(ctx.cycle, obs::FlushPhase::Drain);
                     }
                 }
             }
@@ -415,6 +460,7 @@ impl DabModel {
                 while let Some(head) = self.push_queues[c].front() {
                     if ctx.icnt.can_inject_request(c, head.flits) {
                         let pkt = self.push_queues[c].pop_front().expect("front exists");
+                        self.trace_inject(ctx.cycle, c, &pkt);
                         ctx.icnt.inject_request(c, pkt);
                     } else {
                         empty = false;
@@ -443,11 +489,13 @@ impl DabModel {
                 self.flush_busy_since.get_or_insert(ctx.cycle);
                 self.enqueue_cluster_flush(c, false);
                 self.bump("dab.flushes", 1);
+                self.trace_flush(ctx.cycle, obs::FlushPhase::Start);
             }
         }
         if self.cluster_active.iter().all(|&a| !a) {
             if let Some(since) = self.flush_busy_since.take() {
                 self.bump("dab.flush_cycles", ctx.cycle - since);
+                self.trace_flush(ctx.cycle, obs::FlushPhase::Complete);
             }
         }
     }
@@ -513,7 +561,7 @@ impl ExecutionModel for DabModel {
         self.bypassed = self.dab.bypass_kernels.contains(name);
     }
 
-    fn on_atomic(&mut self, issue: AtomicIssue<'_>, _cycle: u64) -> AtomicRoute {
+    fn on_atomic(&mut self, issue: AtomicIssue<'_>, cycle: u64) -> AtomicRoute {
         if self.bypassed {
             return AtomicRoute::ToMemory;
         }
@@ -545,6 +593,14 @@ impl ExecutionModel for DabModel {
         let fused = accesses.len() as u64 - added;
         if fused > 0 {
             self.bump("dab.fused_ops", fused);
+        }
+        if self.trace_full() {
+            self.trace_events.push(obs::Event::BufFill {
+                cycle,
+                sm: sm as u32,
+                sched: issue.warp.sched.sched as u32,
+                len: after as u32,
+            });
         }
         AtomicRoute::Buffered {
             cycles: write_cycles,
@@ -611,6 +667,30 @@ impl ExecutionModel for DabModel {
         }
         for (name, n) in std::mem::take(&mut self.stat_deltas) {
             ctx.stats.bump(name, n);
+        }
+    }
+
+    fn take_trace_events(&mut self) -> Vec<obs::Event> {
+        std::mem::take(&mut self.trace_events)
+    }
+
+    fn buffered_entries(&self) -> u64 {
+        self.total_entries
+    }
+
+    fn buffered_entries_per_sm(&self, out: &mut [u64]) {
+        let scheds = self.gpu.num_schedulers_per_sm;
+        match &self.buffers {
+            Buffers::Scheduler(v) => {
+                for (i, buf) in v.iter().enumerate() {
+                    out[i / scheds] += buf.len() as u64;
+                }
+            }
+            Buffers::Warp(m) => {
+                for ((sm, _), (_, buf)) in m {
+                    out[*sm] += buf.len() as u64;
+                }
+            }
         }
     }
 

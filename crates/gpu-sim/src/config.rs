@@ -114,6 +114,23 @@ pub struct GpuConfig {
     /// empty cycle ranges via a deterministic event wheel. Both produce
     /// bit-identical digests, cycle counts, and architectural statistics.
     pub engine: EngineKind,
+
+    /// Structured event tracing mode (not a Table I row: a simulator-host
+    /// knob, set from `DAB_TRACE`). [`obs::TraceMode::Off`] (the default)
+    /// constructs no tracer at all; `summary` records rare high-signal
+    /// events (lock grants, flush phases, GPUDet mode transitions) plus
+    /// the sample grid; `full` records everything down to per-instruction
+    /// issue. The trace is recorded in commit order on the coordinating
+    /// thread, so its deterministic sections are byte-identical at any
+    /// [`sim_threads`](Self::sim_threads) and for either
+    /// [`engine`](Self::engine).
+    pub trace: obs::TraceMode,
+
+    /// Sampling grid interval in cycles for the trace's time-series rows
+    /// (not a Table I row: a simulator-host knob, set from
+    /// `DAB_TRACE_SAMPLE`). Rows land on cycles that are exact multiples
+    /// of this interval; must be positive.
+    pub trace_sample_interval: u64,
 }
 
 /// Which cycle-loop implementation drives the simulation.
@@ -170,6 +187,8 @@ impl GpuConfig {
             rop_latency: 8,
             sim_threads: 1,
             engine: EngineKind::Event,
+            trace: obs::TraceMode::Off,
+            trace_sample_interval: obs::DEFAULT_SAMPLE_INTERVAL,
         }
     }
 
@@ -273,6 +292,11 @@ impl GpuConfig {
                 "sim_threads must be at least 1 (1 = serial engine)",
             ));
         }
+        if self.trace_sample_interval == 0 {
+            return Err(ConfigError::new(
+                "trace_sample_interval must be positive (cycles between sample rows)",
+            ));
+        }
         Ok(())
     }
 }
@@ -370,6 +394,14 @@ mod tests {
         let mut cfg = GpuConfig::small();
         cfg.num_clusters = 0;
         assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn zero_trace_sample_interval_rejected() {
+        let mut cfg = GpuConfig::small();
+        cfg.trace_sample_interval = 0;
+        let err = cfg.validate().unwrap_err();
+        assert!(err.to_string().contains("trace_sample_interval"));
     }
 
     #[test]

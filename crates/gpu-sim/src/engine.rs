@@ -61,6 +61,12 @@ pub struct RunReport {
     /// Host wall-clock time the run took (simulator throughput, not a
     /// simulated quantity — excluded from any determinism comparison).
     pub wall: std::time::Duration,
+    /// Structured event trace, present when the run was configured with
+    /// `cfg.trace` enabled (`DAB_TRACE=summary|full`). Its `[arch]` and
+    /// `[samples]` sections are byte-identical at any `DAB_SIM_THREADS`
+    /// and for either engine; the `[engine]` section (cycle-skip spans)
+    /// is engine-variant by design.
+    pub trace: Option<obs::Trace>,
 }
 
 impl RunReport {
@@ -198,6 +204,41 @@ pub struct GpuSim {
     sched_kind: SchedKind,
     last_progress_cycle: u64,
     activity: ActivityCounters,
+    /// Structured event tracer, `None` when `cfg.trace` is off — the
+    /// off-mode fast path is a single pointer null-check per trace site.
+    /// All recording happens on the coordinating thread in commit order,
+    /// so the trace's deterministic sections are byte-identical at any
+    /// `DAB_SIM_THREADS` and for either engine.
+    tracer: Option<Box<obs::Tracer>>,
+}
+
+/// Flattens an instruction to its trace event class.
+fn instr_kind(instr: &Instr) -> obs::InstrKind {
+    match instr {
+        Instr::Alu { .. } => obs::InstrKind::Alu,
+        Instr::Load { .. } => obs::InstrKind::Load,
+        Instr::Store { .. } => obs::InstrKind::Store,
+        Instr::Red { .. } => obs::InstrKind::Red,
+        Instr::Atom { .. } => obs::InstrKind::Atom,
+        Instr::Bar => obs::InstrKind::Bar,
+        Instr::Fence => obs::InstrKind::Fence,
+        Instr::LockedSection { .. } => obs::InstrKind::Lock,
+    }
+}
+
+/// Flattens a packet payload to its trace event class.
+fn pkt_kind(payload: &Payload) -> obs::PacketKind {
+    match payload {
+        Payload::LoadReq { .. } => obs::PacketKind::LoadReq,
+        Payload::StoreReq { .. } => obs::PacketKind::StoreReq,
+        Payload::AtomicReq { .. } => obs::PacketKind::AtomicReq,
+        Payload::PreFlush { .. } => obs::PacketKind::PreFlush,
+        Payload::FlushEntry { .. } => obs::PacketKind::FlushEntry,
+        Payload::LoadResp { .. } => obs::PacketKind::LoadResp,
+        Payload::StoreAck { .. } => obs::PacketKind::StoreAck,
+        Payload::AtomicAck { .. } => obs::PacketKind::AtomicAck,
+        Payload::FlushAck { .. } => obs::PacketKind::FlushAck,
+    }
 }
 
 /// Cycles of engine inactivity after which the engine declares deadlock.
@@ -253,6 +294,10 @@ impl GpuSim {
             part_ndet,
             icnt_mem_ndet,
             icnt_cl_ndet,
+            tracer: cfg
+                .trace
+                .enabled()
+                .then(|| Box::new(obs::Tracer::new(cfg.trace, cfg.trace_sample_interval))),
             cfg,
             last_progress_cycle: 0,
             activity: ActivityCounters::default(),
@@ -323,7 +368,7 @@ impl GpuSim {
         // thread count.
         for cluster in &mut self.clusters {
             let shard_stats = std::mem::take(&mut cluster.stats);
-            self.stats.merge(&shard_stats);
+            self.stats.merge_shard(&shard_stats);
         }
         self.stats.cycles = self.cycle;
         for p in &self.partitions {
@@ -345,12 +390,21 @@ impl GpuSim {
             .bump("engine.sms_ticked", self.activity.sms_ticked);
         self.stats
             .bump("engine.scheduler_scans", self.activity.scheduler_scans);
+        // The `obs.*` family is coordinator-only and thread/engine-invariant
+        // (deterministic trace sections only), but exists only when tracing
+        // is enabled, so equivalence comparisons must fix the trace mode.
+        let trace = self.tracer.take().map(|t| {
+            self.stats.bump("obs.trace_events", t.event_count());
+            self.stats.bump("obs.samples", t.sample_count());
+            t.finish()
+        });
         RunReport {
             model: self.model.name(),
             stats: self.stats,
             values: self.values,
             kernel_cycles,
             wall: started.elapsed(),
+            trace,
         }
     }
 
@@ -370,6 +424,15 @@ impl GpuSim {
         let event = self.cfg.engine == EngineKind::Event;
 
         loop {
+            // Emit any due time-series samples before this cycle's work
+            // mutates state: a catch-up row for grid point `g` reads the
+            // machine exactly as it stood at the top of cycle `g`, because
+            // every cycle either engine elides is a provable no-op of the
+            // dense loop — so the sample rows are engine- and
+            // thread-invariant.
+            if self.tracer.is_some() {
+                self.emit_due_samples();
+            }
             self.tick_partitions();
             self.icnt
                 .tick(self.cycle, &mut self.icnt_mem_ndet, &mut self.icnt_cl_ndet);
@@ -410,11 +473,31 @@ impl GpuSim {
                         }
                     }
                 }
+                let mut tail = self.trace_tail();
+                if let Some(tracer) = self.tracer.as_deref() {
+                    for (sm_idx, sm) in self.sms().enumerate() {
+                        for (slot, warp) in sm.warps.iter().enumerate() {
+                            let Some(w) = warp else { continue };
+                            if w.state == WarpState::Ready {
+                                continue;
+                            }
+                            let t = tracer.tail_for_warp(sm_idx as u32, slot as u32, 8);
+                            if !t.is_empty() {
+                                tail.push_str(&format!(
+                                    "\nlast events for stuck sm {sm_idx} slot {slot}:\n{t}"
+                                ));
+                            }
+                        }
+                    }
+                }
                 panic!(
-                    "deadlock: no progress since cycle {} (model {}, kernel {}); live warps:{dump}",
+                    "deadlock: no progress since cycle {} (model {}, kernel {}); \
+                     lock queues: {locks}; interconnect queues: {icnt}; live warps:{dump}{tail}",
                     self.last_progress_cycle,
                     self.model.name(),
-                    grid.name
+                    grid.name,
+                    locks = self.locks.queue_summary(),
+                    icnt = self.icnt.queue_summary(),
                 );
             }
         }
@@ -467,6 +550,9 @@ impl GpuSim {
             if let Some(t) = target {
                 if t > self.cycle + 1 {
                     self.activity.cycles_skipped += t - self.cycle - 1;
+                    if let Some(tr) = self.tracer.as_deref_mut() {
+                        tr.record_skip(self.cycle, t);
+                    }
                     self.cycle = t;
                     return;
                 }
@@ -524,6 +610,9 @@ impl GpuSim {
             }
             if target > next && target < u64::MAX {
                 self.activity.cycles_skipped += target - next;
+                if let Some(tr) = self.tracer.as_deref_mut() {
+                    tr.record_skip(self.cycle, target);
+                }
                 self.cycle = target;
                 return;
             }
@@ -539,14 +628,116 @@ impl GpuSim {
     }
 
     // ------------------------------------------------------------------
+    // Observability
+    // ------------------------------------------------------------------
+
+    /// Emits one time-series sample row for every due grid point
+    /// (multiples of the sample interval) at or before the current cycle.
+    ///
+    /// Called at the top of the per-cycle loop. On the event engine the
+    /// loop may land past a grid point; the catch-up row is still exact
+    /// because every elided cycle is a provable no-op of the dense loop
+    /// (otherwise the engines' equivalence would already be broken), so
+    /// machine state now equals machine state at the top of the grid
+    /// cycle itself.
+    fn emit_due_samples(&mut self) {
+        while let Some(grid) = self
+            .tracer
+            .as_deref()
+            .and_then(|t| t.next_due_sample(self.cycle))
+        {
+            let ready_warps = self
+                .sms()
+                .flat_map(|sm| sm.warps.iter().flatten())
+                .filter(|w| w.state == WarpState::Ready)
+                .count() as u64;
+            let full = self.tracer.as_deref().expect("tracing on").is_full();
+            let per_sm_buffered = if full {
+                let mut per_sm = vec![0u64; self.cfg.num_sms()];
+                self.model.buffered_entries_per_sm(&mut per_sm);
+                per_sm
+            } else {
+                Vec::new()
+            };
+            let sample = obs::Sample {
+                cycle: grid,
+                ready_warps,
+                buffered_entries: self.model.buffered_entries(),
+                icnt_flits: self.icnt.queued_injection_flits(),
+                rop_queued: self
+                    .partitions
+                    .iter()
+                    .map(|p| p.rop_queue_len() as u64)
+                    .sum(),
+                per_sm_buffered,
+            };
+            self.tracer
+                .as_deref_mut()
+                .expect("tracing on")
+                .push_sample(sample);
+        }
+    }
+
+    /// Records an architectural trace event, if tracing is enabled at the
+    /// event's level. Call only from the coordinating thread.
+    #[inline]
+    fn trace_event(&mut self, ev: obs::Event) {
+        if let Some(t) = self.tracer.as_deref_mut() {
+            t.record(ev);
+        }
+    }
+
+    /// Whether full-detail tracing is on (gates construction of hot-path
+    /// events so untraced runs pay one branch only).
+    #[inline]
+    fn trace_full(&self) -> bool {
+        self.tracer.as_deref().is_some_and(obs::Tracer::is_full)
+    }
+
+    /// Last few global trace events, formatted for a panic message
+    /// (empty string when tracing is off).
+    fn trace_tail(&self) -> String {
+        match self.tracer.as_deref() {
+            Some(t) if t.event_count() > 0 => {
+                format!("\nrecent trace events:\n{}", t.tail(64))
+            }
+            _ => String::new(),
+        }
+    }
+
+    /// Last few trace events touching partition `p`, for a panic message.
+    fn trace_tail_partition(&self, p: usize) -> String {
+        match self.tracer.as_deref() {
+            Some(t) => {
+                let tail = t.tail_for_partition(p as u32, 16);
+                if tail.is_empty() {
+                    String::new()
+                } else {
+                    format!("\nrecent trace events for partition {p}:\n{tail}")
+                }
+            }
+            None => String::new(),
+        }
+    }
+
+    // ------------------------------------------------------------------
     // Memory partitions and response delivery
     // ------------------------------------------------------------------
 
     fn tick_partitions(&mut self) {
+        let trace_full = self.trace_full();
         for p in 0..self.partitions.len() {
+            let dram_before = trace_full.then(|| self.partitions[p].stats().dram_accesses);
             // Route arrived request packets.
             while let Some(pkt) = self.icnt.pop_arrived_request(p) {
                 self.progress();
+                if trace_full {
+                    self.trace_event(obs::Event::PartReq {
+                        cycle: self.cycle,
+                        partition: p as u32,
+                        kind: pkt_kind(&pkt.payload),
+                    });
+                }
                 match pkt.payload {
                     Payload::PreFlush { sm, expected } => {
                         self.model
@@ -575,15 +766,33 @@ impl GpuSim {
                     Payload::FlushAck { sm } => *sm,
                     other => panic!(
                         "partition {p} emitted non-response {kind} at cycle {cycle} \
-                         (model {model}): payload {other:?}; partition queues: {queues}",
+                         (model {model}): payload {other:?}; partition queues: {queues}{tail}",
                         kind = other.kind(),
                         cycle = self.cycle,
                         model = self.model.name(),
                         queues = self.partitions[p].queue_summary(),
+                        tail = self.trace_tail_partition(p),
                     ),
                 };
+                if trace_full {
+                    self.trace_event(obs::Event::PartResp {
+                        cycle: self.cycle,
+                        partition: p as u32,
+                        kind: pkt_kind(&pkt.payload),
+                    });
+                }
                 pkt.dest = sm / self.cfg.sms_per_cluster;
                 self.icnt.inject_response(p, pkt);
+            }
+            if let Some(before) = dram_before {
+                let after = self.partitions[p].stats().dram_accesses;
+                if after > before {
+                    self.trace_event(obs::Event::DramAccess {
+                        cycle: self.cycle,
+                        partition: p as u32,
+                        count: after - before,
+                    });
+                }
             }
             // Flush retirements are also surfaced directly (the ack packets
             // additionally travel the network for write-back accounting).
@@ -592,9 +801,17 @@ impl GpuSim {
     }
 
     fn deliver_responses(&mut self) {
+        let trace_full = self.trace_full();
         for cluster in 0..self.cfg.num_clusters {
             while let Some(pkt) = self.icnt.pop_ejected(cluster) {
                 self.progress();
+                if trace_full {
+                    self.trace_event(obs::Event::IcntEject {
+                        cycle: self.cycle,
+                        cluster: cluster as u32,
+                        kind: pkt_kind(&pkt.payload),
+                    });
+                }
                 match pkt.payload {
                     Payload::LoadResp { sector_addr, warp } => {
                         self.handle_load_resp(sector_addr, warp);
@@ -619,6 +836,14 @@ impl GpuSim {
                             if let Some(sched) = woke {
                                 sm.schedulers[sched].note_ready(cycle + 1);
                                 self.activity.wakeup_events += 1;
+                                if trace_full {
+                                    self.trace_event(obs::Event::Wake {
+                                        cycle,
+                                        sm: warp.sm as u32,
+                                        slot: warp.slot as u32,
+                                        site: obs::WakeSite::AtomAck,
+                                    });
+                                }
                             }
                         }
                         self.try_retire(warp.sm, warp.slot);
@@ -628,11 +853,12 @@ impl GpuSim {
                     }
                     other => panic!(
                         "cluster {cluster} received non-response {kind} at cycle {cycle} \
-                         (model {model}): payload {other:?}; interconnect queues: {queues}",
+                         (model {model}): payload {other:?}; interconnect queues: {queues}{tail}",
                         kind = other.kind(),
                         cycle = self.cycle,
                         model = self.model.name(),
                         queues = self.icnt.queue_summary(),
+                        tail = self.trace_tail(),
                     ),
                 }
             }
@@ -641,12 +867,15 @@ impl GpuSim {
 
     fn handle_load_resp(&mut self, sector_addr: u64, warp: WarpRef) {
         let cycle = self.cycle;
+        let trace_full = self.trace_full();
         let sm = self.sm_mut(warp.sm);
         sm.l1.fill(sector_addr);
         let Some(waiters) = sm.l1_mshrs.remove(&sector_addr) else {
             return;
         };
         let mut woke = 0;
+        // Empty unless full tracing is on (`Vec::new` never allocates).
+        let mut woke_slots: Vec<usize> = Vec::new();
         for &slot in &waiters {
             let mut woke_sched = None;
             if let Some(w) = sm.warps[slot].as_mut() {
@@ -660,9 +889,20 @@ impl GpuSim {
             if let Some(sched) = woke_sched {
                 sm.schedulers[sched].note_ready(cycle + 1);
                 woke += 1;
+                if trace_full {
+                    woke_slots.push(slot);
+                }
             }
         }
         self.activity.wakeup_events += woke;
+        for slot in woke_slots {
+            self.trace_event(obs::Event::Wake {
+                cycle,
+                sm: warp.sm as u32,
+                slot: slot as u32,
+                site: obs::WakeSite::LoadResp,
+            });
+        }
         // A woken warp may have nothing left to execute.
         for slot in waiters {
             self.try_retire(warp.sm, slot);
@@ -686,6 +926,14 @@ impl GpuSim {
         if let Some(sched) = woke {
             sm.schedulers[sched].note_ready(cycle + 1);
             self.activity.wakeup_events += 1;
+            if self.trace_full() {
+                self.trace_event(obs::Event::Wake {
+                    cycle,
+                    sm: warp.sm as u32,
+                    slot: warp.slot as u32,
+                    site: obs::WakeSite::StoreDrain,
+                });
+            }
         }
         self.try_retire(warp.sm, warp.slot);
         remaining
@@ -702,12 +950,26 @@ impl GpuSim {
                 if w.state == WarpState::WaitLock {
                     w.state = WarpState::Ready;
                     w.next_ready = cycle + 1;
-                    woke = Some(w.sched);
+                    woke = Some((w.sched, w.unique));
                 }
             }
-            if let Some(sched) = woke {
+            if let Some((sched, unique)) = woke {
                 sm.schedulers[sched].note_ready(cycle + 1);
                 self.activity.wakeup_events += 1;
+                if self.tracer.is_some() {
+                    self.trace_event(obs::Event::LockGrant {
+                        cycle,
+                        sm: warp.sm as u32,
+                        slot: warp.slot as u32,
+                        unique,
+                    });
+                    self.trace_event(obs::Event::Wake {
+                        cycle,
+                        sm: warp.sm as u32,
+                        slot: warp.slot as u32,
+                        site: obs::WakeSite::LockGrant,
+                    });
+                }
             }
             self.try_retire(warp.sm, warp.slot);
         }
@@ -887,8 +1149,17 @@ impl GpuSim {
     /// Drains every cluster's staged outbound packets into the interconnect,
     /// in cluster-index order: the per-cycle deterministic merge point.
     fn merge_outboxes(&mut self) {
+        let trace_full = self.trace_full();
         for c in 0..self.clusters.len() {
             while let Some(pkt) = self.clusters[c].outbox.pop() {
+                if trace_full {
+                    self.trace_event(obs::Event::IcntInject {
+                        cycle: self.cycle,
+                        cluster: c as u32,
+                        dest: pkt.dest as u32,
+                        kind: pkt_kind(&pkt.payload),
+                    });
+                }
                 self.icnt.inject_request(c, pkt);
             }
         }
@@ -994,11 +1265,30 @@ impl GpuSim {
                     .expect("picked warp");
                 w.pc += 1;
                 w.state = WarpState::WaitLock;
+                if self.trace_full() {
+                    self.trace_event(obs::Event::Sleep {
+                        cycle,
+                        sm: sm_idx as u32,
+                        slot: slot as u32,
+                        reason: obs::SleepReason::Lock,
+                    });
+                }
             }
         }
 
         if issued {
             self.progress();
+            if self.trace_full() {
+                self.trace_event(obs::Event::Issue {
+                    cycle,
+                    sm: sm_idx as u32,
+                    sched: sched as u32,
+                    slot: slot as u32,
+                    unique,
+                    pc: pc as u32,
+                    kind: instr_kind(instr),
+                });
+            }
             // Issue-path counters accumulate per cluster shard and merge in
             // cluster-index order at end of run, keeping totals identical at
             // any thread count.
@@ -1104,6 +1394,14 @@ impl GpuSim {
         w.outstanding_loads += missing.len() as u32;
         w.pc += 1;
         w.state = WarpState::WaitMem;
+        if self.trace_full() {
+            self.trace_event(obs::Event::Sleep {
+                cycle,
+                sm: sm_idx as u32,
+                slot: slot as u32,
+                reason: obs::SleepReason::Mem,
+            });
+        }
         true
     }
 
@@ -1248,6 +1546,14 @@ impl GpuSim {
                     AtomKind::Red => w.next_ready = cycle + 1,
                     AtomKind::Atom => w.state = WarpState::WaitAtom,
                 }
+                if kind == AtomKind::Atom && self.trace_full() {
+                    self.trace_event(obs::Event::Sleep {
+                        cycle,
+                        sm: sm_idx as u32,
+                        slot: slot as u32,
+                        reason: obs::SleepReason::Atom,
+                    });
+                }
                 true
             }
         }
@@ -1271,6 +1577,14 @@ impl GpuSim {
                 },
             )
         };
+        if self.trace_full() {
+            self.trace_event(obs::Event::Sleep {
+                cycle,
+                sm: sm_idx as u32,
+                slot: slot as u32,
+                reason: obs::SleepReason::Barrier,
+            });
+        }
         self.model.on_barrier_wait(warp_id, cycle);
         {
             let sm = self.sm_mut(sm_idx);
@@ -1337,6 +1651,14 @@ impl GpuSim {
                         sm.schedulers[sched].policy.on_barrier_released(unique);
                     }
                     self.activity.wakeup_events += 1;
+                    if self.trace_full() {
+                        self.trace_event(obs::Event::Wake {
+                            cycle,
+                            sm: sm_idx as u32,
+                            slot: s as u32,
+                            site: obs::WakeSite::Barrier,
+                        });
+                    }
                     // The barrier may have been the warp's last instruction.
                     self.try_retire(sm_idx, s);
                 }
@@ -1362,10 +1684,19 @@ impl GpuSim {
                     .as_mut()
                     .expect("picked warp");
                 w.pc += 1;
-                if w.outstanding_writes > 0 {
+                let drains = w.outstanding_writes > 0;
+                if drains {
                     w.state = WarpState::WaitDrain;
                 } else {
                     w.next_ready = cycle + 1;
+                }
+                if drains && self.trace_full() {
+                    self.trace_event(obs::Event::Sleep {
+                        cycle,
+                        sm: sm_idx as u32,
+                        slot: slot as u32,
+                        reason: obs::SleepReason::Drain,
+                    });
                 }
             }
             FenceAction::WaitFlush => {
@@ -1379,11 +1710,22 @@ impl GpuSim {
     }
 
     fn set_flush_wait(&mut self, sm_idx: usize, slot: usize) {
+        let cycle = self.cycle;
         let sm = self.sm_mut(sm_idx);
         let w = sm.warps[slot].as_mut().expect("warp resident");
+        let mut parked = false;
         if w.state != WarpState::WaitFlush {
             w.state = WarpState::WaitFlush;
             sm.schedulers[w.sched].flush_wait += 1;
+            parked = true;
+        }
+        if parked && self.trace_full() {
+            self.trace_event(obs::Event::Sleep {
+                cycle,
+                sm: sm_idx as u32,
+                slot: slot as u32,
+                reason: obs::SleepReason::Flush,
+            });
         }
     }
 
@@ -1406,6 +1748,14 @@ impl GpuSim {
         }
         if woke {
             self.activity.wakeup_events += 1;
+            if self.trace_full() {
+                self.trace_event(obs::Event::Wake {
+                    cycle,
+                    sm: sm_idx as u32,
+                    slot: slot as u32,
+                    site: obs::WakeSite::Flush,
+                });
+            }
         }
         self.try_retire(sm_idx, slot);
     }
@@ -1413,6 +1763,7 @@ impl GpuSim {
     /// Retires the warp if it has finished its program and drained all
     /// outstanding transactions.
     fn try_retire(&mut self, sm_idx: usize, slot: usize) {
+        let mut parked_to_drain = false;
         let retire = {
             match self.sm_mut(sm_idx).warps[slot].as_mut() {
                 Some(w) if w.finished() => {
@@ -1424,6 +1775,7 @@ impl GpuSim {
                     } else {
                         if w.state == WarpState::Ready {
                             w.state = WarpState::WaitDrain;
+                            parked_to_drain = true;
                         }
                         false
                     }
@@ -1431,6 +1783,14 @@ impl GpuSim {
                 _ => false,
             }
         };
+        if parked_to_drain && self.trace_full() {
+            self.trace_event(obs::Event::Sleep {
+                cycle: self.cycle,
+                sm: sm_idx as u32,
+                slot: slot as u32,
+                reason: obs::SleepReason::Drain,
+            });
+        }
         if !retire {
             return;
         }
@@ -1575,6 +1935,14 @@ impl GpuSim {
             &mut self.wakes,
         );
         self.model.tick(&mut ctx);
+        // Drain events the model queued while its hooks ran this cycle.
+        // Models only queue when tracing is on (they copy `cfg.trace`), so
+        // untraced runs skip the call entirely.
+        if self.tracer.is_some() {
+            for ev in self.model.take_trace_events() {
+                self.trace_event(ev);
+            }
+        }
     }
 
     fn apply_wakes(&mut self) {

@@ -358,6 +358,29 @@ pub trait ExecutionModel: std::fmt::Debug + Send {
     fn next_event_hint(&self) -> Option<u64> {
         None
     }
+
+    /// Drains trace events the model queued since the last call.
+    ///
+    /// Model hooks have no tracer access, so — like deferred stat deltas —
+    /// tracing models push [`obs::Event`]s onto an internal queue and hand
+    /// them to the engine here, right after [`tick`](Self::tick) on the
+    /// coordinating thread, keeping the trace in commit order. Models that
+    /// do not trace keep the default (empty, allocation-free). Only called
+    /// when tracing is enabled.
+    fn take_trace_events(&mut self) -> Vec<obs::Event> {
+        Vec::new()
+    }
+
+    /// Total entries currently buffered by the model (DAB's atomic
+    /// buffers), for the trace's sample grid. `0` for bufferless models.
+    fn buffered_entries(&self) -> u64 {
+        0
+    }
+
+    /// Per-SM buffered-entry counts for full-mode sample rows, written
+    /// into `out` (pre-sized to the SM count, zero-filled). Bufferless
+    /// models leave it untouched.
+    fn buffered_entries_per_sm(&self, out: &mut [u64]) {}
 }
 
 /// The stock non-deterministic GPU: GTO scheduling, dynamic CTA

@@ -149,6 +149,13 @@ impl Interconnect {
         self.packets_moved
     }
 
+    /// Flits currently queued at the cluster injection ports, waiting to
+    /// enter the network — the backpressure signal sampled onto the
+    /// observability time-series grid.
+    pub fn queued_injection_flits(&self) -> u64 {
+        self.cluster_out_flits.iter().map(|&f| f as u64).sum()
+    }
+
     /// Whether any packet is buffered or in flight in either direction.
     pub fn is_busy(&self) -> bool {
         self.cluster_out.iter().any(|q| !q.is_empty())

@@ -9,8 +9,29 @@
 //!
 //! Under `DAB_SIM_THREADS` the engine accumulates issue-path counters into
 //! per-cluster shard copies and folds them into the run total with
-//! [`merge`](SimStats::merge) in cluster-index order at the end of the
-//! run, so the reported statistics are bit-identical at any thread count.
+//! [`merge_shard`](SimStats::merge_shard) in cluster-index order at the
+//! end of the run, so the reported statistics are bit-identical at any
+//! thread count.
+//!
+//! # Counter namespaces
+//!
+//! Dotted prefixes partition the [`counters`](SimStats::counters) map by
+//! owner and by determinism class:
+//!
+//! * `dab.*`, `gpudet.*`, `rop.*`, `dram.*` — architectural counters bumped
+//!   by models and the memory system. Thread- and engine-invariant.
+//! * `engine.*` — coordinator-only activity accounting
+//!   (`cycles_skipped`, `wakeup_events`, ...). Thread-invariant but
+//!   **engine-variant by design**; equivalence comparisons strip them.
+//! * `obs.*` — coordinator-only observability accounting
+//!   (`obs.trace_events`, `obs.samples`), bumped once per run from the
+//!   tracer. Thread- and engine-invariant (the trace's deterministic
+//!   sections are identical across both axes), but present only when
+//!   `DAB_TRACE` is enabled, so equivalence comparisons must run both
+//!   sides at the same trace mode.
+//!
+//! Coordinator-only families must never be bumped on shard copies — see
+//! [`merge_shard`](SimStats::merge_shard).
 //!
 //! # Examples
 //!
@@ -103,7 +124,44 @@ impl SimStats {
         self.counters.get(name).copied().unwrap_or(0)
     }
 
+    /// Folds a per-cluster shard copy into the run total.
+    ///
+    /// This is [`merge`](Self::merge) plus the shard invariant: shard
+    /// copies accumulate *issue-path* statistics only, so they must carry
+    /// no `cycles` (the coordinator owns the clock and overwrites
+    /// `cycles` at the end of the run) and no coordinator-only `engine.*`
+    /// / `obs.*` counters. Summing `cycles` across shards would multiply
+    /// the clock by the cluster count; a coordinator-only counter bumped
+    /// on a shard would become dependent on the cluster-to-worker
+    /// assignment and silently break thread-invariance. Debug builds
+    /// assert both; release builds behave like [`merge`](Self::merge).
+    pub fn merge_shard(&mut self, shard: &SimStats) {
+        debug_assert_eq!(
+            shard.cycles, 0,
+            "shard stats must not accumulate cycles: the coordinator owns the clock"
+        );
+        debug_assert!(
+            !shard
+                .counters
+                .keys()
+                .any(|k| k.starts_with("engine.") || k.starts_with("obs.")),
+            "coordinator-only counter bumped on a shard copy: {:?}",
+            shard
+                .counters
+                .keys()
+                .filter(|k| k.starts_with("engine.") || k.starts_with("obs."))
+                .collect::<Vec<_>>()
+        );
+        self.merge(shard);
+    }
+
     /// Merges another stats object into this one (summing every field).
+    ///
+    /// Note `cycles` is summed too, which is only correct when the two
+    /// operands account disjoint time (e.g. whole independent runs). For
+    /// folding per-cluster shard copies of the *same* run, use
+    /// [`merge_shard`](Self::merge_shard), which asserts the shard
+    /// invariant.
     pub fn merge(&mut self, other: &SimStats) {
         self.cycles += other.cycles;
         self.thread_instrs += other.thread_instrs;
@@ -183,6 +241,42 @@ mod tests {
         assert_eq!(a.thread_instrs, 22);
         assert_eq!(a.counter("m"), 3);
         assert_eq!(a.counter("n"), 7);
+    }
+
+    #[test]
+    fn merge_shard_folds_issue_path_stats() {
+        let mut total = SimStats::default();
+        let mut shard = SimStats {
+            warp_instrs: 5,
+            ..Default::default()
+        };
+        shard.bump("dab.flushes", 2);
+        total.merge_shard(&shard);
+        assert_eq!(total.warp_instrs, 5);
+        assert_eq!(total.counter("dab.flushes"), 2);
+        assert_eq!(total.cycles, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "shard stats must not accumulate cycles")]
+    #[cfg(debug_assertions)]
+    fn merge_shard_rejects_shard_cycles() {
+        let mut total = SimStats::default();
+        let shard = SimStats {
+            cycles: 7,
+            ..Default::default()
+        };
+        total.merge_shard(&shard);
+    }
+
+    #[test]
+    #[should_panic(expected = "coordinator-only counter")]
+    #[cfg(debug_assertions)]
+    fn merge_shard_rejects_coordinator_only_counters() {
+        let mut total = SimStats::default();
+        let mut shard = SimStats::default();
+        shard.bump("engine.cycles_skipped", 1);
+        total.merge_shard(&shard);
     }
 
     #[test]

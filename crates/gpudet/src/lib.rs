@@ -122,6 +122,11 @@ pub struct GpuDetModel {
     serial_cycles: u64,
     quanta: u64,
     reported: [u64; 4],
+    /// Trace mode copied from the GPU config; gates mode-change events.
+    trace: obs::TraceMode,
+    /// Deferred mode-transition trace events, drained by the engine after
+    /// each tick (all pushes happen on the coordinating thread).
+    trace_events: Vec<obs::Event>,
 }
 
 impl GpuDetModel {
@@ -147,6 +152,8 @@ impl GpuDetModel {
             serial_cycles: 0,
             quanta: 0,
             reported: [0; 4],
+            trace: gpu.trace,
+            trace_events: Vec::new(),
         }
     }
 
@@ -167,6 +174,16 @@ impl GpuDetModel {
 
     fn enter_mode(&mut self, mode: Mode, now: u64) {
         self.account_mode(now);
+        if self.trace.enabled() && mode != self.mode {
+            self.trace_events.push(obs::Event::ModeChange {
+                cycle: now,
+                mode: match mode {
+                    Mode::Parallel => obs::DetMode::Parallel,
+                    Mode::Commit => obs::DetMode::Commit,
+                    Mode::Serial => obs::DetMode::Serial,
+                },
+            });
+        }
         self.mode = mode;
     }
 
@@ -391,6 +408,14 @@ impl ExecutionModel for GpuDetModel {
                 self.reported[i] = totals[i];
             }
         }
+    }
+
+    fn take_trace_events(&mut self) -> Vec<obs::Event> {
+        std::mem::take(&mut self.trace_events)
+    }
+
+    fn buffered_entries(&self) -> u64 {
+        self.store_entries
     }
 
     fn allow_dispatch(&self) -> bool {

@@ -1,0 +1,182 @@
+//! `dab-trace` — inspect, diff, and export deterministic simulator traces.
+//!
+//! ```text
+//! dab-trace diff <a.trace> <b.trace> [--window N] [--engine]
+//! dab-trace export <a.trace> [-o out.json]
+//! dab-trace show <a.trace>
+//! ```
+//!
+//! `diff` exits 0 when the deterministic sections agree, 1 with the
+//! bisector's first-divergence report when they do not, and 2 on usage or
+//! I/O errors. `export` writes Chrome trace-event JSON loadable in
+//! Perfetto. `show` prints per-kind event counts and the cycle span.
+
+use obs::diff::{first_divergence, render};
+use obs::{Event, Trace};
+use std::process::ExitCode;
+
+const USAGE: &str = "usage:
+  dab-trace diff <a.trace> <b.trace> [--window N] [--engine]
+  dab-trace export <a.trace> [-o out.json]
+  dab-trace show <a.trace>";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("diff") => cmd_diff(&args[1..]),
+        Some("export") => cmd_export(&args[1..]),
+        Some("show") => cmd_show(&args[1..]),
+        _ => {
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn load(path: &str) -> Result<Trace, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    Trace::parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn cmd_diff(args: &[String]) -> ExitCode {
+    let mut paths: Vec<&String> = Vec::new();
+    let mut window = 5usize;
+    let mut include_engine = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--window" => match it.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) => window = n,
+                None => {
+                    eprintln!("--window needs an unsigned integer\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--engine" => include_engine = true,
+            _ => paths.push(arg),
+        }
+    }
+    let [a_path, b_path] = paths[..] else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let (a, b) = match (load(a_path), load(b_path)) {
+        (Ok(a), Ok(b)) => (a, b),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("dab-trace: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match first_divergence(&a, &b, window, include_engine) {
+        None => {
+            println!(
+                "no divergence: {} arch events, {} samples agree",
+                a.arch.len(),
+                a.samples.len()
+            );
+            ExitCode::SUCCESS
+        }
+        Some(d) => {
+            print!("{}", render(&d, a_path, b_path));
+            ExitCode::from(1)
+        }
+    }
+}
+
+fn cmd_export(args: &[String]) -> ExitCode {
+    let mut input: Option<&String> = None;
+    let mut output: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "-o" => match it.next() {
+                Some(path) => output = Some(path.clone()),
+                None => {
+                    eprintln!("-o needs a path\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            _ if input.is_none() => input = Some(arg),
+            _ => {
+                eprintln!("{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let Some(input) = input else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let trace = match load(input) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("dab-trace: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let out_path = output.unwrap_or_else(|| format!("{}.json", input.trim_end_matches(".trace")));
+    let json = obs::perfetto::to_chrome_json(&trace);
+    if let Err(e) = std::fs::write(&out_path, json) {
+        eprintln!("dab-trace: cannot write {out_path}: {e}");
+        return ExitCode::from(2);
+    }
+    println!("wrote {out_path} (open in https://ui.perfetto.dev)");
+    ExitCode::SUCCESS
+}
+
+fn cmd_show(args: &[String]) -> ExitCode {
+    let [path] = args else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let trace = match load(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("dab-trace: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    println!("mode: {}", trace.mode);
+    println!("sample interval: {} cycles", trace.sample_interval);
+    let span = trace
+        .arch
+        .iter()
+        .map(Event::cycle)
+        .chain(trace.samples.iter().map(|s| s.cycle))
+        .fold(None::<(u64, u64)>, |acc, c| match acc {
+            None => Some((c, c)),
+            Some((lo, hi)) => Some((lo.min(c), hi.max(c))),
+        });
+    match span {
+        Some((lo, hi)) => println!("cycle span: {lo}..={hi}"),
+        None => println!("cycle span: empty"),
+    }
+    let mut counts: Vec<(&'static str, usize)> = Vec::new();
+    for ev in &trace.arch {
+        let name = match ev {
+            Event::Issue { .. } => "issue",
+            Event::Sleep { .. } => "sleep",
+            Event::Wake { .. } => "wake",
+            Event::LockGrant { .. } => "lock_grant",
+            Event::IcntInject { .. } => "icnt_inject",
+            Event::IcntEject { .. } => "icnt_eject",
+            Event::PartReq { .. } => "part_req",
+            Event::PartResp { .. } => "part_resp",
+            Event::DramAccess { .. } => "dram",
+            Event::BufFill { .. } => "buf_fill",
+            Event::Flush { .. } => "flush",
+            Event::ModeChange { .. } => "mode_change",
+        };
+        match counts.iter_mut().find(|(n, _)| *n == name) {
+            Some((_, c)) => *c += 1,
+            None => counts.push((name, 1)),
+        }
+    }
+    println!("arch events: {}", trace.arch.len());
+    for (name, c) in counts {
+        println!("  {name}: {c}");
+    }
+    println!("samples: {}", trace.samples.len());
+    println!("engine skip spans: {}", trace.skips.len());
+    ExitCode::SUCCESS
+}
