@@ -11,16 +11,26 @@
 //! - `--allowlist <path>` — allowlist file (default: the crate's
 //!   `suite-allowlist.txt`)
 //! - `--json` — also write `results/dab_analyze.json`
+//! - `--emit-hb <dir>` — write each kernel's happens-before graph to
+//!   `<dir>/<bench>__<kernel>.hb.json` (and `.hb.dot`), byte-stable
 //! - `--quiet` — print totals and violations only
 //!
 //! Environment: `DAB_SCALE=ci|paper` picks the workload scale,
 //! `DAB_JOBS` the analysis worker count, `DAB_RESULTS_DIR` the JSON
 //! output directory. Output is byte-identical across runs and worker
-//! counts. Exit code 1 means at least one non-allowlisted hazard or lint.
+//! counts.
+//!
+//! Exit codes: `0` clean; `1` at least one non-allowlisted hazard or
+//! lint; `2` usage or I/O error; `3` the allowlist has *stale* entries —
+//! exemptions matching no current hazard or lint (checked only under
+//! `--suite`, where the full benchmark set is in view). A stale entry
+//! means a fixed race left its exemption behind, silently ready to mask
+//! a regression; delete the line to get back to green.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use analysis::hbgraph::HbGraph;
 use analysis::report::glob_match;
 use analysis::{analyze_suite_with_jobs, Allowlist};
 use dab_workloads::scale::Scale;
@@ -28,7 +38,7 @@ use dab_workloads::suite::analyze_all;
 
 fn usage() -> &'static str {
     "usage: dab-analyze (--suite | --bench <glob>...) \
-     [--allowlist <path>] [--json] [--quiet]"
+     [--allowlist <path>] [--json] [--emit-hb <dir>] [--quiet]"
 }
 
 fn jobs_from_env() -> usize {
@@ -60,6 +70,7 @@ fn main() -> ExitCode {
     let mut bench_globs: Vec<String> = Vec::new();
     let mut allowlist_path: Option<PathBuf> = None;
     let mut json = false;
+    let mut emit_hb: Option<PathBuf> = None;
     let mut quiet = false;
 
     let mut args = std::env::args().skip(1);
@@ -81,6 +92,13 @@ fn main() -> ExitCode {
                 }
             },
             "--json" => json = true,
+            "--emit-hb" => match args.next() {
+                Some(d) => emit_hb = Some(PathBuf::from(d)),
+                None => {
+                    eprintln!("--emit-hb needs a directory\n{}", usage());
+                    return ExitCode::from(2);
+                }
+            },
             "--quiet" => quiet = true,
             "--help" | "-h" => {
                 println!("{}", usage());
@@ -127,6 +145,29 @@ fn main() -> ExitCode {
         }
     };
 
+    if let Some(dir) = &emit_hb {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create {}: {e}", dir.display());
+            return ExitCode::from(2);
+        }
+        let sanitize = |s: &str| s.replace(['/', ' '], "__");
+        for b in &benches {
+            for g in HbGraph::of_benchmark(b) {
+                let stem = format!("{}__{}", sanitize(&b.name), sanitize(&g.kernel));
+                for (ext, body) in [("hb.json", g.to_json()), ("hb.dot", g.to_dot())] {
+                    let path = dir.join(format!("{stem}.{ext}"));
+                    if let Err(e) = std::fs::write(&path, body) {
+                        eprintln!("cannot write {}: {e}", path.display());
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+        }
+        if !quiet {
+            println!("happens-before graphs: {}", dir.display());
+        }
+    }
+
     let report = analyze_suite_with_jobs(&benches, scale.label(), jobs_from_env());
 
     let text = report.render_text(&allow);
@@ -153,9 +194,21 @@ fn main() -> ExitCode {
         }
     }
 
-    if report.violations(&allow).is_empty() {
-        ExitCode::SUCCESS
-    } else {
-        ExitCode::from(1)
+    if !report.violations(&allow).is_empty() {
+        return ExitCode::from(1);
     }
+    // Staleness is only meaningful against the full suite: a --bench
+    // subset legitimately leaves entries for the benchmarks not in view.
+    if suite {
+        let stale = report.stale_entries(&allow);
+        if !stale.is_empty() {
+            for (bench, label) in &stale {
+                eprintln!(
+                    "stale allowlist entry: {bench} {label} (matches no current hazard or lint)"
+                );
+            }
+            return ExitCode::from(3);
+        }
+    }
+    ExitCode::SUCCESS
 }

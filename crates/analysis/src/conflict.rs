@@ -98,16 +98,16 @@ pub fn classify_pair(a: AccessCat, b: AccessCat) -> Option<ConflictKind> {
 /// under warp renumbering: witness equality only decides ordering when
 /// both groups are single-warp, in which case the witness *is* the warp.
 #[derive(Debug, Clone)]
-struct Group {
-    cat: AccessCat,
-    ctx: AccessCtx,
-    multi_warp: bool,
-    count: u64,
+pub(crate) struct Group {
+    pub(crate) cat: AccessCat,
+    pub(crate) ctx: AccessCtx,
+    pub(crate) multi_warp: bool,
+    pub(crate) count: u64,
 }
 
 /// Whether some pair of accesses drawn from two distinct groups is
 /// unordered.
-fn groups_unordered(a: &Group, b: &Group) -> bool {
+pub(crate) fn groups_unordered(a: &Group, b: &Group) -> bool {
     if let (Some(la), Some(lb)) = (a.ctx.lock, b.ctx.lock) {
         if la == lb {
             return false;
@@ -123,7 +123,7 @@ fn groups_unordered(a: &Group, b: &Group) -> bool {
 }
 
 /// Whether a group conflicts with itself (two of its own accesses race).
-fn group_self_unordered(g: &Group) -> bool {
+pub(crate) fn group_self_unordered(g: &Group) -> bool {
     g.multi_warp && g.ctx.lock.is_none()
 }
 
@@ -139,8 +139,8 @@ struct SectorInfo {
 
 /// Mutable walk state for one kernel grid.
 #[derive(Debug, Default)]
-struct Walk {
-    words: HashMap<u64, Vec<Group>>,
+pub(crate) struct Walk {
+    pub(crate) words: HashMap<u64, Vec<Group>>,
     sectors: HashMap<u64, SectorInfo>,
     accesses: u64,
     transactions: u64,
@@ -214,38 +214,12 @@ impl Walk {
     }
 }
 
-/// Statically analyzes one kernel grid: happens-before construction,
-/// conflict classification, lints, and the sector passes.
-///
-/// # Examples
-///
-/// A mixed-opcode atomic race is a hazard:
-///
-/// ```
-/// use analysis::conflict::analyze_kernel;
-/// use analysis::report::{Class, ConflictKind};
-/// use gpu_sim::isa::{AtomicAccess, AtomicOp, Instr, Value, WarpProgram};
-/// use gpu_sim::kernel::{CtaSpec, KernelGrid};
-///
-/// let red = |op| Instr::Red {
-///     op,
-///     accesses: vec![AtomicAccess::new(0, 0x100, Value::U32(1))],
-/// };
-/// let grid = KernelGrid::new(
-///     "mixed",
-///     vec![
-///         CtaSpec::new(0, vec![WarpProgram::new(vec![red(AtomicOp::AddU32)], 1)]),
-///         CtaSpec::new(1, vec![WarpProgram::new(vec![red(AtomicOp::MaxU32)], 1)]),
-///     ],
-/// );
-/// let report = analyze_kernel(&grid);
-/// assert!(report
-///     .findings
-///     .iter()
-///     .any(|f| f.kind == ConflictKind::MixedOpAtomics && f.kind.class() == Class::Hazard));
-/// ```
-pub fn analyze_kernel(grid: &KernelGrid) -> KernelReport {
-    let lints = lint::lint_kernel(grid);
+/// Walks one kernel grid into its per-word access groups, also counting
+/// barrier-divergent CTAs. Shared between [`analyze_kernel`] and the
+/// happens-before graph export ([`crate::hbgraph`]); the group vector
+/// order within a word is the CTA-major walk order, which is
+/// deterministic.
+pub(crate) fn walk_kernel(grid: &KernelGrid) -> (Walk, u64) {
     let mut walk = Walk::default();
     let mut divergent_ctas = 0u64;
     let mut warp_id = 0u32;
@@ -294,6 +268,42 @@ pub fn analyze_kernel(grid: &KernelGrid) -> KernelReport {
             divergent_ctas += 1;
         }
     }
+    (walk, divergent_ctas)
+}
+
+/// Statically analyzes one kernel grid: happens-before construction,
+/// conflict classification, lints, and the sector passes.
+///
+/// # Examples
+///
+/// A mixed-opcode atomic race is a hazard:
+///
+/// ```
+/// use analysis::conflict::analyze_kernel;
+/// use analysis::report::{Class, ConflictKind};
+/// use gpu_sim::isa::{AtomicAccess, AtomicOp, Instr, Value, WarpProgram};
+/// use gpu_sim::kernel::{CtaSpec, KernelGrid};
+///
+/// let red = |op| Instr::Red {
+///     op,
+///     accesses: vec![AtomicAccess::new(0, 0x100, Value::U32(1))],
+/// };
+/// let grid = KernelGrid::new(
+///     "mixed",
+///     vec![
+///         CtaSpec::new(0, vec![WarpProgram::new(vec![red(AtomicOp::AddU32)], 1)]),
+///         CtaSpec::new(1, vec![WarpProgram::new(vec![red(AtomicOp::MaxU32)], 1)]),
+///     ],
+/// );
+/// let report = analyze_kernel(&grid);
+/// assert!(report
+///     .findings
+///     .iter()
+///     .any(|f| f.kind == ConflictKind::MixedOpAtomics && f.kind.class() == Class::Hazard));
+/// ```
+pub fn analyze_kernel(grid: &KernelGrid) -> KernelReport {
+    let lints = lint::lint_kernel(grid);
+    let (walk, divergent_ctas) = walk_kernel(grid);
 
     // Classification: per word, find which conflict kinds have at least
     // one unordered pair among the word's groups. HashMap iteration order

@@ -56,6 +56,7 @@ use dab_workloads::suite::{Benchmark, Family};
 
 pub mod conflict;
 pub mod hb;
+pub mod hbgraph;
 pub mod lint;
 pub mod report;
 

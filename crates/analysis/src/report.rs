@@ -415,6 +415,31 @@ impl SuiteReport {
             .count() as u64
     }
 
+    /// Allowlist entries that suppress nothing in this report.
+    ///
+    /// An entry is *used* when it matches at least one hazard-class
+    /// finding or one lint — the only things [`Self::violations`] gates
+    /// on. Anything else is a stale exemption: the underlying race was
+    /// fixed (or renamed) but the exemption lives on, silently ready to
+    /// mask a future regression. `dab-analyze --suite` turns a non-empty
+    /// result into its own exit code so CI keeps the allowlist minimal.
+    pub fn stale_entries(&self, allow: &Allowlist) -> Vec<(String, String)> {
+        allow
+            .entries()
+            .iter()
+            .filter(|(bp, lp)| {
+                !self.benches.iter().any(|b| {
+                    let bench_hit = glob_match(bp, &b.name);
+                    bench_hit
+                        && (b.findings.iter().any(|f| {
+                            f.kind.class() == Class::Hazard && glob_match(lp, f.kind.label())
+                        }) || b.lints.iter().any(|l| glob_match(lp, l.lint.kind.label())))
+                })
+            })
+            .cloned()
+            .collect()
+    }
+
     /// Renders the human-readable report (stable, byte-identical across
     /// runs for the same suite).
     pub fn render_text(&self, allow: &Allowlist) -> String {
@@ -693,6 +718,11 @@ impl Allowlist {
             .iter()
             .any(|(b, l)| glob_match(b, bench) && glob_match(l, label))
     }
+
+    /// The `(benchmark-pattern, finding-pattern)` entries, in file order.
+    pub fn entries(&self) -> &[(String, String)] {
+        &self.entries
+    }
 }
 
 /// Minimal `*`-wildcard matcher (no character classes, `*` matches any
@@ -806,6 +836,50 @@ mod tests {
         assert!(a.allows("BC_1k", "store-load"));
         assert!(Allowlist::parse("just-one-field").is_err());
         assert!(Allowlist::empty().is_empty());
+    }
+
+    #[test]
+    fn stale_allowlist_entries_are_detected() {
+        let mut hazard = Finding::new(ConflictKind::AtomReturnRace);
+        hazard.sites = 1;
+        let racy = BenchReport {
+            name: "micro_ticket_counter".to_string(),
+            family: "micro".to_string(),
+            kernels: 1,
+            warps: 4,
+            sites: 1,
+            accesses: 8,
+            transactions: 0,
+            shared_sectors: 0,
+            findings: vec![hazard],
+            lints: Vec::new(),
+        };
+        let mut clean = racy.clone();
+        clean.name = "micro_lock_ts".to_string();
+        clean.findings.clear();
+        let report = SuiteReport {
+            scale: "ci".to_string(),
+            benches: vec![racy, clean],
+        };
+
+        // Used entry: matches a live hazard.
+        let a = Allowlist::parse("micro_ticket_counter atom-return-race\n").unwrap();
+        assert!(report.stale_entries(&a).is_empty());
+        // Wildcards count as used as long as they hit something.
+        let a = Allowlist::parse("micro_* atom-*\n").unwrap();
+        assert!(report.stale_entries(&a).is_empty());
+        // Bench exists but no longer has the finding: stale.
+        let a = Allowlist::parse("micro_lock_ts atom-return-race\n").unwrap();
+        assert_eq!(
+            report.stale_entries(&a),
+            vec![("micro_lock_ts".to_string(), "atom-return-race".to_string())]
+        );
+        // Bench not in the suite at all: stale.
+        let a = Allowlist::parse("gone_bench *\n").unwrap();
+        assert_eq!(report.stale_entries(&a).len(), 1);
+        // Non-hazard findings don't keep an entry alive (they never gate).
+        let a = Allowlist::parse("micro_ticket_counter fp-red-race\n").unwrap();
+        assert_eq!(report.stale_entries(&a).len(), 1);
     }
 
     #[test]

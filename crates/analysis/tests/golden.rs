@@ -11,6 +11,7 @@
 
 use std::path::PathBuf;
 
+use analysis::hbgraph::HbGraph;
 use analysis::{analyze_suite, Allowlist, SuiteReport};
 use dab_workloads::scale::Scale;
 use dab_workloads::suite::analyze_all;
@@ -85,4 +86,24 @@ fn golden_json_report() {
         "subset.json",
         &subset_report().render_json(&shipped_allowlist()),
     );
+}
+
+/// Pins the `--emit-hb` exports for a hazard-free and a racy micro: the
+/// graph (and therefore the explorer's choice-point input) must stay
+/// byte-stable.
+#[test]
+fn golden_hb_graphs() {
+    let hb_benches = ["micro_atomic_sum", "micro_ticket_counter"];
+    let benches: Vec<_> = analyze_all(Scale::Ci)
+        .into_iter()
+        .filter(|b| hb_benches.contains(&b.name.as_str()))
+        .collect();
+    assert_eq!(benches.len(), hb_benches.len());
+    for b in &benches {
+        for g in HbGraph::of_benchmark(b) {
+            let stem = format!("{}__{}", b.name, g.kernel.replace(['/', ' '], "__"));
+            check(&format!("{stem}.hb.json"), &g.to_json());
+            check(&format!("{stem}.hb.dot"), &g.to_dot());
+        }
+    }
 }

@@ -1,0 +1,57 @@
+//! Determinism of the exploration itself.
+//!
+//! The decision log is recorded in the engine's serial commit phase, so
+//! the trace — and everything derived from it: classes, witnesses, the
+//! JSON report — must be byte-identical across repeated runs and across
+//! `DAB_SIM_THREADS` worker counts (set here directly via
+//! `GpuConfig::sim_threads`, the same field the environment knob feeds).
+
+use dab_explore::{explore_bench, ExploreConfig, ModelKind, SuiteExploration};
+use dab_workloads::scale::Scale;
+use dab_workloads::suite::micro_suite;
+use gpu_sim::config::GpuConfig;
+
+fn cfg_with_threads(threads: usize) -> ExploreConfig {
+    let mut gpu = GpuConfig::tiny();
+    gpu.sim_threads = threads;
+    let mut cfg = ExploreConfig::new(gpu);
+    cfg.budget = 12;
+    cfg.verify = 3;
+    cfg
+}
+
+/// One racy and one hazard-free micro, explored at 1 and 4 workers: the
+/// rendered JSON must match byte-for-byte.
+#[test]
+fn exploration_is_thread_count_invariant() {
+    let benches: Vec<_> = micro_suite(Scale::Ci)
+        .into_iter()
+        .filter(|b| b.name == "micro_ticket_counter" || b.name == "micro_order_sensitive")
+        .collect();
+    assert_eq!(benches.len(), 2);
+    let serial = SuiteExploration::run(&cfg_with_threads(1), "ci", &benches);
+    let parallel = SuiteExploration::run(&cfg_with_threads(4), "ci", &benches);
+    assert_eq!(serial.render_json(), parallel.render_json());
+    let racy = serial
+        .benches
+        .iter()
+        .find(|b| b.bench == "micro_ticket_counter")
+        .unwrap();
+    assert!(racy.classes.len() >= 2, "{} classes", racy.classes.len());
+}
+
+/// The baseline model is explorable too, and hazard-freedom does *not*
+/// prune under it: the analyzer's guarantees are DAB semantics.
+#[test]
+fn baseline_model_never_statically_prunes() {
+    let mut cfg = cfg_with_threads(1);
+    cfg.model = ModelKind::Baseline;
+    cfg.budget = 6;
+    let bench = micro_suite(Scale::Ci)
+        .into_iter()
+        .find(|b| b.name == "micro_atomic_sum")
+        .unwrap();
+    let r = explore_bench(&cfg, &bench);
+    assert_eq!(r.hazard_choice_points, 0);
+    assert!(!r.statically_pruned);
+}

@@ -1,0 +1,170 @@
+//! Soundness cross-checks for the schedule explorer.
+//!
+//! The explorer's claim is *completeness over the pinned-jitter schedule
+//! space*: branching only at eligible decisions loses no reachable
+//! outcome, because ineligible decisions are effect classes (every value
+//! produces the same immediate transition, and a run is a deterministic
+//! function of its decision values). These tests attack that claim from
+//! the outside:
+//!
+//! - **Subset**: every digest reachable by *randomly sampled* schedules
+//!   (record-mode draws at eligible sites — the same space a seeded
+//!   baseline run perturbs) must fall inside the exhaustively enumerated
+//!   outcome classes.
+//! - **Hazard-free collapse**: kernels the static analyzer proves free
+//!   of hazard choice points must explore to exactly one class even with
+//!   static pruning disabled — the DFS walks the schedules and they all
+//!   converge.
+//!
+//! Grids are kept tiny so the DFS *exhausts* (budget not hit): the
+//! subset property is only meaningful against a complete enumeration.
+
+use dab_explore::{explore_bench, run_sampled, ExploreConfig};
+use dab_workloads::suite::{Benchmark, Family};
+use gpu_sim::config::GpuConfig;
+use gpu_sim::isa::{AtomicAccess, AtomicOp, Instr, Value, WarpProgram};
+use gpu_sim::kernel::{CtaSpec, KernelGrid};
+use proptest::prelude::*;
+
+/// A small racy kernel: `ctas` CTAs of one warp, each drawing `lanes`
+/// tickets from a shared cursor with `atom.add.u32`, plus `alu` cycles of
+/// leading compute skew.
+fn ticket_bench(ctas: usize, lanes: usize, alu: u32) -> Benchmark {
+    let cta = |c: usize| {
+        let mut instrs = Vec::new();
+        if alu > 0 {
+            instrs.push(Instr::Alu {
+                cycles: alu,
+                count: 1,
+            });
+        }
+        instrs.push(Instr::Atom {
+            op: AtomicOp::AddU32,
+            accesses: (0..lanes)
+                .map(|l| AtomicAccess::new(l, 0x2000_0000, Value::U32(1)))
+                .collect(),
+        });
+        CtaSpec::new(c, vec![WarpProgram::new(instrs, lanes)])
+    };
+    Benchmark {
+        name: format!("ticket_{ctas}x{lanes}"),
+        family: Family::Micro,
+        kernels: vec![KernelGrid::new(
+            format!("ticket_{ctas}x{lanes}"),
+            (0..ctas).map(cta).collect(),
+        )],
+    }
+}
+
+/// A hazard-free counterpart: the same shape performing an unobserved
+/// `red.add.f32` reduction (weak-det-ok under DAB, no hazard choice
+/// points).
+fn red_bench(ctas: usize, lanes: usize) -> Benchmark {
+    let cta = |c: usize| {
+        CtaSpec::new(
+            c,
+            vec![WarpProgram::new(
+                vec![Instr::Red {
+                    op: AtomicOp::AddF32,
+                    accesses: (0..lanes)
+                        .map(|l| {
+                            let v = dab_workloads::microbench::element_value(c * 32 + l);
+                            AtomicAccess::new(l, 0x2000_0000, Value::F32(v))
+                        })
+                        .collect(),
+                }],
+                lanes,
+            )],
+        )
+    };
+    Benchmark {
+        name: format!("red_{ctas}x{lanes}"),
+        family: Family::Micro,
+        kernels: vec![KernelGrid::new(
+            format!("red_{ctas}x{lanes}"),
+            (0..ctas).map(cta).collect(),
+        )],
+    }
+}
+
+fn exhaustive_cfg() -> ExploreConfig {
+    let mut cfg = ExploreConfig::new(GpuConfig::tiny());
+    cfg.budget = 20_000;
+    cfg.verify = 1;
+    cfg
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Subset soundness: 64 sampled schedules never reach a digest the
+    /// exhaustive enumeration missed.
+    #[test]
+    fn sampled_digests_fall_in_enumerated_classes(
+        lanes in 2usize..5,
+        alu in 0u32..12,
+    ) {
+        let cfg = exhaustive_cfg();
+        let bench = ticket_bench(2, lanes, alu);
+        let result = explore_bench(&cfg, &bench);
+        prop_assert!(
+            !result.budget_exhausted,
+            "enumeration must be exhaustive for the subset check \
+             (explored {})",
+            result.explored
+        );
+        prop_assert!(result.below_naive_bound());
+        for seed in 1..=64u64 {
+            let sampled = run_sampled(&cfg.gpu, cfg.model, &bench.kernels, seed);
+            prop_assert!(
+                result.classes.contains_key(&sampled.digest),
+                "seed {seed} reached digest {:#x} outside the {} enumerated \
+                 classes",
+                sampled.digest,
+                result.classes.len()
+            );
+        }
+    }
+
+    /// Hazard-free collapse: the full DFS (pruning disabled) finds
+    /// exactly one outcome class wherever the analyzer proves zero
+    /// hazard choice points.
+    #[test]
+    fn hazard_free_kernels_explore_to_one_class(
+        ctas in 2usize..4,
+        lanes in 2usize..6,
+    ) {
+        let mut cfg = exhaustive_cfg();
+        cfg.static_prune = false;
+        cfg.budget = 200; // single-class claim needs no exhaustion
+        let bench = red_bench(ctas, lanes);
+        let result = explore_bench(&cfg, &bench);
+        prop_assert_eq!(result.hazard_choice_points, 0);
+        prop_assert!(!result.statically_pruned);
+        prop_assert!(
+            result.single_class(),
+            "{} classes from a hazard-free kernel",
+            result.classes.len()
+        );
+    }
+}
+
+/// The sampled space and the enumerated space agree on the racy verdict
+/// too: sampling finds at least two classes where enumeration does (the
+/// cross-check is two-sided, not vacuous).
+#[test]
+fn sampling_agrees_on_raciness() {
+    let cfg = exhaustive_cfg();
+    let bench = ticket_bench(2, 3, 0);
+    let result = explore_bench(&cfg, &bench);
+    assert!(!result.budget_exhausted);
+    assert!(result.classes.len() >= 2, "{}", result.classes.len());
+    let mut sampled = std::collections::BTreeSet::new();
+    for seed in 1..=64u64 {
+        sampled.insert(run_sampled(&cfg.gpu, cfg.model, &bench.kernels, seed).digest);
+    }
+    assert!(
+        sampled.len() >= 2,
+        "sampling 64 seeds should also observe the race"
+    );
+}

@@ -1523,6 +1523,10 @@ impl GpuSim {
                     return false;
                 }
                 let warp_ref = WarpRef { sm: sm_idx, slot };
+                let unique = self.sm(sm_idx).warps[slot]
+                    .as_ref()
+                    .expect("picked warp")
+                    .unique;
                 let n_groups = groups.len() as u32;
                 for (s, ops) in groups {
                     let pkt = Packet::new(
@@ -1531,6 +1535,7 @@ impl GpuSim {
                             ops,
                             warp: warp_ref,
                             kind,
+                            unique,
                         },
                         self.cfg.icnt_flit_size,
                     );
@@ -1859,7 +1864,24 @@ impl GpuSim {
                 (0..n).any(|sm_idx| self.sm(sm_idx).can_accept(cta))
             });
             if placeable {
-                let start = (dispatcher.rr + self.ndet.arbitration_tiebreak(2)) % n;
+                // Oracle branch point only when the perturbed rotation
+                // start can change a placement: several SMs compete for
+                // the front CTA, or several CTAs are queued behind it (the
+                // multi-CTA pass makes later placements scan-dependent).
+                // Conservative in the second case — a spurious branch
+                // costs the explorer a duplicate schedule, never an
+                // outcome.
+                let eligible = self.ndet.has_oracle()
+                    && dispatcher.dynamic_queue.front().is_some_and(|&cta_idx| {
+                        let cta = &grid.ctas[cta_idx];
+                        let acceptors = (0..n).filter(|&s| self.sm(s).can_accept(cta)).count();
+                        acceptors >= 2 || dispatcher.dynamic_queue.len() >= 2
+                    });
+                let start = (dispatcher.rr
+                    + self
+                        .ndet
+                        .tiebreak_hint(2, crate::oracle::TAG_DISPATCH, eligible))
+                    % n;
                 let mut assigned = 0;
                 for i in 0..n {
                     let sm_idx = (start + i) % n;

@@ -60,6 +60,7 @@ pub mod kernel;
 pub mod lock;
 pub mod mem;
 pub mod ndet;
+pub mod oracle;
 pub mod par;
 pub mod sched;
 pub mod sm;

@@ -211,7 +211,14 @@ impl Interconnect {
                 if self.cluster_out.iter().all(|q| q.is_empty()) {
                     break;
                 }
-                let start = (self.mem_rr[p] + nd.arbitration_tiebreak(2)) % self.num_clusters;
+                // The draw perturbs the rotation start by at most one slot;
+                // it is a branch point only when the two candidate starts
+                // would serve different clusters (see `crate::oracle`).
+                let eligible = nd.has_oracle()
+                    && self.mem_candidate(p, self.mem_rr[p] % self.num_clusters)
+                        != self.mem_candidate(p, (self.mem_rr[p] + 1) % self.num_clusters);
+                let draw = nd.tiebreak_hint(2, crate::oracle::TAG_ICNT_MEM, eligible);
+                let start = (self.mem_rr[p] + draw) % self.num_clusters;
                 let mut started = false;
                 for i in 0..self.num_clusters {
                     let c = (start + i) % self.num_clusters;
@@ -264,7 +271,11 @@ impl Interconnect {
                 if self.part_out.iter().all(|q| q.is_empty()) {
                     break;
                 }
-                let start = (self.cl_rr[c] + nd.arbitration_tiebreak(2)) % self.num_partitions;
+                let eligible = nd.has_oracle()
+                    && self.cl_candidate(c, self.cl_rr[c] % self.num_partitions)
+                        != self.cl_candidate(c, (self.cl_rr[c] + 1) % self.num_partitions);
+                let draw = nd.tiebreak_hint(2, crate::oracle::TAG_ICNT_CL, eligible);
+                let start = (self.cl_rr[c] + draw) % self.num_partitions;
                 let mut started = false;
                 for i in 0..self.num_partitions {
                     let p = (start + i) % self.num_partitions;
@@ -296,6 +307,48 @@ impl Interconnect {
                 }
             }
         }
+    }
+
+    /// The cluster the memory-direction arbiter would serve for partition
+    /// `p` when scanning from `start` — the draw's *immediate effect*,
+    /// which decides whether an oracle decision is a branch point. Mirrors
+    /// the scan in [`Self::tick_direction_mem`] exactly (destination match
+    /// and input-buffer fit included).
+    fn mem_candidate(&self, p: usize, start: usize) -> Option<usize> {
+        for i in 0..self.num_clusters {
+            let c = (start + i) % self.num_clusters;
+            let Some(head) = self.cluster_out[c].front() else {
+                continue;
+            };
+            if head.dest != p {
+                continue;
+            }
+            if self.mem_in_flits[p] + head.flits as usize > self.input_buffer_flits {
+                continue;
+            }
+            return Some(c);
+        }
+        None
+    }
+
+    /// The partition the cluster-direction arbiter would serve for cluster
+    /// `c` when scanning from `start`; mirrors
+    /// [`Self::tick_direction_cluster`].
+    fn cl_candidate(&self, c: usize, start: usize) -> Option<usize> {
+        for i in 0..self.num_partitions {
+            let p = (start + i) % self.num_partitions;
+            let Some(head) = self.part_out[p].front() else {
+                continue;
+            };
+            if head.dest != c {
+                continue;
+            }
+            if self.cl_in_flits[c] + head.flits as usize > self.ejection_buffer_flits {
+                continue;
+            }
+            return Some(p);
+        }
+        None
     }
 
     /// One-line occupancy summary of every queue family, for diagnostics

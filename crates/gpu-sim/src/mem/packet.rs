@@ -59,6 +59,12 @@ pub enum Payload {
         warp: WarpRef,
         /// `red` (fire-and-forget) or `atom` (blocking).
         kind: AtomKind,
+        /// Issuing warp's grid-wide unique id. `WarpRef` names a hardware
+        /// slot, which depends on CTA placement; the unique id is the
+        /// *logical* warp, stable across schedules, and is what the value
+        /// memory folds `atom` return values under (see
+        /// [`crate::values::ValueMem::apply_atomic_observed`]).
+        unique: u64,
     },
     /// DAB: announces how many flush transactions `sm` will send to this
     /// partition in the current flush epoch (Fig. 8a).
@@ -210,6 +216,7 @@ mod tests {
                 ops: (0..8).map(|i| rop(i * 4)).collect(),
                 warp: WarpRef { sm: 0, slot: 0 },
                 kind: AtomKind::Red,
+                unique: 0,
             },
             40,
         );

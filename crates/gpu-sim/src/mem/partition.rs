@@ -32,6 +32,10 @@ pub enum AckTarget {
         warp: WarpRef,
         /// `red` or `atom` semantics.
         kind: AtomKind,
+        /// Issuing warp's grid-wide unique id; for `atom` work the ROP
+        /// folds the returned old values into the value memory's outcome
+        /// digest under this schedule-invariant observer.
+        unique: u64,
     },
     /// Acknowledge a DAB flush transaction to its source SM's controller.
     FlushSm {
@@ -178,12 +182,18 @@ impl MemPartition {
             Payload::LoadReq { .. } | Payload::StoreReq { .. } => {
                 self.try_mem_request(pkt, cycle);
             }
-            Payload::AtomicReq { ops, warp, kind } => {
+            Payload::AtomicReq {
+                ops,
+                warp,
+                kind,
+                unique,
+            } => {
                 self.enqueue_rop(RopWork {
                     ops: ops.clone(),
                     ack: AckTarget::Warp {
                         warp: *warp,
                         kind: *kind,
+                        unique: *unique,
                     },
                 });
             }
@@ -344,6 +354,16 @@ impl MemPartition {
                 continue;
             }
             let op = head.ops[self.rop.op_index];
+            // `atom` return values are observable: fold them into the
+            // outcome digest under the observing warp's unique id.
+            let observer = match head.ack {
+                AckTarget::Warp {
+                    kind: AtomKind::Atom,
+                    unique,
+                    ..
+                } => Some(unique),
+                _ => None,
+            };
             // The atomic is a read-modify-write at the L2.
             self.stats.l2_accesses += 1;
             match self.l2.probe(op.addr) {
@@ -362,7 +382,14 @@ impl MemPartition {
                     return;
                 }
             }
-            values.apply_atomic(op.addr, op.op, op.arg);
+            match observer {
+                Some(unique) => {
+                    values.apply_atomic_observed(op.addr, op.op, op.arg, unique);
+                }
+                None => {
+                    values.apply_atomic(op.addr, op.op, op.arg);
+                }
+            }
             self.stats.rop_ops += 1;
             self.rop.op_index += 1;
             let head_len = self.rop.queue.front().map(|w| w.ops.len()).unwrap_or(0);
@@ -379,7 +406,7 @@ impl MemPartition {
         // and each completed transaction acknowledges after the pipeline
         // latency.
         match work.ack {
-            AckTarget::Warp { warp, kind } => {
+            AckTarget::Warp { warp, kind, .. } => {
                 self.schedule_response(
                     cycle + self.cfg_rop_latency as u64,
                     Packet::new(
@@ -513,6 +540,7 @@ mod tests {
             ack: AckTarget::Warp {
                 warp,
                 kind: AtomKind::Red,
+                unique: 0,
             },
         });
         let out = run_until_idle(&mut p, &mut values);
@@ -633,6 +661,7 @@ mod tests {
                     ops: vec![op(0x10, 2.0)],
                     warp,
                     kind: AtomKind::Atom,
+                    unique: 0,
                 },
                 40,
             ),

@@ -26,16 +26,41 @@
 //! assert_eq!(off.latency_jitter(8), 0);
 //! ```
 
+use crate::oracle::ScheduleOracle;
+
 /// Source of timing perturbations, driven by a seed (xorshift64*).
 ///
 /// A disabled source returns neutral values everywhere, which makes the
 /// simulation perfectly repeatable *including timing* — useful for debugging
 /// the simulator itself.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// A source may instead carry a [`ScheduleOracle`]
+/// ([`NdetSource::with_oracle`]): arbitration tie-breaks then come from the
+/// oracle's explicit decision trace rather than the seeded stream, which is
+/// how `dab-explore` replays chosen schedules. Oracle-driven sources are
+/// *disabled* (no latency jitter) so the decision trace is the complete
+/// coordinate system of the explored space.
+#[derive(Debug, Clone)]
 pub struct NdetSource {
     state: u64,
     enabled: bool,
+    oracle: Option<ScheduleOracle>,
 }
+
+impl PartialEq for NdetSource {
+    fn eq(&self, other: &Self) -> bool {
+        // Oracles compare by log identity: two sources are interchangeable
+        // exactly when their draws land in the same decision trace.
+        let oracles_match = match (&self.oracle, &other.oracle) {
+            (None, None) => true,
+            (Some(a), Some(b)) => ScheduleOracle::same_log(a, b),
+            _ => false,
+        };
+        self.state == other.state && self.enabled == other.enabled && oracles_match
+    }
+}
+
+impl Eq for NdetSource {}
 
 impl NdetSource {
     /// A source that injects perturbations derived from `seed`.
@@ -44,6 +69,7 @@ impl NdetSource {
             // xorshift must not start at 0.
             state: seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1,
             enabled: true,
+            oracle: None,
         }
     }
 
@@ -52,12 +78,32 @@ impl NdetSource {
         Self {
             state: 1,
             enabled: false,
+            oracle: None,
+        }
+    }
+
+    /// A source whose arbitration tie-breaks come from `oracle`'s decision
+    /// trace. The source is *disabled* (latency jitter pinned to 0), so a
+    /// run is a pure function of the decision values — see
+    /// [`crate::oracle`].
+    pub fn with_oracle(oracle: ScheduleOracle) -> Self {
+        Self {
+            state: 1,
+            enabled: false,
+            oracle: Some(oracle),
         }
     }
 
     /// Whether this source injects perturbations.
     pub fn is_enabled(&self) -> bool {
         self.enabled
+    }
+
+    /// Whether arbitration draws are routed through a [`ScheduleOracle`].
+    /// Call sites use this to skip decision-eligibility computation on
+    /// normal (non-exploring) runs.
+    pub fn has_oracle(&self) -> bool {
+        self.oracle.is_some()
     }
 
     /// Derives an independent child stream identified by `stream`.
@@ -88,6 +134,10 @@ impl NdetSource {
             // `| 1` keeps the xorshift state non-zero, as in `seeded`.
             state: splitmix64(self.state ^ splitmix64(stream)) | 1,
             enabled: self.enabled,
+            // All children share the parent's decision log: every
+            // arbitration draw happens in the engine's serial commit
+            // phase, so one globally-ordered trace covers the whole run.
+            oracle: self.oracle.clone(),
         }
     }
 
@@ -124,6 +174,25 @@ impl NdetSource {
             return 0;
         }
         (self.next() % n as u64) as usize
+    }
+
+    /// [`Self::arbitration_tiebreak`] with a decision-trace hint: when an
+    /// oracle is attached, the draw becomes a logged [`crate::oracle::Decision`]
+    /// tagged `tag`, with `eligible` reporting whether different values
+    /// would produce different immediate effects at this site. Without an
+    /// oracle this is *exactly* `arbitration_tiebreak(n)` — same values,
+    /// same PRNG-state consumption — so instrumented call sites perturb
+    /// nothing on normal runs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn tiebreak_hint(&mut self, n: usize, tag: &'static str, eligible: bool) -> usize {
+        assert!(n > 0, "cannot arbitrate among zero requesters");
+        if let Some(oracle) = &self.oracle {
+            return oracle.draw(tag, n as u32, eligible) as usize;
+        }
+        self.arbitration_tiebreak(n)
     }
 
     /// Returns `true` with probability `num/denom`; used to occasionally
@@ -246,6 +315,45 @@ mod tests {
         let mut c = child;
         assert_eq!(c.latency_jitter(100), 0);
         assert_eq!(c.arbitration_tiebreak(5), 0);
+    }
+
+    #[test]
+    fn tiebreak_hint_matches_tiebreak_without_oracle() {
+        // Same draws *and* same state consumption: instrumented call sites
+        // must not perturb normal runs.
+        let mut a = NdetSource::seeded(13);
+        let mut b = NdetSource::seeded(13);
+        for i in 0..200 {
+            assert_eq!(
+                a.arbitration_tiebreak(2),
+                b.tiebreak_hint(2, crate::oracle::TAG_ICNT_MEM, i % 3 == 0)
+            );
+        }
+        assert_eq!(a.latency_jitter(1 << 20), b.latency_jitter(1 << 20));
+        let mut da = NdetSource::disabled();
+        let mut db = NdetSource::disabled();
+        assert_eq!(
+            da.arbitration_tiebreak(5),
+            db.tiebreak_hint(5, crate::oracle::TAG_DISPATCH, true)
+        );
+    }
+
+    #[test]
+    fn oracle_sources_replay_and_log() {
+        use crate::oracle::{ScheduleOracle, TAG_DISPATCH, TAG_ICNT_CL};
+        let oracle = ScheduleOracle::replay(vec![1]);
+        let mut root = NdetSource::with_oracle(oracle.clone());
+        assert!(root.has_oracle());
+        assert!(!root.is_enabled());
+        assert_eq!(root.latency_jitter(16), 0, "oracle runs pin jitter");
+        let mut child = root.split(3);
+        assert_eq!(root.tiebreak_hint(2, TAG_DISPATCH, true), 1);
+        // The child draws from the *same* log, continuing the sequence.
+        assert_eq!(child.tiebreak_hint(2, TAG_ICNT_CL, true), 0);
+        let log = oracle.take_log();
+        assert_eq!(log.len(), 2);
+        assert_eq!((log[0].tag, log[0].value), (TAG_DISPATCH, 1));
+        assert_eq!((log[1].tag, log[1].value), (TAG_ICNT_CL, 0));
     }
 
     #[test]

@@ -33,6 +33,9 @@ use crate::isa::{AtomicOp, Value};
 pub struct ValueMem {
     cells: HashMap<u64, u32>,
     atomics_applied: u64,
+    /// Commutative fold over every *observed* atomic return value (see
+    /// [`Self::apply_atomic_observed`]); `0` when nothing was observed.
+    atom_returns: u64,
 }
 
 impl ValueMem {
@@ -80,6 +83,32 @@ impl ValueMem {
         old
     }
 
+    /// [`Self::apply_atomic`] for an operation whose return value a warp
+    /// *observes* (PTX `atom`, as opposed to fire-and-forget `red`).
+    ///
+    /// The old bits become part of the machine's observable outcome: a
+    /// `ticket = atomicAdd(&cursor, 1)` kernel can end with identical
+    /// memory contents while the tickets were handed out in a different
+    /// order. The fold mixes `(observer, addr, old)` — `observer` being
+    /// the issuing warp's schedule-invariant unique id — and combines with
+    /// wrapping addition so commit interleavings of *different* words stay
+    /// order-independent, exactly like the cell fold in [`Self::digest`].
+    pub fn apply_atomic_observed(
+        &mut self,
+        addr: u64,
+        op: AtomicOp,
+        arg: Value,
+        observer: u64,
+    ) -> u32 {
+        let old = self.apply_atomic(addr, op, arg);
+        // Full-avalanche mixing (FNV's byte fold is too close to affine
+        // here: swapping two observers' old values would cancel under the
+        // wrapping-add combine about half the time).
+        let h = mix64(mix64(mix64(observer).wrapping_add(addr)).wrapping_add(old as u64));
+        self.atom_returns = self.atom_returns.wrapping_add(h);
+        old
+    }
+
     /// Number of atomics applied since creation (ROP commit count).
     pub fn atomics_applied(&self) -> u64 {
         self.atomics_applied
@@ -95,13 +124,16 @@ impl ValueMem {
         self.cells.is_empty()
     }
 
-    /// Order-independent digest of the full memory contents.
+    /// Order-independent digest of the full *observable* outcome: memory
+    /// contents plus every observed atomic return value.
     ///
     /// Two runs of a *deterministic* execution model must produce equal
     /// digests; two runs of the non-deterministic baseline on an
     /// order-sensitive kernel generally will not. The digest folds each
     /// `(address, bits)` pair with an FNV-style mix and combines pairs with
-    /// addition so that map iteration order does not matter.
+    /// addition so that map iteration order does not matter, then adds the
+    /// [`Self::apply_atomic_observed`] fold — a no-op (`+0`) for workloads
+    /// that never observe an atomic return.
     pub fn digest(&self) -> u64 {
         let mut acc: u64 = 0;
         for (&addr, &bits) in &self.cells {
@@ -112,7 +144,7 @@ impl ValueMem {
             }
             acc = acc.wrapping_add(h);
         }
-        acc
+        acc.wrapping_add(self.atom_returns)
     }
 
     /// Reads a contiguous `f32` array of `len` words starting at `base`.
@@ -121,6 +153,16 @@ impl ValueMem {
             .map(|i| self.read_f32(base + 4 * i))
             .collect()
     }
+}
+
+/// The splitmix64 finalizer (as in `crate::ndet`): bijective with full
+/// avalanche, so distinct `(observer, addr, old)` triples land on
+/// statistically independent fold terms.
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
 }
 
 #[cfg(test)]
@@ -181,6 +223,28 @@ mod tests {
             b.write_bits(i * 4, i as u32);
         }
         assert_eq!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn observed_returns_enter_the_digest() {
+        let ops = |mem: &mut ValueMem, observers: [u64; 2]| {
+            mem.apply_atomic_observed(0x10, AtomicOp::AddU32, Value::U32(1), observers[0]);
+            mem.apply_atomic_observed(0x10, AtomicOp::AddU32, Value::U32(1), observers[1]);
+        };
+        // Same final memory, swapped ticket order: distinct outcomes.
+        let mut a = ValueMem::new();
+        ops(&mut a, [7, 9]);
+        let mut b = ValueMem::new();
+        ops(&mut b, [9, 7]);
+        assert_eq!(a.read_u32(0x10), b.read_u32(0x10));
+        assert_ne!(a.digest(), b.digest());
+        // Unobserved applications leave the digest as the pure cell fold.
+        let mut c = ValueMem::new();
+        c.apply_atomic(0x10, AtomicOp::AddU32, Value::U32(1));
+        c.apply_atomic(0x10, AtomicOp::AddU32, Value::U32(1));
+        let mut d = ValueMem::new();
+        d.write_bits(0x10, 2);
+        assert_eq!(c.digest(), d.digest());
     }
 
     #[test]
