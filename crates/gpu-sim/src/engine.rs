@@ -24,7 +24,7 @@
 //! [`digest`](crate::values::ValueMem::digest) is the determinism criterion
 //! used throughout the test-suite and benchmarks.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
 use crate::config::{EngineKind, GpuConfig};
@@ -32,14 +32,15 @@ use crate::exec::{
     AtomicIssue, AtomicRoute, BarrierRelease, ExecutionModel, FenceAction, ModelCtx, SchedCensus,
     SchedId, StoreRoute, WakeCmd, WarpId,
 };
-use crate::isa::{AtomicAccess, AtomicOp, Instr, MemAccess};
+use crate::imeta::{warp_meta, InstrMeta, WarpMeta};
+use crate::isa::{AtomicAccess, AtomicOp, Instr};
 use crate::kernel::{CtaDistribution, KernelGrid};
-use crate::lock::LockManager;
+use crate::lock::{LockManager, LockPrescan};
 use crate::mem::cache::Probe;
 use crate::mem::icnt::Interconnect;
-use crate::mem::packet::{AtomKind, Packet, Payload, RopOp, WarpRef};
+use crate::mem::packet::{AtomKind, Packet, Payload, WarpRef};
 use crate::mem::partition::MemPartition;
-use crate::mem::{partition_of, sector_align};
+use crate::mem::partition_of;
 use crate::ndet::NdetSource;
 use crate::par::{ClusterShard, Phase, WorkerPool};
 use crate::sched::{SchedKind, WarpView};
@@ -92,31 +93,78 @@ impl RunReport {
     }
 }
 
+/// Seed-invariant, per-kernel shared state: everything a batched run
+/// computes once and shares read-only across replication lanes, because it
+/// is a pure function of the trace IR and the machine geometry — never of
+/// the timing seed. The solo path uses the identical tables (built once per
+/// kernel), so both paths execute the same issue code on the same data.
 #[derive(Debug)]
-struct Dispatcher {
-    /// Dynamic mode: shared queue of CTA indices.
-    dynamic_queue: VecDeque<usize>,
-    /// Static mode: per-SM queues of CTA indices.
-    static_queues: Vec<VecDeque<usize>>,
+pub struct KernelStatics {
     /// Deterministic unique-id base per CTA.
     unique_bases: Vec<u64>,
-    is_static: bool,
-    rr: usize,
+    /// Pre-registered deterministic lock tickets for the whole grid.
+    lock_prescan: LockPrescan,
+    /// Per-CTA, per-warp instruction metadata tables. CTAs reusing one
+    /// `Arc<WarpProgram>` share one table.
+    metas: Vec<Vec<Arc<WarpMeta>>>,
 }
 
-impl Dispatcher {
-    fn new(grid: &KernelGrid, dist: CtaDistribution, num_sms: usize) -> Self {
+impl KernelStatics {
+    /// Builds the shared tables for `grid` under `cfg`'s geometry.
+    pub fn build(cfg: &GpuConfig, grid: &KernelGrid) -> Arc<Self> {
         let mut unique_bases = Vec::with_capacity(grid.ctas.len());
         let mut base = 0u64;
         for cta in &grid.ctas {
             unique_bases.push(base);
             base += cta.num_warps() as u64;
         }
+        let mut lock_prescan = LockPrescan::default();
+        let mut by_program: HashMap<usize, Arc<WarpMeta>> = HashMap::new();
+        let mut metas = Vec::with_capacity(grid.ctas.len());
+        for (idx, cta) in grid.ctas.iter().enumerate() {
+            let mut cta_metas = Vec::with_capacity(cta.warps.len());
+            for (w, program) in cta.warps.iter().enumerate() {
+                lock_prescan.scan_warp(program, unique_bases[idx] + w as u64);
+                let meta = by_program
+                    .entry(Arc::as_ptr(program) as usize)
+                    .or_insert_with(|| warp_meta(program, cfg));
+                cta_metas.push(Arc::clone(meta));
+            }
+            metas.push(cta_metas);
+        }
+        lock_prescan.finish();
+        Arc::new(Self {
+            unique_bases,
+            lock_prescan,
+            metas,
+        })
+    }
+}
+
+#[derive(Debug)]
+struct Dispatcher {
+    /// Dynamic mode: shared queue of CTA indices.
+    dynamic_queue: VecDeque<usize>,
+    /// Static mode: per-SM queues of CTA indices.
+    static_queues: Vec<VecDeque<usize>>,
+    /// Shared per-kernel tables (unique-id bases, instruction metadata).
+    statics: Arc<KernelStatics>,
+    is_static: bool,
+    rr: usize,
+}
+
+impl Dispatcher {
+    fn new(
+        grid: &KernelGrid,
+        dist: CtaDistribution,
+        num_sms: usize,
+        statics: Arc<KernelStatics>,
+    ) -> Self {
         match dist {
             CtaDistribution::Dynamic => Self {
                 dynamic_queue: (0..grid.ctas.len()).collect(),
                 static_queues: Vec::new(),
-                unique_bases,
+                statics,
                 is_static: false,
                 rr: 0,
             },
@@ -130,7 +178,7 @@ impl Dispatcher {
                 Self {
                     dynamic_queue: VecDeque::new(),
                     static_queues: queues,
-                    unique_bases,
+                    statics,
                     is_static: true,
                     rr: 0,
                 }
@@ -244,6 +292,11 @@ fn pkt_kind(payload: &Payload) -> obs::PacketKind {
 /// Cycles of engine inactivity after which the engine declares deadlock.
 const DEADLOCK_HORIZON: u64 = 5_000_000;
 
+/// Cycles a replication lane runs per pick before the laggard re-selects.
+/// Large enough to amortize swapping lane working sets through the host
+/// caches, small enough that lanes still advance in rough lockstep.
+const REPLICATION_BURST: u64 = 4096;
+
 impl GpuSim {
     /// Builds a simulator for `cfg` running `model`, with hardware timing
     /// perturbations drawn from `ndet`.
@@ -354,14 +407,133 @@ impl GpuSim {
         }
     }
 
+    /// Runs `kernels` on a bank of replication lanes in one batched pass,
+    /// returning one report per lane, in lane order.
+    ///
+    /// Every lane must share lane 0's configuration; per-lane state is only
+    /// what the timing seed can touch (ndet streams, DRAM/latency state,
+    /// interconnect arbitration, statistics). Unique-id bases, lock-ticket
+    /// prescans, and per-instruction metadata ([`KernelStatics`]) are
+    /// computed once per kernel and shared read-only. Lanes tick
+    /// independently inside one interleaved loop — each step advances the
+    /// laggard lane (lowest cycle, then lowest index), and each lane's
+    /// event wheel keeps folding its own next-event hints exactly as in a
+    /// solo run — so every lane's report is bit-identical to what a solo
+    /// [`run`](Self::run) with the same seed would produce (`wall` and
+    /// derived throughput excepted, as always).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `lanes` is empty or a lane's configuration differs from
+    /// lane 0's. With more than one lane, also panics when tracing
+    /// (`DAB_TRACE`) is enabled — a batched run would interleave the lanes'
+    /// traces — or when a lane carries a schedule oracle (record/replay
+    /// needs a single lane's decision log); run such jobs solo.
+    pub fn run_replicated(lanes: Vec<GpuSim>, kernels: &[KernelGrid]) -> Vec<RunReport> {
+        assert!(!lanes.is_empty(), "run_replicated needs at least one lane");
+        for (i, lane) in lanes.iter().enumerate().skip(1) {
+            assert!(
+                lane.cfg == lanes[0].cfg,
+                "replication lane {i} was built with a different GpuConfig than lane 0"
+            );
+        }
+        if lanes.len() > 1 {
+            assert!(
+                lanes.iter().all(|l| l.tracer.is_none()),
+                "DAB_TRACE is unsupported with more than one replication lane \
+                 ({} lanes would interleave one trace stream); set \
+                 DAB_REPLICATIONS=1 for traced runs",
+                lanes.len()
+            );
+            assert!(
+                lanes.iter().all(|l| !l.ndet.has_oracle()),
+                "schedule record/replay is unsupported with more than one \
+                 replication lane (the decision log must reflect a single \
+                 lane's schedule); set DAB_REPLICATIONS=1"
+            );
+        }
+        let threads = lanes[0].cfg.sim_threads.min(lanes[0].clusters.len()).max(1);
+        if threads > 1 {
+            std::thread::scope(|scope| {
+                let pool = WorkerPool::start(scope, threads);
+                Self::run_replicated_inner(lanes, kernels, Some(&pool))
+            })
+        } else {
+            Self::run_replicated_inner(lanes, kernels, None)
+        }
+    }
+
+    fn run_replicated_inner(
+        mut lanes: Vec<GpuSim>,
+        kernels: &[KernelGrid],
+        pool: Option<&WorkerPool>,
+    ) -> Vec<RunReport> {
+        let started = std::time::Instant::now();
+        let n = lanes.len();
+        let event = lanes[0].cfg.engine == EngineKind::Event;
+        let mut kernel_cycles: Vec<Vec<(String, u64)>> =
+            (0..n).map(|_| Vec::with_capacity(kernels.len())).collect();
+        for grid in kernels {
+            // Shared once across every lane of this kernel.
+            let statics = KernelStatics::build(&lanes[0].cfg, grid);
+            let starts: Vec<u64> = lanes.iter().map(|l| l.cycle).collect();
+            let mut dispatchers: Vec<Dispatcher> = lanes
+                .iter_mut()
+                .map(|l| l.begin_kernel(grid, &statics))
+                .collect();
+            let mut live: Vec<usize> = (0..n).collect();
+            while !live.is_empty() {
+                // Step the laggard lane; ties break toward the lowest
+                // index. The interleaving is deterministic, though lanes
+                // share no mutable state, so any order gives the same
+                // per-lane results. Each pick runs a bounded burst of
+                // cycles rather than a single one: a lane's working set
+                // (caches, queues, warp contexts) is far larger than the
+                // few bytes the laggard choice reads, so per-cycle
+                // rotation would evict every lane's state on every step.
+                let i = *live
+                    .iter()
+                    .min_by_key(|&&i| (lanes[i].cycle, i))
+                    .expect("live lanes");
+                for _ in 0..REPLICATION_BURST {
+                    if lanes[i].kernel_step(grid, &mut dispatchers[i], pool, event) {
+                        live.retain(|&l| l != i);
+                        break;
+                    }
+                }
+            }
+            for (i, lane) in lanes.iter_mut().enumerate() {
+                lane.end_kernel();
+                kernel_cycles[i].push((grid.name.clone(), lane.cycle - starts[i]));
+            }
+        }
+        lanes
+            .into_iter()
+            .zip(kernel_cycles)
+            .map(|(lane, kc)| lane.finish_report(kc, started))
+            .collect()
+    }
+
     fn run_inner(mut self, kernels: &[KernelGrid], pool: Option<&WorkerPool>) -> RunReport {
         let started = std::time::Instant::now();
         let mut kernel_cycles = Vec::with_capacity(kernels.len());
         for grid in kernels {
+            let statics = KernelStatics::build(&self.cfg, grid);
             let start = self.cycle;
-            self.run_kernel(grid, pool);
+            self.run_kernel(grid, &statics, pool);
             kernel_cycles.push((grid.name.clone(), self.cycle - start));
         }
+        self.finish_report(kernel_cycles, started)
+    }
+
+    /// Folds shard, partition, and activity counters into the final stats
+    /// and consumes the simulator into its [`RunReport`]. Shared verbatim
+    /// by the solo and replicated paths.
+    fn finish_report(
+        mut self,
+        kernel_cycles: Vec<(String, u64)>,
+        started: std::time::Instant,
+    ) -> RunReport {
         // Issue-path counters accumulate per shard while a kernel runs (so
         // pool workers never touch shared stats); fold them in here in
         // cluster-index order, which keeps merged counters identical at any
@@ -408,22 +580,42 @@ impl GpuSim {
         }
     }
 
-    fn run_kernel(&mut self, grid: &KernelGrid, pool: Option<&WorkerPool>) {
+    fn run_kernel(
+        &mut self,
+        grid: &KernelGrid,
+        statics: &Arc<KernelStatics>,
+        pool: Option<&WorkerPool>,
+    ) {
+        let mut dispatcher = self.begin_kernel(grid, statics);
+        let event = self.cfg.engine == EngineKind::Event;
+        while !self.kernel_step(grid, &mut dispatcher, pool, event) {}
+        self.end_kernel();
+    }
+
+    /// Installs per-kernel state — the dispatcher over the shared statics,
+    /// the pre-registered lock tickets, the model's kernel hook — and
+    /// returns the dispatcher driving CTA placement.
+    fn begin_kernel(&mut self, grid: &KernelGrid, statics: &Arc<KernelStatics>) -> Dispatcher {
         let dist = self.model.cta_distribution(self.cfg.num_sms());
-        let mut dispatcher = Dispatcher::new(grid, dist, self.cfg.num_sms());
-        // Pre-register deterministic lock tickets.
-        for (idx, cta) in grid.ctas.iter().enumerate() {
-            for (w, program) in cta.warps.iter().enumerate() {
-                self.locks
-                    .prescan_warp(program, dispatcher.unique_bases[idx] + w as u64);
-            }
-        }
-        self.locks.finish_prescan();
+        let dispatcher = Dispatcher::new(grid, dist, self.cfg.num_sms(), Arc::clone(statics));
+        self.locks.install_prescan(&statics.lock_prescan);
         self.model.on_kernel_start(&grid.name, grid.ctas.len());
         self.last_progress_cycle = self.cycle;
-        let event = self.cfg.engine == EngineKind::Event;
+        dispatcher
+    }
 
-        loop {
+    /// Runs one iteration of the per-cycle loop; returns `true` when the
+    /// kernel is complete, *without* advancing past the completion cycle
+    /// (exactly the solo loop's `break`). Replication lanes step through
+    /// here independently.
+    fn kernel_step(
+        &mut self,
+        grid: &KernelGrid,
+        dispatcher: &mut Dispatcher,
+        pool: Option<&WorkerPool>,
+        event: bool,
+    ) -> bool {
+        {
             // Emit any due time-series samples before this cycle's work
             // mutates state: a catch-up row for grid point `g` reads the
             // machine exactly as it stood at the top of cycle `g`, because
@@ -443,12 +635,12 @@ impl GpuSim {
             // per-cluster outboxes enter the interconnect in cluster-index
             // order, regardless of which worker produced them.
             self.merge_outboxes();
-            self.dispatch(grid, &mut dispatcher);
+            self.dispatch(grid, dispatcher);
             self.model_tick(dispatcher.all_dispatched(), pool);
             self.apply_wakes();
 
-            if self.kernel_done(&dispatcher) {
-                break;
+            if self.kernel_done(dispatcher) {
+                return true;
             }
             if event {
                 self.advance_cycle_event();
@@ -501,6 +693,12 @@ impl GpuSim {
                 );
             }
         }
+        false
+    }
+
+    /// Kernel epilogue: model and scheduler boundary hooks, lock reset, and
+    /// the inter-kernel cycle gap.
+    fn end_kernel(&mut self) {
         self.model.on_kernel_end();
         for cluster in &mut self.clusters {
             for sm in &mut cluster.sms {
@@ -1180,10 +1378,11 @@ impl GpuSim {
 
     fn issue_one(&mut self, sm_idx: usize, sched: usize, slot: usize) {
         let cycle = self.cycle;
-        let (program, pc, unique, lanes) = {
+        let (program, meta, pc, unique, lanes) = {
             let w = self.sm(sm_idx).warps[slot].as_ref().expect("picked warp");
             (
                 Arc::clone(&w.program),
+                Arc::clone(&w.meta),
                 w.pc,
                 w.unique,
                 w.program.active_lanes,
@@ -1219,17 +1418,25 @@ impl GpuSim {
                     w.next_ready = cycle + 1;
                 }
             }
-            Instr::Load { accesses } => {
-                issued = self.issue_load(sm_idx, slot, cluster, accesses);
+            Instr::Load { .. } => {
+                let InstrMeta::Sectors(sectors) = meta.at(pc) else {
+                    unreachable!("load without sector metadata")
+                };
+                issued = self.issue_load(sm_idx, slot, cluster, sectors);
             }
-            Instr::Store { accesses } => {
-                issued = self.issue_store(warp_id, cluster, accesses);
+            Instr::Store { .. } => {
+                let InstrMeta::Sectors(sectors) = meta.at(pc) else {
+                    unreachable!("store without sector metadata")
+                };
+                issued = self.issue_store(warp_id, cluster, sectors);
             }
             Instr::Red { op, accesses } => {
-                issued = self.issue_atomic(warp_id, cluster, *op, accesses, AtomKind::Red);
+                issued =
+                    self.issue_atomic(warp_id, cluster, *op, accesses, AtomKind::Red, meta.at(pc));
             }
             Instr::Atom { op, accesses } => {
-                issued = self.issue_atomic(warp_id, cluster, *op, accesses, AtomKind::Atom);
+                issued =
+                    self.issue_atomic(warp_id, cluster, *op, accesses, AtomKind::Atom, meta.at(pc));
             }
             Instr::Bar => {
                 self.issue_barrier(sm_idx, slot);
@@ -1305,34 +1512,15 @@ impl GpuSim {
         }
     }
 
-    /// Collects the unique sector addresses of a set of accesses.
-    fn sectors_of(&self, accesses: &[MemAccess]) -> Vec<u64> {
-        let sector = self.cfg.sector_size as u64;
-        let mut sectors: Vec<u64> = accesses
-            .iter()
-            .flat_map(|a| a.addrs.iter().map(|&addr| sector_align(addr, sector)))
-            .collect();
-        sectors.sort_unstable();
-        sectors.dedup();
-        sectors
-    }
-
-    fn issue_load(
-        &mut self,
-        sm_idx: usize,
-        slot: usize,
-        cluster: usize,
-        accesses: &[MemAccess],
-    ) -> bool {
+    fn issue_load(&mut self, sm_idx: usize, slot: usize, cluster: usize, sectors: &[u64]) -> bool {
         let cycle = self.cycle;
-        let sectors = self.sectors_of(accesses);
-        // Probe L1 for each sector.
+        // Probe L1 for each precomputed sector.
         let mut missing: Vec<u64> = Vec::new();
         {
             let spc = self.cfg.sms_per_cluster;
             let shard = &mut self.clusters[cluster];
             let sm = &mut shard.sms[sm_idx % spc];
-            for &s in &sectors {
+            for &s in sectors {
                 shard.stats.l1_accesses += 1;
                 match sm.l1.probe(s) {
                     Probe::Hit => {}
@@ -1405,11 +1593,10 @@ impl GpuSim {
         true
     }
 
-    fn issue_store(&mut self, warp_id: WarpId, cluster: usize, accesses: &[MemAccess]) -> bool {
+    fn issue_store(&mut self, warp_id: WarpId, cluster: usize, sectors: &[u64]) -> bool {
         let cycle = self.cycle;
         let sm_idx = warp_id.sched.sm;
         let slot = warp_id.slot;
-        let sectors = self.sectors_of(accesses);
         if self.model.on_store(warp_id, sectors.len(), cycle) == StoreRoute::Buffered {
             // Absorbed by a model-side store buffer: no traffic now.
             let w = self.sm_mut(sm_idx).warps[slot]
@@ -1423,17 +1610,10 @@ impl GpuSim {
             self.clusters[cluster].stats.icnt_stall_cycles += 1;
             return false;
         }
-        // Functional write (DRF programs: order vs. other warps irrelevant).
-        for acc in accesses {
-            for &addr in &acc.addrs {
-                // Stores carry data patterns the workloads pre-computed; the
-                // timing model only needs addresses, and reduction outputs
-                // are written by atomics, so store *data* is not modeled.
-                let _ = addr;
-            }
-        }
+        // Store *data* is not modeled: the timing model only needs sector
+        // addresses, and reduction outputs are written by atomics.
         let warp_ref = WarpRef { sm: sm_idx, slot };
-        for &s in &sectors {
+        for &s in sectors {
             // Write-through, write-evict at the L1.
             self.sm_mut(sm_idx).l1.evict_sector(s);
             let pkt = Packet::new(
@@ -1463,6 +1643,7 @@ impl GpuSim {
         op: AtomicOp,
         accesses: &[AtomicAccess],
         kind: AtomKind,
+        meta: &InstrMeta,
     ) -> bool {
         let cycle = self.cycle;
         let sm_idx = warp_id.sched.sm;
@@ -1494,31 +1675,21 @@ impl GpuSim {
             }
             AtomicRoute::ToMemory => {
                 // Fast-fail when the injection queue is jammed, before
-                // building coalescing groups (retried every cycle).
+                // touching the precomputed groups (retried every cycle).
                 if !self.can_send_request(cluster, 1) {
                     self.clusters[cluster].stats.icnt_stall_cycles += 1;
                     return false;
                 }
-                // Coalesce into one transaction per sector (baseline GPU).
-                let sector = self.cfg.sector_size as u64;
-                let mut groups: Vec<(u64, Vec<RopOp>)> = Vec::new();
-                for acc in accesses {
-                    let s = sector_align(acc.addr, sector);
-                    let rop = RopOp {
-                        addr: acc.addr,
-                        op,
-                        arg: acc.arg,
-                    };
-                    match groups.iter_mut().find(|(gs, _)| *gs == s) {
-                        Some((_, ops)) => ops.push(rop),
-                        None => groups.push((s, vec![rop])),
-                    }
-                }
-                let total_flits: u32 = groups
-                    .iter()
-                    .map(|(_, ops)| (8 + 9 * ops.len()).div_ceil(self.cfg.icnt_flit_size) as u32)
-                    .sum();
-                if !self.can_send_request(cluster, total_flits) {
+                // Per-sector coalescing groups and the flit total are
+                // precomputed in the shared [`WarpMeta`] table.
+                let InstrMeta::Atomic {
+                    groups,
+                    total_flits,
+                } = meta
+                else {
+                    unreachable!("atomic without coalescing metadata")
+                };
+                if !self.can_send_request(cluster, *total_flits) {
                     self.clusters[cluster].stats.icnt_stall_cycles += 1;
                     return false;
                 }
@@ -1528,11 +1699,11 @@ impl GpuSim {
                     .expect("picked warp")
                     .unique;
                 let n_groups = groups.len() as u32;
-                for (s, ops) in groups {
+                for g in groups.iter() {
                     let pkt = Packet::new(
-                        partition_of(s, self.cfg.num_mem_partitions),
+                        g.dest,
                         Payload::AtomicReq {
-                            ops,
+                            ops: g.ops.to_vec(),
                             warp: warp_ref,
                             kind,
                             unique,
@@ -1844,8 +2015,13 @@ impl GpuSim {
                 let cta = &grid.ctas[cta_idx];
                 if self.sm(sm_idx).can_accept(cta) {
                     dispatcher.static_queues[sm_idx].pop_front();
-                    let base = dispatcher.unique_bases[cta_idx];
-                    let slots = self.sm_mut(sm_idx).add_cta(cta, base, cycle);
+                    let base = dispatcher.statics.unique_bases[cta_idx];
+                    let slots = self.sm_mut(sm_idx).add_cta(
+                        cta,
+                        base,
+                        cycle,
+                        &dispatcher.statics.metas[cta_idx],
+                    );
                     self.notify_spawns(sm_idx, &slots);
                     self.progress();
                 }
@@ -1891,8 +2067,13 @@ impl GpuSim {
                     let cta = &grid.ctas[cta_idx];
                     if self.sm(sm_idx).can_accept(cta) {
                         dispatcher.dynamic_queue.pop_front();
-                        let base = dispatcher.unique_bases[cta_idx];
-                        let slots = self.sm_mut(sm_idx).add_cta(cta, base, cycle);
+                        let base = dispatcher.statics.unique_bases[cta_idx];
+                        let slots = self.sm_mut(sm_idx).add_cta(
+                            cta,
+                            base,
+                            cycle,
+                            &dispatcher.statics.metas[cta_idx],
+                        );
                         self.notify_spawns(sm_idx, &slots);
                         assigned += 1;
                         self.progress();
@@ -1989,7 +2170,7 @@ impl GpuSim {
 mod tests {
     use super::*;
     use crate::exec::BaselineModel;
-    use crate::isa::{LockKind, Value, WarpProgram};
+    use crate::isa::{LockKind, MemAccess, Value, WarpProgram};
     use crate::kernel::CtaSpec;
 
     fn sum_grid(warps: usize, lanes: usize, target: u64) -> KernelGrid {
@@ -2428,7 +2609,9 @@ mod tests {
             NdetSource::disabled(),
         );
         let empty = KernelGrid::new("noop", vec![]);
-        let dispatcher = Dispatcher::new(&empty, CtaDistribution::Dynamic, sim.cfg.num_sms());
+        let statics = KernelStatics::build(&sim.cfg, &empty);
+        let dispatcher =
+            Dispatcher::new(&empty, CtaDistribution::Dynamic, sim.cfg.num_sms(), statics);
         assert!(sim.kernel_done(&dispatcher), "idle machine must be done");
 
         let pkt = Packet::new(
@@ -2474,6 +2657,92 @@ mod tests {
                 assert_eq!(serial, run(threads, seed), "threads={threads} seed={seed}");
             }
         }
+    }
+
+    #[test]
+    fn replicated_lanes_match_solo_runs_per_seed() {
+        // Order-sensitive f32 reductions so seeds genuinely diverge, two
+        // kernels so the inter-kernel boundary is exercised.
+        let kernels = || vec![sum_grid(16, 32, 0x200), sum_grid(8, 32, 0x300)];
+        let mk = |seed: u64| {
+            GpuSim::new(
+                GpuConfig::tiny(),
+                Box::new(BaselineModel::new()),
+                NdetSource::seeded(seed),
+            )
+        };
+        let fingerprint = |r: &RunReport| {
+            (
+                r.cycles(),
+                r.digest(),
+                format!("{:?}", r.stats),
+                r.kernel_cycles.clone(),
+            )
+        };
+        let seeds = [1u64, 2, 3, 4];
+        let solo: Vec<_> = seeds
+            .iter()
+            .map(|&seed| fingerprint(&mk(seed).run(&kernels())))
+            .collect();
+        let lanes: Vec<GpuSim> = seeds.iter().map(|&seed| mk(seed)).collect();
+        let batched = GpuSim::run_replicated(lanes, &kernels());
+        assert_eq!(batched.len(), seeds.len());
+        for (i, (r, want)) in batched.iter().zip(&solo).enumerate() {
+            assert_eq!(&fingerprint(r), want, "lane {i} (seed {})", seeds[i]);
+        }
+    }
+
+    #[test]
+    fn replicated_single_lane_matches_run() {
+        let mk = || {
+            GpuSim::new(
+                GpuConfig::tiny(),
+                Box::new(BaselineModel::new()),
+                NdetSource::seeded(9),
+            )
+        };
+        let solo = mk().run(&[sum_grid(8, 32, 0x100)]);
+        let batched = GpuSim::run_replicated(vec![mk()], &[sum_grid(8, 32, 0x100)]);
+        assert_eq!(batched.len(), 1);
+        assert_eq!(batched[0].cycles(), solo.cycles());
+        assert_eq!(batched[0].digest(), solo.digest());
+        assert_eq!(
+            format!("{:?}", batched[0].stats),
+            format!("{:?}", solo.stats)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "different GpuConfig")]
+    fn replicated_lanes_reject_mixed_configs() {
+        let lanes = vec![
+            GpuSim::new(
+                GpuConfig::tiny(),
+                Box::new(BaselineModel::new()),
+                NdetSource::seeded(0),
+            ),
+            GpuSim::new(
+                GpuConfig::small(),
+                Box::new(BaselineModel::new()),
+                NdetSource::seeded(1),
+            ),
+        ];
+        let _ = GpuSim::run_replicated(lanes, &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "DAB_TRACE is unsupported")]
+    fn replicated_lanes_reject_tracing() {
+        let mk = |seed| {
+            let mut cfg = GpuConfig::tiny();
+            cfg.trace = obs::TraceMode::Summary;
+            GpuSim::new(
+                cfg,
+                Box::new(BaselineModel::new()),
+                NdetSource::seeded(seed),
+            )
+        };
+        let _ = GpuSim::run_replicated(vec![mk(0), mk(1)], &[]);
     }
 
     #[test]

@@ -55,6 +55,7 @@
 pub mod config;
 pub mod engine;
 pub mod exec;
+pub mod imeta;
 pub mod isa;
 pub mod kernel;
 pub mod lock;

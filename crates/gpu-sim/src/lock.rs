@@ -63,6 +63,72 @@ pub struct LockManager {
     base_roundtrip: u64,
 }
 
+/// The seed-invariant product of a whole-grid lock pre-scan: every ticket
+/// that will ever arrive at each lock address, sorted ascending.
+///
+/// The expected-ticket sets are a pure function of the kernel's warp
+/// programs and deterministic warp ids — never of the timing seed — so a
+/// replication-batched run builds one `LockPrescan` per kernel and installs
+/// it into every lane's [`LockManager`] with
+/// [`install_prescan`](LockManager::install_prescan) (a cheap clone of the
+/// sorted vectors) instead of re-walking every program per lane. The solo
+/// engine uses the same path, so both produce bit-identical lock state.
+#[derive(Debug, Default, Clone)]
+pub struct LockPrescan {
+    /// Per lock address: the full expected ticket set, ascending. Sorted by
+    /// address so installation order is deterministic (the `LockManager`'s
+    /// own map is unordered, but its behavior only depends on contents).
+    expected: Vec<(u64, Vec<u64>)>,
+}
+
+impl LockPrescan {
+    /// Accumulates the expected tickets of one warp program, exactly as
+    /// [`LockManager::prescan_warp`] would.
+    pub fn scan_warp(&mut self, program: &WarpProgram, unique: u64) {
+        let mut occurrence: HashMap<u64, u32> = HashMap::new();
+        for instr in &program.instrs {
+            if let Instr::LockedSection {
+                lock_addr,
+                accesses,
+                ..
+            } = instr
+            {
+                let occ = occurrence.entry(*lock_addr).or_insert(0);
+                let tickets = match self.expected.iter_mut().find(|(a, _)| a == lock_addr) {
+                    Some((_, tickets)) => tickets,
+                    None => {
+                        self.expected.push((*lock_addr, Vec::new()));
+                        &mut self.expected.last_mut().expect("just pushed").1
+                    }
+                };
+                for acc in accesses {
+                    tickets.push(ticket_for(unique, *occ, acc.lane));
+                }
+                *occ += 1;
+            }
+        }
+    }
+
+    /// Sorts the ticket sets; call once after all scans.
+    ///
+    /// # Panics
+    ///
+    /// Panics if two lanes produced the same ticket (a workload bug).
+    pub fn finish(&mut self) {
+        self.expected.sort_unstable_by_key(|(addr, _)| *addr);
+        for (addr, tickets) in &mut self.expected {
+            tickets.sort_unstable();
+            let before = tickets.len();
+            tickets.dedup();
+            assert_eq!(
+                before,
+                tickets.len(),
+                "duplicate lock tickets for lock 0x{addr:x}"
+            );
+        }
+    }
+}
+
 impl LockManager {
     /// Creates a manager; `cfg` calibrates the memory round-trip cost that
     /// every lock hand-off pays.
@@ -117,6 +183,29 @@ impl LockManager {
             let before = state.expected.len();
             state.expected.dedup();
             assert_eq!(before, state.expected.len(), "duplicate lock tickets");
+        }
+    }
+
+    /// Installs a finished [`LockPrescan`] as this manager's expected
+    /// ticket sets — equivalent to replaying [`prescan_warp`] for every
+    /// warp followed by [`finish_prescan`], but a memcpy of the already
+    /// sorted vectors instead of a re-walk of every program.
+    ///
+    /// [`prescan_warp`]: Self::prescan_warp
+    /// [`finish_prescan`]: Self::finish_prescan
+    pub fn install_prescan(&mut self, pre: &LockPrescan) {
+        debug_assert!(self.locks.is_empty(), "installing over live lock state");
+        for (addr, tickets) in &pre.expected {
+            self.locks.insert(
+                *addr,
+                LockState {
+                    expected: tickets.clone(),
+                    serve_idx: 0,
+                    arrived: BTreeMap::new(),
+                    in_service: None,
+                    services: 0,
+                },
+            );
         }
     }
 
@@ -505,6 +594,58 @@ mod tests {
             1,
             AtomicOp::AddF32,
         );
+    }
+
+    #[test]
+    fn install_prescan_matches_per_warp_prescan() {
+        // The standalone pre-scan plus install must leave the manager in a
+        // state behaviorally identical to the classic per-warp walk: same
+        // serve order, same release order, same functional result.
+        let programs: Vec<WarpProgram> = (0..3).map(|_| locked_program(2)).collect();
+        let drive = |mut m: LockManager| -> (Vec<WarpRef>, u32, u64) {
+            let mut values = ValueMem::new();
+            for (u, p) in programs.iter().enumerate() {
+                if let Instr::LockedSection { accesses, .. } = &p.instrs[0] {
+                    m.acquire(
+                        WarpRef { sm: 0, slot: u },
+                        u as u64,
+                        0,
+                        LockKind::TestAndSet,
+                        LOCK,
+                        accesses,
+                        10,
+                        AtomicOp::AddF32,
+                    );
+                }
+            }
+            let mut released = Vec::new();
+            let mut cycle = 0u64;
+            while m.is_busy() {
+                released.extend(m.tick(cycle, &mut values));
+                cycle += 1;
+            }
+            (released, values.read_bits(0x100), m.services())
+        };
+        let classic = manager_with(&[(0, &programs[0]), (1, &programs[1]), (2, &programs[2])]);
+        let mut pre = LockPrescan::default();
+        for (u, p) in programs.iter().enumerate() {
+            pre.scan_warp(p, u as u64);
+        }
+        pre.finish();
+        let mut installed = LockManager::new(&GpuConfig::tiny());
+        installed.install_prescan(&pre);
+        assert_eq!(drive(classic), drive(installed));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate lock tickets")]
+    fn prescan_rejects_duplicate_tickets() {
+        let p = locked_program(1);
+        let mut pre = LockPrescan::default();
+        // Same unique id twice → identical tickets.
+        pre.scan_warp(&p, 0);
+        pre.scan_warp(&p, 0);
+        pre.finish();
     }
 
     #[test]

@@ -36,6 +36,11 @@ pub const SIM_THREADS_VAR: &str = "DAB_SIM_THREADS";
 /// (`dense` or `event`; see [`EngineKind`]).
 pub const ENGINE_VAR: &str = "DAB_ENGINE";
 
+/// Environment variable selecting the replication-lane count for batched
+/// seed sweeps (see
+/// [`GpuSim::run_replicated`](crate::engine::GpuSim::run_replicated)).
+pub const REPLICATIONS_VAR: &str = "DAB_REPLICATIONS";
+
 /// Error from [`parse_count`]: a worker-count environment variable held
 /// something other than a positive integer.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -105,6 +110,26 @@ pub fn sim_threads_from_env() -> usize {
         },
         Err(std::env::VarError::NotPresent) => 1,
         Err(e) => panic!("{SIM_THREADS_VAR} is not valid unicode: {e}"),
+    }
+}
+
+/// Reads `DAB_REPLICATIONS`; absent means `1` (no replication batching:
+/// every sweep job runs its own solo pass).
+///
+/// The same strict-parsing policy as [`sim_threads_from_env`] applies: a
+/// value that is not a positive integer stops the run.
+///
+/// # Panics
+///
+/// Panics with the [`CountError`] message on an invalid value.
+pub fn replications_from_env() -> usize {
+    match std::env::var(REPLICATIONS_VAR) {
+        Ok(raw) => match parse_count(REPLICATIONS_VAR, &raw) {
+            Ok(n) => n,
+            Err(e) => panic!("{e}"),
+        },
+        Err(std::env::VarError::NotPresent) => 1,
+        Err(e) => panic!("{REPLICATIONS_VAR} is not valid unicode: {e}"),
     }
 }
 
@@ -480,6 +505,23 @@ mod tests {
     fn count_error_reports_the_offending_value() {
         let err = parse_count("DAB_JOBS", "many").expect_err("must reject");
         assert!(err.to_string().contains("\"many\""));
+    }
+
+    #[test]
+    fn replications_parse_under_the_same_strict_policy() {
+        // `replications_from_env` goes through `parse_count` with the
+        // `DAB_REPLICATIONS` name; exercise the named path without touching
+        // process-global env state.
+        assert_eq!(parse_count(REPLICATIONS_VAR, " 8 "), Ok(8));
+        for bad in ["0", "", "four", "-1", "1.5"] {
+            let err = parse_count(REPLICATIONS_VAR, bad)
+                .expect_err("must reject")
+                .to_string();
+            assert!(
+                err.contains("DAB_REPLICATIONS") && err.contains("positive integer"),
+                "unhelpful error for {bad:?}: {err}"
+            );
+        }
     }
 
     fn load_pkt(flit_size: usize) -> Packet {

@@ -849,7 +849,15 @@ mod tests {
         let views = [ready(0, 10), ready(1, 11), ready(2, 12)];
         let mut order = Vec::new();
         for cycle in 0..6 {
-            let slot = s.pick(&views, cycle).unwrap();
+            let slot = s.pick(&views, cycle).unwrap_or_else(|| {
+                panic!(
+                    "SRR declined to pick at cycle {cycle} with {} ready views \
+                     (uniques {:?}, pointer state {s:?}): round-robin must \
+                     always serve some ready warp",
+                    views.len(),
+                    views.iter().map(|v| v.unique).collect::<Vec<_>>(),
+                )
+            });
             let u = views[slot].unique;
             order.push(u);
             s.on_issue(u, false, cycle);

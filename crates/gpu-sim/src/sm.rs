@@ -18,6 +18,7 @@ use std::sync::Arc;
 
 use crate::config::GpuConfig;
 use crate::exec::SchedCensus;
+use crate::imeta::WarpMeta;
 use crate::isa::{Instr, WarpProgram};
 use crate::kernel::CtaSpec;
 use crate::mem::cache::SectoredCache;
@@ -57,6 +58,10 @@ pub struct WarpCtx {
     pub arrival: u64,
     /// The warp's instruction stream.
     pub program: Arc<WarpProgram>,
+    /// Precomputed seed-invariant per-instruction metadata (sector lists,
+    /// atomic coalescing groups), parallel to `program.instrs`. Shared
+    /// read-only across replication lanes in a batched run.
+    pub meta: Arc<WarpMeta>,
     /// Next instruction index.
     pub pc: usize,
     /// Remaining issues of the current run-length-encoded ALU burst.
@@ -314,13 +319,30 @@ impl Sm {
 
     /// Places a CTA onto the SM; returns the slots used.
     ///
-    /// `unique_base` is the deterministic id of the CTA's first warp.
+    /// `unique_base` is the deterministic id of the CTA's first warp;
+    /// `metas` holds one precomputed [`WarpMeta`] per warp of the CTA
+    /// (see [`imeta::warp_meta`](crate::imeta::warp_meta)).
     ///
     /// # Panics
     ///
     /// Panics if the CTA does not fit (callers check
-    /// [`can_accept`](Self::can_accept) first).
-    pub fn add_cta(&mut self, cta: &CtaSpec, unique_base: u64, cycle: u64) -> Vec<usize> {
+    /// [`can_accept`](Self::can_accept) first) or if `metas` does not
+    /// cover every warp.
+    pub fn add_cta(
+        &mut self,
+        cta: &CtaSpec,
+        unique_base: u64,
+        cycle: u64,
+        metas: &[Arc<WarpMeta>],
+    ) -> Vec<usize> {
+        assert_eq!(
+            metas.len(),
+            cta.warps.len(),
+            "CTA {} has {} warps but {} meta tables",
+            cta.cta_id,
+            cta.warps.len(),
+            metas.len()
+        );
         assert!(self.can_accept(cta), "CTA does not fit on SM {}", self.id);
         let cta_key = self.next_cta_key;
         self.next_cta_key += 1;
@@ -353,6 +375,7 @@ impl Sm {
                 batch,
                 arrival,
                 program: Arc::clone(program),
+                meta: Arc::clone(&metas[w]),
                 pc: 0,
                 alu_rem: 0,
                 state: WarpState::Ready,
@@ -568,12 +591,19 @@ mod tests {
         Sm::new(0, &GpuConfig::tiny(), SchedKind::Gto)
     }
 
+    fn metas_for(cta: &CtaSpec) -> Vec<Arc<WarpMeta>> {
+        cta.warps
+            .iter()
+            .map(|p| crate::imeta::warp_meta(p, &GpuConfig::tiny()))
+            .collect()
+    }
+
     #[test]
     fn cta_admission_and_slots() {
         let mut sm = sm();
         let cta = cta(8, 32);
         assert!(sm.can_accept(&cta));
-        let slots = sm.add_cta(&cta, 100, 0);
+        let slots = sm.add_cta(&cta, 100, 0, &metas_for(&cta));
         assert_eq!(slots.len(), 8);
         assert_eq!(sm.live_warps(), 8);
         assert_eq!(sm.resident_threads, 256);
@@ -591,7 +621,7 @@ mod tests {
         for i in 0..8 {
             let c = cta(8, 32);
             assert!(sm.can_accept(&c), "cta {i} should fit");
-            sm.add_cta(&c, i * 8, 0);
+            sm.add_cta(&c, i * 8, 0, &metas_for(&c));
         }
         assert!(!sm.can_accept(&cta(8, 32)));
     }
@@ -603,7 +633,7 @@ mod tests {
         // every slot.
         let big = cta(64, 1);
         assert!(sm.can_accept(&big));
-        sm.add_cta(&big, 0, 0);
+        sm.add_cta(&big, 0, 0, &metas_for(&big));
         assert!(!sm.can_accept(&cta(1, 1)));
     }
 
@@ -611,7 +641,7 @@ mod tests {
     fn retire_restores_capacity() {
         let mut sm = sm();
         let c = cta(8, 32);
-        let slots = sm.add_cta(&c, 0, 0);
+        let slots = sm.add_cta(&c, 0, 0, &metas_for(&c));
         for slot in slots {
             sm.retire_warp(slot, false);
         }
@@ -653,7 +683,7 @@ mod tests {
     fn warp_ctx_helpers() {
         let mut sm = sm();
         let c = cta(1, 32);
-        let slots = sm.add_cta(&c, 7, 0);
+        let slots = sm.add_cta(&c, 7, 0, &metas_for(&c));
         let warp = sm.warps[slots[0]].as_mut().expect("warp resident");
         assert_eq!(warp.unique, 7);
         assert!(warp.next_is_atomic());
@@ -668,7 +698,8 @@ mod tests {
     #[test]
     fn build_views_sorted_and_ready_gated() {
         let mut sm = sm();
-        sm.add_cta(&cta(8, 32), 0, 0);
+        let c = cta(8, 32);
+        sm.add_cta(&c, 0, 0, &metas_for(&c));
         let views = sm.build_views(0, 0, false, false);
         assert_eq!(views.len(), 2, "scheduler 0 owns 2 of the 8 warps");
         assert!(views.windows(2).all(|w| w[0].unique < w[1].unique));
@@ -684,7 +715,8 @@ mod tests {
     #[test]
     fn census_counts_live_per_scheduler() {
         let mut sm = sm();
-        sm.add_cta(&cta(8, 32), 0, 0);
+        let c = cta(8, 32);
+        sm.add_cta(&c, 0, 0, &metas_for(&c));
         let mut rows = vec![SchedCensus::default(); sm.num_schedulers()];
         sm.census_into(false, &mut rows);
         assert!(rows.iter().all(|r| r.live == 2));
@@ -695,7 +727,8 @@ mod tests {
     fn ready_bound_is_a_lower_bound_until_recompute() {
         let mut sm = sm();
         let ns = sm.num_schedulers();
-        let slots = sm.add_cta(&cta(8, 32), 0, 5);
+        let c = cta(8, 32);
+        let slots = sm.add_cta(&c, 0, 5, &metas_for(&c));
         // Spawn at cycle 5 lowers every scheduler's bound to 5.
         assert_eq!(sm.ready_bound(), 5);
         assert_eq!(sm.schedulers[0].ready_bound, 5);
@@ -718,7 +751,7 @@ mod tests {
     fn earliest_ready_tracks_minimum() {
         let mut sm = sm();
         let c = cta(2, 32);
-        let slots = sm.add_cta(&c, 0, 5);
+        let slots = sm.add_cta(&c, 0, 5, &metas_for(&c));
         assert_eq!(sm.earliest_ready(), Some(5));
         sm.warps[slots[0]].as_mut().expect("resident").next_ready = 20;
         sm.warps[slots[1]].as_mut().expect("resident").state = WarpState::WaitMem;

@@ -236,9 +236,14 @@ pub fn bc_trace_with_budget(
     target_pki: f64,
     max_total_instrs: u64,
 ) -> (Vec<KernelGrid>, TraceInfo) {
+    assert!(
+        graph.num_nodes() > 0,
+        "bc_trace({name}): betweenness centrality needs a non-empty graph \
+         (0 nodes leaves no BFS source to select)"
+    );
     let source = (0..graph.num_nodes())
         .max_by_key(|&u| graph.degree(u))
-        .expect("non-empty graph");
+        .expect("non-empty graph was just validated");
     let levels = graph.bfs_levels(source);
     let sigma = brandes_sigma(graph, &levels);
     let delta = brandes_delta(graph, &levels, &sigma);
@@ -345,6 +350,13 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "non-empty graph")]
+    fn empty_graph_is_rejected_by_name() {
+        let empty = Graph { adj: Vec::new() };
+        let _ = bc_trace(&empty, "bc_empty", 4.0);
+    }
+
+    #[test]
     fn trace_has_forward_and_backward_kernels() {
         let g = small_graph();
         let (grids, info) = bc_trace(&g, "bc_t", 6.0);
@@ -371,7 +383,9 @@ mod tests {
         // Integer-exact check: the total of all forward sigma pushes equals
         // sum(sigma) - sigma(source) when starting from zeroed memory.
         let g = small_graph();
-        let source = (0..g.num_nodes()).max_by_key(|&u| g.degree(u)).unwrap();
+        let source = (0..g.num_nodes())
+            .max_by_key(|&u| g.degree(u))
+            .expect("small_graph is non-empty");
         let levels = g.bfs_levels(source);
         let sigma = brandes_sigma(&g, &levels);
         let (grids, _) = bc_trace(&g, "bc_t", 6.0);
