@@ -94,6 +94,9 @@ fn main() {
         "wakeups",
         "sms_ticked",
         "sched_scans",
+        "commit_par_cycles",
+        "commit_groups",
+        "parts_ticked",
     ]);
     for (b, &(_, dab_id, _)) in suite.iter().zip(&ids) {
         let s = &results[dab_id].stats;
@@ -104,6 +107,9 @@ fn main() {
             s.counter("engine.wakeup_events").to_string(),
             s.counter("engine.sms_ticked").to_string(),
             s.counter("engine.scheduler_scans").to_string(),
+            s.counter("engine.commit_parallel_cycles").to_string(),
+            s.counter("engine.commit_groups").to_string(),
+            s.counter("engine.partitions_ticked").to_string(),
         ]);
     }
     println!();

@@ -62,6 +62,7 @@ impl Runner {
         let scale = Scale::from_env();
         let mut gpu = scale.gpu();
         gpu.sim_threads = gpu_sim::par::sim_threads_from_env();
+        gpu.commit_shard = gpu_sim::par::commit_shard_from_env();
         gpu.engine = gpu_sim::par::engine_from_env();
         gpu.trace = obs::trace_mode_from_env();
         gpu.trace_sample_interval = obs::sample_interval_from_env();

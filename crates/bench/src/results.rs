@@ -12,6 +12,7 @@
 //!   "scale": "ci",
 //!   "machine": { "sms": 16, "mem_partitions": 8 },
 //!   "seed": 1,
+//!   "host": { "nproc": 8, "sim_threads": 4, "commit_shard": true },
 //!   "workers": 8,
 //!   "wall_secs": 1.234,
 //!   "speedup": 3.21,
@@ -20,7 +21,8 @@
 //!       "cycles": 12345, "digest": "0x0123456789abcdef",
 //!       "icnt_stall_cycles": 17, "l1_miss_rate": 0.25,
 //!       "l2_miss_rate": 0.05, "atomics_pki": 32.1,
-//!       "wall_secs": 0.01, "cycles_per_sec": 1234500.0 }
+//!       "wall_secs": 0.01, "cycles_per_sec": 1234500.0,
+//!       "phase_secs": { "prepare": 0.004, "commit": 0.005, "merge": 0.001 } }
 //!   ],
 //!   "metrics": { "geomean_dab": 1.23 },
 //!   "tables": [
@@ -33,10 +35,13 @@
 //! `digest` is the run's [`gpu_sim::mem::value::ValueMem`] digest — the
 //! determinism criterion — rendered as a hex string so 64-bit values
 //! survive JSON readers that parse numbers as doubles. `wall_secs`,
-//! `speedup` (summed per-run wall over sweep wall: the parallel-sweep win)
-//! and `cycles_per_sec` (per-run simulator throughput) are host
-//! measurements and are **not** deterministic; everything else is
-//! bit-stable for a given scale/seed regardless of `DAB_JOBS`.
+//! `speedup` (summed per-run wall over sweep wall: the parallel-sweep win),
+//! `cycles_per_sec` (per-run simulator throughput), `phase_secs` (per-run
+//! prepare/commit/merge wall breakdown) and the `host` block (CPU count,
+//! `DAB_SIM_THREADS`, `DAB_COMMIT_SHARD`) are host measurements and are
+//! **not** deterministic; everything else is bit-stable for a given
+//! scale/seed regardless of `DAB_JOBS`. The CI equivalence diffs strip
+//! exactly those fields.
 
 use std::fmt::Write as _;
 use std::path::PathBuf;
@@ -52,6 +57,9 @@ pub struct ResultsSink {
     sms: usize,
     mem_partitions: usize,
     seed: u64,
+    nproc: usize,
+    sim_threads: usize,
+    commit_shard: bool,
     workers: Option<usize>,
     wall_secs: Option<f64>,
     /// Summed per-run wall-clock, for the sweep-level `speedup` field.
@@ -74,6 +82,7 @@ struct RunRecord {
     atomics_pki: f64,
     wall_secs: f64,
     cycles_per_sec: f64,
+    phase_secs: (f64, f64, f64),
 }
 
 impl ResultsSink {
@@ -86,6 +95,9 @@ impl ResultsSink {
             sms: runner.gpu.num_sms(),
             mem_partitions: runner.gpu.num_mem_partitions,
             seed: runner.seed,
+            nproc: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            sim_threads: runner.gpu.sim_threads,
+            commit_shard: runner.gpu.commit_shard,
             workers: None,
             wall_secs: None,
             run_secs: 0.0,
@@ -114,6 +126,7 @@ impl ResultsSink {
                 atomics_pki: run.report.stats.atomics_pki(),
                 wall_secs: run.report.wall_secs(),
                 cycles_per_sec: run.report.cycles_per_sec(),
+                phase_secs: run.report.phase_wall.secs(),
             });
         }
         self
@@ -143,6 +156,11 @@ impl ResultsSink {
             self.sms, self.mem_partitions
         );
         let _ = writeln!(out, "  \"seed\": {},", self.seed);
+        let _ = writeln!(
+            out,
+            "  \"host\": {{ \"nproc\": {}, \"sim_threads\": {}, \"commit_shard\": {} }},",
+            self.nproc, self.sim_threads, self.commit_shard
+        );
         if let Some(w) = self.workers {
             let _ = writeln!(out, "  \"workers\": {w},");
         }
@@ -165,7 +183,8 @@ impl ResultsSink {
                  \"digest\": \"0x{:016x}\",\n      \
                  \"icnt_stall_cycles\": {}, \"l1_miss_rate\": {}, \
                  \"l2_miss_rate\": {}, \"atomics_pki\": {},\n      \
-                 \"wall_secs\": {}, \"cycles_per_sec\": {} }}{comma}",
+                 \"wall_secs\": {}, \"cycles_per_sec\": {},\n      \
+                 \"phase_secs\": {{ \"prepare\": {}, \"commit\": {}, \"merge\": {} }} }}{comma}",
                 json_str(&r.label),
                 json_str(&r.model),
                 r.seed,
@@ -177,6 +196,9 @@ impl ResultsSink {
                 json_f64(r.atomics_pki),
                 json_f64(r.wall_secs),
                 json_f64(r.cycles_per_sec),
+                json_f64(r.phase_secs.0),
+                json_f64(r.phase_secs.1),
+                json_f64(r.phase_secs.2),
             );
         }
         out.push_str(if self.runs.is_empty() {

@@ -28,7 +28,8 @@ use std::collections::{HashMap, VecDeque};
 
 use gpu_sim::config::GpuConfig;
 use gpu_sim::exec::{
-    AtomicIssue, AtomicRoute, BarrierRelease, ExecutionModel, FenceAction, ModelCtx, WarpId,
+    AtomicIssue, AtomicRoute, BarrierRelease, ExecutionModel, FenceAction, HookMask, ModelCtx,
+    WarpId,
 };
 use gpu_sim::kernel::CtaDistribution;
 use gpu_sim::mem::packet::{AtomKind, Packet, Payload, RopOp, WarpRef};
@@ -515,6 +516,18 @@ impl ExecutionModel for DabModel {
 
     fn scheduler_kind(&self) -> SchedKind {
         self.dab.scheduler
+    }
+
+    fn commit_hook_mask(&self) -> HookMask {
+        // DAB intercepts atomics (buffering), fences and barriers (flush
+        // epochs), and retirement (warp-level buffers hold finished warps).
+        // Issue gating (`can_issue`/`on_issue`) and stores keep the trait
+        // defaults, so clusters whose ready warps are all on ALU/load/store
+        // work commit in parallel.
+        HookMask::ATOMIC
+            .union(HookMask::FENCE)
+            .union(HookMask::BARRIER)
+            .union(HookMask::RETIRE)
     }
 
     fn cta_distribution(&self, num_sms: usize) -> CtaDistribution {

@@ -150,6 +150,7 @@ fn main() -> ExitCode {
 
     let mut gpu = scale.gpu();
     gpu.sim_threads = gpu_sim::par::sim_threads_from_env();
+    gpu.commit_shard = gpu_sim::par::commit_shard_from_env();
     gpu.engine = gpu_sim::par::engine_from_env();
     let mut cfg = ExploreConfig::new(gpu).with_env_knobs();
     cfg.model = model;

@@ -115,6 +115,16 @@ pub struct GpuConfig {
     /// bit-identical digests, cycle counts, and architectural statistics.
     pub engine: EngineKind,
 
+    /// Whether the commit phase runs independence-sharded (not a Table I
+    /// row: a simulator-host knob, set from `DAB_COMMIT_SHARD`). When on
+    /// (the default), clusters whose per-cycle commit footprint provably
+    /// cannot interact — no lock use, no model hook the execution model
+    /// overrides, pairwise-disjoint destination partitions — commit on
+    /// worker threads with inert hook stand-ins; the rest commit serially
+    /// in cluster order. Either setting produces bit-identical results;
+    /// `false` forces every cluster onto the serial path.
+    pub commit_shard: bool,
+
     /// Structured event tracing mode (not a Table I row: a simulator-host
     /// knob, set from `DAB_TRACE`). [`obs::TraceMode::Off`] (the default)
     /// constructs no tracer at all; `summary` records rare high-signal
@@ -187,6 +197,7 @@ impl GpuConfig {
             rop_latency: 8,
             sim_threads: 1,
             engine: EngineKind::Event,
+            commit_shard: true,
             trace: obs::TraceMode::Off,
             trace_sample_interval: obs::DEFAULT_SAMPLE_INTERVAL,
         }

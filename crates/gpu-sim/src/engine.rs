@@ -27,23 +27,18 @@
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
+use crate::commit::{self, CommitOut, CommitParams, EngineShared, Shared};
 use crate::config::{EngineKind, GpuConfig};
-use crate::exec::{
-    AtomicIssue, AtomicRoute, BarrierRelease, ExecutionModel, FenceAction, ModelCtx, SchedCensus,
-    SchedId, StoreRoute, WakeCmd, WarpId,
-};
-use crate::imeta::{warp_meta, InstrMeta, WarpMeta};
-use crate::isa::{AtomicAccess, AtomicOp, Instr};
+use crate::exec::{ExecutionModel, ModelCtx, SchedCensus, SchedId, WakeCmd, WarpId};
+use crate::imeta::{warp_meta, WarpMeta};
 use crate::kernel::{CtaDistribution, KernelGrid};
 use crate::lock::{LockManager, LockPrescan};
-use crate::mem::cache::Probe;
 use crate::mem::icnt::Interconnect;
-use crate::mem::packet::{AtomKind, Packet, Payload, WarpRef};
+use crate::mem::packet::{AtomKind, Payload, WarpRef};
 use crate::mem::partition::MemPartition;
-use crate::mem::partition_of;
 use crate::ndet::NdetSource;
 use crate::par::{ClusterShard, Phase, WorkerPool};
-use crate::sched::{SchedKind, WarpView};
+use crate::sched::SchedKind;
 use crate::sm::{Sm, WarpState};
 use crate::stats::SimStats;
 use crate::values::ValueMem;
@@ -68,6 +63,9 @@ pub struct RunReport {
     /// and for either engine; the `[engine]` section (cycle-skip spans)
     /// is engine-variant by design.
     pub trace: Option<obs::Trace>,
+    /// Per-phase host wall-clock breakdown (prepare/commit/merge). Like
+    /// [`wall`](Self::wall), a throughput measurement only.
+    pub phase_wall: PhaseWall,
 }
 
 impl RunReport {
@@ -212,8 +210,49 @@ struct ActivityCounters {
     wakeup_events: u64,
     /// SMs entered by an issue phase (not skipped by the active-set walk).
     sms_ticked: u64,
-    /// Schedulers scanned by an issue phase (views built or consumed).
+    /// Full warp-array ready-bound rescans (batch-gate openings and dirty
+    /// mid-commit view rebuilds): the O(warps/scheduler) work incremental
+    /// wake lists avoid. Before wake lists every scheduler visit ended in
+    /// one, so comparing this against older measurements shows the saving.
     scheduler_scans: u64,
+    /// Cycles in which at least one cluster was admitted to the
+    /// independent (sharded) commit path. Classification runs whether or
+    /// not sharding executes, so the value is identical at any
+    /// `DAB_SIM_THREADS` and either `DAB_COMMIT_SHARD` setting.
+    commit_parallel_cycles: u64,
+    /// Total cluster-commits admitted to the independent path (the sum of
+    /// per-cycle commit-group sizes). Same invariance as
+    /// `commit_parallel_cycles`.
+    commit_groups: u64,
+    /// Partitions entered by `tick_partitions` (not skipped by the
+    /// sleeping-partition check).
+    partitions_ticked: u64,
+}
+
+/// Host wall-clock spent inside each engine phase, accumulated across the
+/// whole run. A host measurement like [`RunReport::wall`] — excluded from
+/// every determinism comparison — recorded so perf trajectories can show
+/// *where* a configuration spends its time (prepare on workers, commit on
+/// the coordinator or the sharded path, outbox merge).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct PhaseWall {
+    /// View/census construction (`prepare_views`, serial or pooled).
+    pub prepare: std::time::Duration,
+    /// Commit walk (serial engine-backed plus sharded inert commits).
+    pub commit: std::time::Duration,
+    /// Outbox merge into the interconnect.
+    pub merge: std::time::Duration,
+}
+
+impl PhaseWall {
+    /// `(prepare, commit, merge)` in seconds, for serialization.
+    pub fn secs(&self) -> (f64, f64, f64) {
+        (
+            self.prepare.as_secs_f64(),
+            self.commit.as_secs_f64(),
+            self.merge.as_secs_f64(),
+        )
+    }
 }
 
 /// The simulator: one GPU, one execution model, one run.
@@ -252,26 +291,17 @@ pub struct GpuSim {
     sched_kind: SchedKind,
     last_progress_cycle: u64,
     activity: ActivityCounters,
+    /// Per-cluster admission scratch for the commit classifier (reused
+    /// every cycle to avoid allocation).
+    commit_admit: Vec<bool>,
+    /// Per-phase host wall-clock accumulator (prepare/commit/merge).
+    phase_wall: PhaseWall,
     /// Structured event tracer, `None` when `cfg.trace` is off — the
     /// off-mode fast path is a single pointer null-check per trace site.
     /// All recording happens on the coordinating thread in commit order,
     /// so the trace's deterministic sections are byte-identical at any
     /// `DAB_SIM_THREADS` and for either engine.
     tracer: Option<Box<obs::Tracer>>,
-}
-
-/// Flattens an instruction to its trace event class.
-fn instr_kind(instr: &Instr) -> obs::InstrKind {
-    match instr {
-        Instr::Alu { .. } => obs::InstrKind::Alu,
-        Instr::Load { .. } => obs::InstrKind::Load,
-        Instr::Store { .. } => obs::InstrKind::Store,
-        Instr::Red { .. } => obs::InstrKind::Red,
-        Instr::Atom { .. } => obs::InstrKind::Atom,
-        Instr::Bar => obs::InstrKind::Bar,
-        Instr::Fence => obs::InstrKind::Fence,
-        Instr::LockedSection { .. } => obs::InstrKind::Lock,
-    }
 }
 
 /// Flattens a packet payload to its trace event class.
@@ -354,6 +384,8 @@ impl GpuSim {
             cfg,
             last_progress_cycle: 0,
             activity: ActivityCounters::default(),
+            commit_admit: Vec::new(),
+            phase_wall: PhaseWall::default(),
         }
     }
 
@@ -372,14 +404,6 @@ impl GpuSim {
     /// Iterates SMs in global (cluster-major) order.
     fn sms(&self) -> impl Iterator<Item = &Sm> {
         self.clusters.iter().flat_map(|c| c.sms.iter())
-    }
-
-    /// Marks an SM's prebuilt warp views stale for this cycle (a barrier
-    /// release mutated warp state across schedulers after the parallel
-    /// prepare phase); the commit loop rebuilds views for dirty SMs.
-    fn mark_views_dirty(&mut self, sm_idx: usize) {
-        let spc = self.cfg.sms_per_cluster;
-        self.clusters[sm_idx / spc].mark_dirty(sm_idx % spc);
     }
 
     /// The configuration this simulator was built with.
@@ -552,7 +576,7 @@ impl GpuSim {
                 .bump("rop.fill_stall_cycles", ps.rop_fill_stall_cycles);
             self.stats.bump("dram.accesses", ps.dram_accesses);
         }
-        // Always fold all four activity keys (zeroes included) so the stat
+        // Always fold every activity key (zeroes included) so the stat
         // key set — and hence serialized output — is engine-independent.
         self.stats
             .bump("engine.cycles_skipped", self.activity.cycles_skipped);
@@ -562,6 +586,14 @@ impl GpuSim {
             .bump("engine.sms_ticked", self.activity.sms_ticked);
         self.stats
             .bump("engine.scheduler_scans", self.activity.scheduler_scans);
+        self.stats.bump(
+            "engine.commit_parallel_cycles",
+            self.activity.commit_parallel_cycles,
+        );
+        self.stats
+            .bump("engine.commit_groups", self.activity.commit_groups);
+        self.stats
+            .bump("engine.partitions_ticked", self.activity.partitions_ticked);
         // The `obs.*` family is coordinator-only and thread/engine-invariant
         // (deterministic trace sections only), but exists only when tracing
         // is enabled, so equivalence comparisons must fix the trace mode.
@@ -577,6 +609,7 @@ impl GpuSim {
             kernel_cycles,
             wall: started.elapsed(),
             trace,
+            phase_wall: self.phase_wall,
         }
     }
 
@@ -925,6 +958,14 @@ impl GpuSim {
     fn tick_partitions(&mut self) {
         let trace_full = self.trace_full();
         for p in 0..self.partitions.len() {
+            // Sleeping partitions: skip a partition with no arrived input
+            // and no due internal event. `MemPartition::due` documents why
+            // the skipped tick is a no-op and why the jitter stream is
+            // unperturbed.
+            if !self.icnt.has_arrived_request(p) && !self.partitions[p].due(self.cycle) {
+                continue;
+            }
+            self.activity.partitions_ticked += 1;
             let dram_before = trace_full.then(|| self.partitions[p].stats().dram_accesses);
             // Route arrived request packets.
             while let Some(pkt) = self.icnt.pop_arrived_request(p) {
@@ -1189,8 +1230,25 @@ impl GpuSim {
     fn issue_all(&mut self, pool: Option<&WorkerPool>, event: bool) {
         let det_aware = self.sched_kind.is_determinism_aware();
         let srr_like = self.sched_kind == SchedKind::Srr;
+        let num_mem_partitions = self.cfg.num_mem_partitions;
+        let hook_mask = self.model.commit_hook_mask();
+        let admit = !self.trace_full();
+        let prepare_started = std::time::Instant::now();
         match pool {
-            None => self.issue_all_serial(det_aware, srr_like, event),
+            None => {
+                let cycle = self.cycle;
+                for shard in &mut self.clusters {
+                    shard.prepare_views(
+                        cycle,
+                        det_aware,
+                        srr_like,
+                        event,
+                        num_mem_partitions,
+                        hook_mask,
+                        admit,
+                    );
+                }
+            }
             Some(pool) => {
                 pool.run_phase(
                     &mut self.clusters,
@@ -1199,15 +1257,26 @@ impl GpuSim {
                         det_aware,
                         srr_like,
                         use_ready_bound: event,
+                        num_mem_partitions,
+                        hook_mask,
+                        admit,
                     },
                 );
-                self.issue_commit(det_aware, srr_like, event);
             }
         }
+        let commit_started = std::time::Instant::now();
+        self.phase_wall.prepare += commit_started - prepare_started;
+        self.issue_commit(pool, event);
+        self.phase_wall.commit += commit_started.elapsed();
     }
 
-    /// The serial issue loop: build views, gate, pick, issue — one scheduler
-    /// at a time in global order (the pre-parallelism algorithm, verbatim).
+    /// The commit half of the issue phase: walk clusters in index order and
+    /// commit each via [`commit::commit_cluster`] — consuming the prebuilt
+    /// views in global `(cluster, sm, scheduler)` order, rebuilding any an
+    /// earlier barrier release made stale this cycle. Both the serial and
+    /// the pooled engine run this exact walk — only view *construction*
+    /// moves to worker threads — so results are bit-equal at any
+    /// `DAB_SIM_THREADS`.
     ///
     /// With `event` set, the walk is an active-set traversal: clusters, SMs
     /// and schedulers whose cached [`ready_bound`](Sm::ready_bound) lies in
@@ -1215,138 +1284,180 @@ impl GpuSim {
     /// visit because `ready_bound > cycle` guarantees `build_views` would
     /// return empty (the bound is never stale-high), and an empty view set
     /// is exactly the dense `continue`: no gating, no pick, no issue.
-    /// Bounds are re-derived after every *visited* scheduler, so a stale-low
-    /// bound costs one empty visit and then tightens.
-    fn issue_all_serial(&mut self, det_aware: bool, srr_like: bool, event: bool) {
-        let num_sched = self.cfg.num_schedulers_per_sm;
-        let spc = self.cfg.sms_per_cluster;
-        let cycle = self.cycle;
-        for cl in 0..self.clusters.len() {
-            if event
-                && self.clusters[cl]
-                    .sms
-                    .iter()
-                    .all(|sm| sm.ready_bound() > cycle)
-            {
-                continue;
-            }
-            for local in 0..spc {
-                let sm_idx = cl * spc + local;
-                if event && self.sm(sm_idx).ready_bound() > cycle {
-                    continue;
-                }
-                self.activity.sms_ticked += 1;
-                for sched in 0..num_sched {
-                    if self.sm(sm_idx).schedulers[sched].live == 0 {
-                        continue;
-                    }
-                    if event && self.sm(sm_idx).schedulers[sched].ready_bound > cycle {
-                        continue;
-                    }
-                    self.activity.scheduler_scans += 1;
-                    let mut views = self
-                        .sm(sm_idx)
-                        .build_views(sched, cycle, det_aware, srr_like);
-                    if !views.is_empty() {
-                        self.apply_model_gating(sm_idx, sched, &mut views);
-                        self.pick_and_issue(sm_idx, sched, &views);
-                    }
-                    if event {
-                        self.sm_mut(sm_idx).recompute_ready_bound(sched);
-                    }
-                }
-            }
-        }
-    }
-
-    /// The commit half of the pooled issue phase: consume the prebuilt views
-    /// in global scheduler order, rebuilding any an earlier barrier release
-    /// made stale this cycle.
     ///
-    /// The `event` skip conditions here match the parked check in
+    /// The skip conditions match the parked check in
     /// [`ClusterShard::prepare_views`](crate::par::ClusterShard): mid-commit
-    /// wakes only ever lower a bound to `cycle + 1` (still parked) and
-    /// recomputes happen only after a scheduler's own visit, so prepare and
-    /// commit always agree on which schedulers are active — the walk stays
-    /// bit-identical at any thread count.
-    fn issue_commit(&mut self, det_aware: bool, srr_like: bool, event: bool) {
-        let num_sched = self.cfg.num_schedulers_per_sm;
-        let spc = self.cfg.sms_per_cluster;
+    /// wakes only ever lower a bound to `cycle + 1` (still parked), so
+    /// prepare and commit always agree on which schedulers are active.
+    ///
+    /// **Sharding.** Before the walk, clusters are classified in index
+    /// order: a cluster is *admitted* to the independent path when it has
+    /// commit work this cycle, its [`CommitFootprint`](crate::commit::CommitFootprint) avoids locks and
+    /// every hook the model overrides
+    /// ([`commit_hook_mask`](ExecutionModel::commit_hook_mask)), full
+    /// tracing is off (per-issue trace events must record in global
+    /// order), and its destination partitions are disjoint from every
+    /// earlier admitted cluster's. Admitted clusters commit with
+    /// [`Shared::Inert`] — on pool workers when one is available,
+    /// otherwise inline — and the rest commit serially with
+    /// [`Shared::Engine`] in cluster order. The two sets touch provably
+    /// disjoint state (admitted commits read and write only their own
+    /// shard; packets stage in per-cluster outboxes; no commit draws
+    /// non-determinism — the commit module has no access to an
+    /// [`NdetSource`] at all), so any interleaving is bit-identical to
+    /// the all-serial walk. Classification runs identically at every
+    /// thread count and either `DAB_COMMIT_SHARD` setting, so the
+    /// `commit_parallel_cycles`/`commit_groups` counters are thread- and
+    /// knob-invariant.
+    fn issue_commit(&mut self, pool: Option<&WorkerPool>, event: bool) {
+        debug_assert_eq!(event, self.cfg.engine == EngineKind::Event);
         let cycle = self.cycle;
-        for cl in 0..self.clusters.len() {
-            if event
-                && self.clusters[cl]
-                    .sms
+        let n = self.clusters.len();
+        self.commit_admit.resize(n, false);
+        let mask = self.model.commit_hook_mask();
+        let full_trace = self.trace_full();
+        let mut taken_parts = 0u64;
+        let mut admitted = 0u64;
+        for cl in 0..n {
+            self.commit_admit[cl] = false;
+            let shard = &self.clusters[cl];
+            // Computed during prepare from the same per-scheduler parked
+            // condition the commit walk applies; nothing between prepare
+            // and here changes it. Reading the cached flag keeps this
+            // classification loop O(clusters), not O(warps).
+            debug_assert_eq!(
+                shard.active,
+                shard.sms.iter().any(|sm| sm
+                    .schedulers
                     .iter()
-                    .all(|sm| sm.ready_bound() > cycle)
-            {
+                    .any(|s| { s.live > 0 && !(event && s.ready_bound > cycle) }))
+            );
+            if !shard.active {
                 continue;
             }
-            for local in 0..spc {
-                let sm_idx = cl * spc + local;
-                if event && self.clusters[cl].sms[local].ready_bound() > cycle {
-                    continue;
+            let fp = shard.footprint;
+            if full_trace || !fp.independent(mask) || fp.partitions & taken_parts != 0 {
+                continue;
+            }
+            taken_parts |= fp.partitions;
+            self.commit_admit[cl] = true;
+            admitted += 1;
+        }
+        if admitted > 0 {
+            self.activity.commit_parallel_cycles += 1;
+            self.activity.commit_groups += admitted;
+        }
+
+        if self.cfg.commit_shard {
+            match pool {
+                Some(pool) if admitted > 0 => {
+                    for cl in 0..n {
+                        if self.commit_admit[cl] {
+                            let p = self.commit_params(cl);
+                            self.clusters[cl].commit_job = Some(p);
+                        }
+                    }
+                    pool.run_phase(&mut self.clusters, Phase::Commit);
+                    for cl in 0..n {
+                        if self.commit_admit[cl] {
+                            let out = self.clusters[cl].commit_out;
+                            self.fold_commit_out(out);
+                        }
+                    }
                 }
-                self.activity.sms_ticked += 1;
-                for sched in 0..num_sched {
-                    if self.clusters[cl].sms[local].schedulers[sched].live == 0 {
-                        continue;
-                    }
-                    if event && self.clusters[cl].sms[local].schedulers[sched].ready_bound > cycle {
-                        continue;
-                    }
-                    self.activity.scheduler_scans += 1;
-                    let mut views = if self.clusters[cl].is_dirty(local) {
-                        self.clusters[cl].sms[local].build_views(sched, cycle, det_aware, srr_like)
-                    } else {
-                        std::mem::take(&mut self.clusters[cl].views[local * num_sched + sched])
-                    };
-                    if !views.is_empty() {
-                        self.apply_model_gating(sm_idx, sched, &mut views);
-                        self.pick_and_issue(sm_idx, sched, &views);
-                    }
-                    if event {
-                        self.sm_mut(sm_idx).recompute_ready_bound(sched);
+                _ => {
+                    // No pool (or nothing admitted): run admitted clusters
+                    // inert on the coordinator — the same code path the
+                    // workers would take, so one thread exercises exactly
+                    // what many threads do.
+                    for cl in 0..n {
+                        if self.commit_admit[cl] {
+                            let p = self.commit_params(cl);
+                            let mut out = CommitOut::default();
+                            commit::commit_cluster(
+                                &mut self.clusters[cl],
+                                &p,
+                                &mut Shared::Inert,
+                                &mut out,
+                            );
+                            self.fold_commit_out(out);
+                        }
                     }
                 }
+            }
+            for cl in 0..n {
+                if !self.commit_admit[cl] {
+                    self.with_engine_commit(cl, commit::commit_cluster);
+                }
+            }
+        } else {
+            for cl in 0..n {
+                self.with_engine_commit(cl, commit::commit_cluster);
             }
         }
     }
 
-    /// Model gating (GPUDet quanta / serial mode) applied to ready views.
-    /// Model hooks run only here on the committing thread, in global
-    /// scheduler order — never on pool workers.
-    fn apply_model_gating(&mut self, sm_idx: usize, sched: usize, views: &mut [WarpView]) {
-        let cycle = self.cycle;
-        for v in views.iter_mut().filter(|v| v.ready) {
-            let warp_id = WarpId {
-                sched: SchedId { sm: sm_idx, sched },
-                slot: v.slot,
-                unique: v.unique,
-            };
-            v.ready = self.model.can_issue(warp_id, v.next_is_atomic, cycle);
+    /// Folds one commit walk's activity into the coordinator totals.
+    fn fold_commit_out(&mut self, out: CommitOut) {
+        self.activity.sms_ticked += out.sms_ticked;
+        self.activity.scheduler_scans += out.scheduler_scans;
+        self.activity.wakeup_events += out.wakeup_events;
+        if out.progressed {
+            self.last_progress_cycle = self.cycle;
         }
     }
 
-    fn pick_and_issue(&mut self, sm_idx: usize, sched: usize, views: &[WarpView]) {
-        let picked = {
-            let cycle = self.cycle;
-            self.sm_mut(sm_idx).schedulers[sched]
-                .policy
-                .pick(views, cycle)
-        };
-        if let Some(slot) = picked {
-            debug_assert!(
-                views.iter().any(|v| v.slot == slot && v.ready),
-                "scheduler picked a non-ready warp"
-            );
-            self.issue_one(sm_idx, sched, slot);
+    /// Builds the immutable per-cluster snapshot a commit walk reads.
+    fn commit_params(&self, cl: usize) -> CommitParams {
+        CommitParams {
+            cycle: self.cycle,
+            cluster: cl,
+            spc: self.cfg.sms_per_cluster,
+            num_sched: self.cfg.num_schedulers_per_sm,
+            l1_hit_latency: self.cfg.l1_hit_latency,
+            icnt_flit_size: self.cfg.icnt_flit_size,
+            num_mem_partitions: self.cfg.num_mem_partitions,
+            det_aware: self.sched_kind.is_determinism_aware(),
+            srr_like: self.sched_kind == SchedKind::Srr,
+            event: self.cfg.engine == EngineKind::Event,
+            icnt_budget: self.icnt.request_injection_budget(cl),
         }
+    }
+
+    /// Runs `f` against cluster `cl`'s shard with the live engine
+    /// resources ([`Shared::Engine`]), then folds the walk's activity
+    /// counters into the coordinator-side totals. Every commit-machinery
+    /// entry point on the coordinating thread goes through here, so serial
+    /// and sharded commits observe byte-identical parameters.
+    fn with_engine_commit(
+        &mut self,
+        cl: usize,
+        f: impl FnOnce(&mut ClusterShard, &CommitParams, &mut Shared<'_>, &mut CommitOut),
+    ) {
+        let p = self.commit_params(cl);
+        let mut out = CommitOut::default();
+        {
+            let GpuSim {
+                clusters,
+                model,
+                locks,
+                tracer,
+                ..
+            } = self;
+            let mut sh = Shared::Engine(EngineShared {
+                model: model.as_mut(),
+                locks,
+                tracer: tracer.as_deref_mut(),
+            });
+            f(&mut clusters[cl], &p, &mut sh, &mut out);
+        }
+        self.fold_commit_out(out);
     }
 
     /// Drains every cluster's staged outbound packets into the interconnect,
     /// in cluster-index order: the per-cycle deterministic merge point.
     fn merge_outboxes(&mut self) {
+        let merge_started = std::time::Instant::now();
         let trace_full = self.trace_full();
         for c in 0..self.clusters.len() {
             while let Some(pkt) = self.clusters[c].outbox.pop() {
@@ -1361,641 +1472,27 @@ impl GpuSim {
                 self.icnt.inject_request(c, pkt);
             }
         }
+        self.phase_wall.merge += merge_started.elapsed();
     }
 
-    /// Whether the interconnect can accept `flits` more request flits from
-    /// `cluster`, counting flits already staged in its outbox this cycle.
-    fn can_send_request(&self, cluster: usize, flits: u32) -> bool {
-        self.icnt
-            .can_inject_request(cluster, flits + self.clusters[cluster].outbox.flits())
-    }
-
-    /// Stages an outbound request packet in the cluster's outbox; it enters
-    /// the interconnect at this cycle's merge point.
-    fn send_request(&mut self, cluster: usize, pkt: Packet) {
-        self.clusters[cluster].outbox.stage(pkt);
-    }
-
-    fn issue_one(&mut self, sm_idx: usize, sched: usize, slot: usize) {
-        let cycle = self.cycle;
-        let (program, meta, pc, unique, lanes) = {
-            let w = self.sm(sm_idx).warps[slot].as_ref().expect("picked warp");
-            (
-                Arc::clone(&w.program),
-                Arc::clone(&w.meta),
-                w.pc,
-                w.unique,
-                w.program.active_lanes,
-            )
-        };
-        let instr = &program.instrs[pc];
-        let warp_id = WarpId {
-            sched: SchedId { sm: sm_idx, sched },
-            slot,
-            unique,
-        };
-        let warp_ref = WarpRef { sm: sm_idx, slot };
-        let cluster = sm_idx / self.cfg.sms_per_cluster;
-
-        let mut issued = true;
-        let mut thread_instrs = instr.thread_instr_count(lanes);
-        match instr {
-            Instr::Alu { cycles, count } => {
-                let w = self.sm_mut(sm_idx).warps[slot]
-                    .as_mut()
-                    .expect("picked warp");
-                if w.alu_rem == 0 {
-                    w.alu_rem = (*count).max(1);
-                }
-                w.alu_rem -= 1;
-                thread_instrs = lanes as u64;
-                if w.alu_rem == 0 {
-                    w.pc += 1;
-                    // Latency tail before the (dependent) next instruction.
-                    w.next_ready = cycle + (*cycles).max(1) as u64;
-                } else {
-                    // Back-to-back issue within the burst.
-                    w.next_ready = cycle + 1;
-                }
-            }
-            Instr::Load { .. } => {
-                let InstrMeta::Sectors(sectors) = meta.at(pc) else {
-                    unreachable!("load without sector metadata")
-                };
-                issued = self.issue_load(sm_idx, slot, cluster, sectors);
-            }
-            Instr::Store { .. } => {
-                let InstrMeta::Sectors(sectors) = meta.at(pc) else {
-                    unreachable!("store without sector metadata")
-                };
-                issued = self.issue_store(warp_id, cluster, sectors);
-            }
-            Instr::Red { op, accesses } => {
-                issued =
-                    self.issue_atomic(warp_id, cluster, *op, accesses, AtomKind::Red, meta.at(pc));
-            }
-            Instr::Atom { op, accesses } => {
-                issued =
-                    self.issue_atomic(warp_id, cluster, *op, accesses, AtomKind::Atom, meta.at(pc));
-            }
-            Instr::Bar => {
-                self.issue_barrier(sm_idx, slot);
-            }
-            Instr::Fence => {
-                self.issue_fence(warp_id);
-            }
-            Instr::LockedSection {
-                kind,
-                lock_addr,
-                op,
-                accesses,
-                critical_cycles,
-            } => {
-                let occurrence = {
-                    let w = self.sm_mut(sm_idx).warps[slot]
-                        .as_mut()
-                        .expect("picked warp");
-                    w.next_lock_occurrence(*lock_addr)
-                };
-                self.locks.acquire(
-                    warp_ref,
-                    unique,
-                    occurrence,
-                    *kind,
-                    *lock_addr,
-                    accesses,
-                    *critical_cycles,
-                    *op,
-                );
-                let w = self.sm_mut(sm_idx).warps[slot]
-                    .as_mut()
-                    .expect("picked warp");
-                w.pc += 1;
-                w.state = WarpState::WaitLock;
-                if self.trace_full() {
-                    self.trace_event(obs::Event::Sleep {
-                        cycle,
-                        sm: sm_idx as u32,
-                        slot: slot as u32,
-                        reason: obs::SleepReason::Lock,
-                    });
-                }
-            }
-        }
-
-        if issued {
-            self.progress();
-            if self.trace_full() {
-                self.trace_event(obs::Event::Issue {
-                    cycle,
-                    sm: sm_idx as u32,
-                    sched: sched as u32,
-                    slot: slot as u32,
-                    unique,
-                    pc: pc as u32,
-                    kind: instr_kind(instr),
-                });
-            }
-            // Issue-path counters accumulate per cluster shard and merge in
-            // cluster-index order at end of run, keeping totals identical at
-            // any thread count.
-            let shard_stats = &mut self.clusters[cluster].stats;
-            shard_stats.warp_instrs += 1;
-            shard_stats.thread_instrs += thread_instrs;
-            shard_stats.atomics += instr.atomic_count();
-            let was_atomic = instr.is_atomic();
-            self.sm_mut(sm_idx).schedulers[sched]
-                .policy
-                .on_issue(unique, was_atomic, cycle);
-            self.model.on_issue(warp_id, was_atomic, cycle);
-            self.try_retire(sm_idx, slot);
-        }
-    }
-
-    fn issue_load(&mut self, sm_idx: usize, slot: usize, cluster: usize, sectors: &[u64]) -> bool {
-        let cycle = self.cycle;
-        // Probe L1 for each precomputed sector.
-        let mut missing: Vec<u64> = Vec::new();
-        {
-            let spc = self.cfg.sms_per_cluster;
-            let shard = &mut self.clusters[cluster];
-            let sm = &mut shard.sms[sm_idx % spc];
-            for &s in sectors {
-                shard.stats.l1_accesses += 1;
-                match sm.l1.probe(s) {
-                    Probe::Hit => {}
-                    Probe::SectorMiss | Probe::LineMiss => {
-                        shard.stats.l1_misses += 1;
-                        missing.push(s);
-                    }
-                }
-            }
-        }
-        if missing.is_empty() {
-            let l1_hit_latency = self.cfg.l1_hit_latency as u64;
-            let w = self.sm_mut(sm_idx).warps[slot]
-                .as_mut()
-                .expect("picked warp");
-            w.pc += 1;
-            w.next_ready = cycle + l1_hit_latency;
-            return true;
-        }
-        // Structural checks: MSHR space for new sectors, interconnect room.
-        let new_sectors: Vec<u64> = missing
-            .iter()
-            .copied()
-            .filter(|s| !self.sm(sm_idx).l1_mshrs.contains_key(s))
-            .collect();
-        if self.sm(sm_idx).l1_mshrs.len() + new_sectors.len() > self.sm(sm_idx).l1_mshr_capacity {
-            self.clusters[cluster].stats.bump("stall.l1_mshr", 1);
-            return false;
-        }
-        let flits_needed = new_sectors.len() as u32;
-        if !self.can_send_request(cluster, flits_needed) {
-            self.clusters[cluster].stats.icnt_stall_cycles += 1;
-            return false;
-        }
-        let warp_ref = WarpRef { sm: sm_idx, slot };
-        for &s in &missing {
-            let is_new = {
-                let sm = self.sm_mut(sm_idx);
-                let is_new = !sm.l1_mshrs.contains_key(&s);
-                sm.l1_mshrs.entry(s).or_default().push(slot);
-                is_new
-            };
-            if is_new {
-                let pkt = Packet::new(
-                    partition_of(s, self.cfg.num_mem_partitions),
-                    Payload::LoadReq {
-                        sector_addr: s,
-                        warp: warp_ref,
-                    },
-                    self.cfg.icnt_flit_size,
-                );
-                self.clusters[cluster].stats.mem_transactions += 1;
-                self.send_request(cluster, pkt);
-            }
-        }
-        let w = self.sm_mut(sm_idx).warps[slot]
-            .as_mut()
-            .expect("picked warp");
-        w.outstanding_loads += missing.len() as u32;
-        w.pc += 1;
-        w.state = WarpState::WaitMem;
-        if self.trace_full() {
-            self.trace_event(obs::Event::Sleep {
-                cycle,
-                sm: sm_idx as u32,
-                slot: slot as u32,
-                reason: obs::SleepReason::Mem,
-            });
-        }
-        true
-    }
-
-    fn issue_store(&mut self, warp_id: WarpId, cluster: usize, sectors: &[u64]) -> bool {
-        let cycle = self.cycle;
-        let sm_idx = warp_id.sched.sm;
-        let slot = warp_id.slot;
-        if self.model.on_store(warp_id, sectors.len(), cycle) == StoreRoute::Buffered {
-            // Absorbed by a model-side store buffer: no traffic now.
-            let w = self.sm_mut(sm_idx).warps[slot]
-                .as_mut()
-                .expect("picked warp");
-            w.pc += 1;
-            w.next_ready = cycle + 1;
-            return true;
-        }
-        if !self.can_send_request(cluster, 2 * sectors.len() as u32) {
-            self.clusters[cluster].stats.icnt_stall_cycles += 1;
-            return false;
-        }
-        // Store *data* is not modeled: the timing model only needs sector
-        // addresses, and reduction outputs are written by atomics.
-        let warp_ref = WarpRef { sm: sm_idx, slot };
-        for &s in sectors {
-            // Write-through, write-evict at the L1.
-            self.sm_mut(sm_idx).l1.evict_sector(s);
-            let pkt = Packet::new(
-                partition_of(s, self.cfg.num_mem_partitions),
-                Payload::StoreReq {
-                    sector_addr: s,
-                    warp: warp_ref,
-                },
-                self.cfg.icnt_flit_size,
-            );
-            self.clusters[cluster].stats.mem_transactions += 1;
-            self.send_request(cluster, pkt);
-        }
-        let w = self.sm_mut(sm_idx).warps[slot]
-            .as_mut()
-            .expect("picked warp");
-        w.outstanding_writes += sectors.len() as u32;
-        w.pc += 1;
-        w.next_ready = cycle + 1;
-        true
-    }
-
-    fn issue_atomic(
-        &mut self,
-        warp_id: WarpId,
-        cluster: usize,
-        op: AtomicOp,
-        accesses: &[AtomicAccess],
-        kind: AtomKind,
-        meta: &InstrMeta,
-    ) -> bool {
-        let cycle = self.cycle;
-        let sm_idx = warp_id.sched.sm;
-        let slot = warp_id.slot;
-        let route = self.model.on_atomic(
-            AtomicIssue {
-                warp: warp_id,
-                op,
-                accesses,
-                kind,
-            },
-            cycle,
-        );
-        match route {
-            AtomicRoute::Buffered { cycles } => {
-                let w = self.sm_mut(sm_idx).warps[slot]
-                    .as_mut()
-                    .expect("picked warp");
-                w.pc += 1;
-                w.next_ready = cycle + cycles.max(1) as u64;
-                true
-            }
-            AtomicRoute::StallFlush => {
-                self.set_flush_wait(sm_idx, slot);
-                self.clusters[cluster]
-                    .stats
-                    .bump("stall.atomic_buffer_full", 1);
-                false
-            }
-            AtomicRoute::ToMemory => {
-                // Fast-fail when the injection queue is jammed, before
-                // touching the precomputed groups (retried every cycle).
-                if !self.can_send_request(cluster, 1) {
-                    self.clusters[cluster].stats.icnt_stall_cycles += 1;
-                    return false;
-                }
-                // Per-sector coalescing groups and the flit total are
-                // precomputed in the shared [`WarpMeta`] table.
-                let InstrMeta::Atomic {
-                    groups,
-                    total_flits,
-                } = meta
-                else {
-                    unreachable!("atomic without coalescing metadata")
-                };
-                if !self.can_send_request(cluster, *total_flits) {
-                    self.clusters[cluster].stats.icnt_stall_cycles += 1;
-                    return false;
-                }
-                let warp_ref = WarpRef { sm: sm_idx, slot };
-                let unique = self.sm(sm_idx).warps[slot]
-                    .as_ref()
-                    .expect("picked warp")
-                    .unique;
-                let n_groups = groups.len() as u32;
-                for g in groups.iter() {
-                    let pkt = Packet::new(
-                        g.dest,
-                        Payload::AtomicReq {
-                            ops: g.ops.to_vec(),
-                            warp: warp_ref,
-                            kind,
-                            unique,
-                        },
-                        self.cfg.icnt_flit_size,
-                    );
-                    self.clusters[cluster].stats.mem_transactions += 1;
-                    self.send_request(cluster, pkt);
-                }
-                let w = self.sm_mut(sm_idx).warps[slot]
-                    .as_mut()
-                    .expect("picked warp");
-                w.outstanding_writes += n_groups;
-                w.pc += 1;
-                match kind {
-                    AtomKind::Red => w.next_ready = cycle + 1,
-                    AtomKind::Atom => w.state = WarpState::WaitAtom,
-                }
-                if kind == AtomKind::Atom && self.trace_full() {
-                    self.trace_event(obs::Event::Sleep {
-                        cycle,
-                        sm: sm_idx as u32,
-                        slot: slot as u32,
-                        reason: obs::SleepReason::Atom,
-                    });
-                }
-                true
-            }
-        }
-    }
-
-    fn issue_barrier(&mut self, sm_idx: usize, slot: usize) {
-        let cycle = self.cycle;
-        let (cta_key, warp_id) = {
-            let sm = self.sm_mut(sm_idx);
-            let w = sm.warps[slot].as_mut().expect("picked warp");
-            w.pc += 1;
-            w.state = WarpState::WaitBarrier;
-            let (cta_key, sched, unique) = (w.cta_key, w.sched, w.unique);
-            sm.schedulers[sched].barrier_wait += 1;
-            (
-                cta_key,
-                WarpId {
-                    sched: SchedId { sm: sm_idx, sched },
-                    slot,
-                    unique,
-                },
-            )
-        };
-        if self.trace_full() {
-            self.trace_event(obs::Event::Sleep {
-                cycle,
-                sm: sm_idx as u32,
-                slot: slot as u32,
-                reason: obs::SleepReason::Barrier,
-            });
-        }
-        self.model.on_barrier_wait(warp_id, cycle);
-        {
-            let sm = self.sm_mut(sm_idx);
-            // The policy consumes the warp's token/turn so atomic grants
-            // never deadlock behind the barrier.
-            sm.schedulers[warp_id.sched.sched]
-                .policy
-                .on_barrier_arrival(warp_id.unique);
-            let barrier = sm.barriers.get_mut(&cta_key).expect("barrier state");
-            barrier.waiting_slots.push(slot);
-        }
-        self.try_release_barrier(sm_idx, cta_key);
-    }
-
-    /// Releases a CTA barrier once every *live* warp of the CTA waits at it
-    /// (warps that exited without reaching the barrier no longer count, as
-    /// with CUDA's exited-threads semantics).
-    fn try_release_barrier(&mut self, sm_idx: usize, cta_key: u64) {
-        let cycle = self.cycle;
-        let waiting = {
-            let sm = self.sm_mut(sm_idx);
-            let Some(barrier) = sm.barriers.get_mut(&cta_key) else {
-                return;
-            };
-            if barrier.waiting_slots.is_empty()
-                || (barrier.waiting_slots.len() as u32) < barrier.live_warps
-            {
-                return;
-            }
-            std::mem::take(&mut barrier.waiting_slots)
-        };
-        // An actual release mutates warp state across this SM's schedulers;
-        // views a pool worker prebuilt for it this cycle are now stale.
-        self.mark_views_dirty(sm_idx);
-        let waiting_ids: Vec<WarpId> = waiting
-            .iter()
-            .map(|&s| {
-                let w = self.sm(sm_idx).warps[s].as_ref().expect("at barrier");
-                WarpId {
-                    sched: SchedId {
-                        sm: sm_idx,
-                        sched: w.sched,
-                    },
-                    slot: s,
-                    unique: w.unique,
-                }
-            })
-            .collect();
-        let release = self.model.on_barrier_release(sm_idx, &waiting_ids, cycle);
-        for id in &waiting_ids {
-            let sm = self.sm_mut(sm_idx);
-            sm.schedulers[id.sched.sched].barrier_wait -= 1;
-        }
-        match release {
-            BarrierRelease::Immediate => {
-                for s in waiting {
-                    {
-                        let sm = self.sm_mut(sm_idx);
-                        let w = sm.warps[s].as_mut().expect("at barrier");
-                        w.state = WarpState::Ready;
-                        w.next_ready = cycle + 1;
-                        let (sched, unique) = (w.sched, w.unique);
-                        sm.schedulers[sched].note_ready(cycle + 1);
-                        sm.schedulers[sched].policy.on_barrier_released(unique);
-                    }
-                    self.activity.wakeup_events += 1;
-                    if self.trace_full() {
-                        self.trace_event(obs::Event::Wake {
-                            cycle,
-                            sm: sm_idx as u32,
-                            slot: s as u32,
-                            site: obs::WakeSite::Barrier,
-                        });
-                    }
-                    // The barrier may have been the warp's last instruction.
-                    self.try_retire(sm_idx, s);
-                }
-            }
-            BarrierRelease::WaitFlush => {
-                // The warps stay parked in their schedulers until the flush
-                // wake (the epoch boundary), which keeps un-parking — and
-                // therefore the token/turn grant order — deterministic.
-                for s in waiting {
-                    self.set_flush_wait(sm_idx, s);
-                }
-            }
-        }
-    }
-
-    fn issue_fence(&mut self, warp_id: WarpId) {
-        let cycle = self.cycle;
-        let sm_idx = warp_id.sched.sm;
-        let slot = warp_id.slot;
-        match self.model.on_fence(warp_id, cycle) {
-            FenceAction::DrainWarp => {
-                let w = self.sm_mut(sm_idx).warps[slot]
-                    .as_mut()
-                    .expect("picked warp");
-                w.pc += 1;
-                let drains = w.outstanding_writes > 0;
-                if drains {
-                    w.state = WarpState::WaitDrain;
-                } else {
-                    w.next_ready = cycle + 1;
-                }
-                if drains && self.trace_full() {
-                    self.trace_event(obs::Event::Sleep {
-                        cycle,
-                        sm: sm_idx as u32,
-                        slot: slot as u32,
-                        reason: obs::SleepReason::Drain,
-                    });
-                }
-            }
-            FenceAction::WaitFlush => {
-                let w = self.sm_mut(sm_idx).warps[slot]
-                    .as_mut()
-                    .expect("picked warp");
-                w.pc += 1;
-                self.set_flush_wait(sm_idx, slot);
-            }
-        }
-    }
-
-    fn set_flush_wait(&mut self, sm_idx: usize, slot: usize) {
-        let cycle = self.cycle;
-        let sm = self.sm_mut(sm_idx);
-        let w = sm.warps[slot].as_mut().expect("warp resident");
-        let mut parked = false;
-        if w.state != WarpState::WaitFlush {
-            w.state = WarpState::WaitFlush;
-            sm.schedulers[w.sched].flush_wait += 1;
-            parked = true;
-        }
-        if parked && self.trace_full() {
-            self.trace_event(obs::Event::Sleep {
-                cycle,
-                sm: sm_idx as u32,
-                slot: slot as u32,
-                reason: obs::SleepReason::Flush,
-            });
-        }
-    }
-
+    /// Wakes a flush-parked warp at the epoch boundary (see
+    /// [`commit::wake_flush_wait`]); the model-wake entry point, called on
+    /// the coordinating thread only.
     fn wake_flush_wait(&mut self, sm_idx: usize, slot: usize) {
-        let cycle = self.cycle;
-        let sm = self.sm_mut(sm_idx);
-        let mut woke = false;
-        if let Some(w) = sm.warps[slot].as_mut() {
-            if w.state == WarpState::WaitFlush {
-                w.state = WarpState::Ready;
-                w.next_ready = cycle + 1;
-                let (sched, unique) = (w.sched, w.unique);
-                sm.schedulers[sched].flush_wait -= 1;
-                sm.schedulers[sched].note_ready(cycle + 1);
-                // Un-park barrier waiters at the epoch boundary (no-op for
-                // warps that were flush-blocked for other reasons).
-                sm.schedulers[sched].policy.on_barrier_released(unique);
-                woke = true;
-            }
-        }
-        if woke {
-            self.activity.wakeup_events += 1;
-            if self.trace_full() {
-                self.trace_event(obs::Event::Wake {
-                    cycle,
-                    sm: sm_idx as u32,
-                    slot: slot as u32,
-                    site: obs::WakeSite::Flush,
-                });
-            }
-        }
-        self.try_retire(sm_idx, slot);
+        let spc = self.cfg.sms_per_cluster;
+        self.with_engine_commit(sm_idx / spc, |shard, p, sh, out| {
+            commit::wake_flush_wait(shard, p, sh, out, sm_idx % spc, slot);
+        });
     }
 
-    /// Retires the warp if it has finished its program and drained all
-    /// outstanding transactions.
+    /// Retires the warp if it has finished and drained (see
+    /// [`commit::try_retire`]); entry point for the response, lock-grant,
+    /// and spawn paths, called on the coordinating thread only.
     fn try_retire(&mut self, sm_idx: usize, slot: usize) {
-        let mut parked_to_drain = false;
-        let retire = {
-            match self.sm_mut(sm_idx).warps[slot].as_mut() {
-                Some(w) if w.finished() => {
-                    if w.outstanding_loads == 0 && w.outstanding_writes == 0 {
-                        // Only a warp that is not waiting on anything may
-                        // retire; a warp whose last instruction parked it
-                        // (barrier, flush, lock) retires after its wake.
-                        w.state == WarpState::Ready
-                    } else {
-                        if w.state == WarpState::Ready {
-                            w.state = WarpState::WaitDrain;
-                            parked_to_drain = true;
-                        }
-                        false
-                    }
-                }
-                _ => false,
-            }
-        };
-        if parked_to_drain && self.trace_full() {
-            self.trace_event(obs::Event::Sleep {
-                cycle: self.cycle,
-                sm: sm_idx as u32,
-                slot: slot as u32,
-                reason: obs::SleepReason::Drain,
-            });
-        }
-        if !retire {
-            return;
-        }
-        let (unique, sched) = {
-            let w = self.sm(sm_idx).warps[slot].as_ref().expect("finished warp");
-            (w.unique, w.sched)
-        };
-        // Warp-level DAB holds finished warps until their buffer flushes.
-        if !self.model.can_retire(WarpId {
-            sched: SchedId { sm: sm_idx, sched },
-            slot,
-            unique,
-        }) {
-            self.set_flush_wait(sm_idx, slot);
-            return;
-        }
-        self.progress();
-        // `no_more_arrivals` is refreshed by the dispatcher each cycle; the
-        // conservative value here only delays partial-batch completion by a
-        // cycle at worst.
-        let warp = self.sm_mut(sm_idx).retire_warp(slot, false);
-        debug_assert_eq!(warp.unique, unique);
-        self.model.on_warp_exit(WarpId {
-            sched: SchedId { sm: sm_idx, sched },
-            slot,
-            unique,
+        let spc = self.cfg.sms_per_cluster;
+        self.with_engine_commit(sm_idx / spc, |shard, p, sh, out| {
+            commit::try_retire(shard, p, sh, out, sm_idx % spc, slot);
         });
-        // A warp exiting without reaching its CTA's barrier may complete it.
-        self.try_release_barrier(sm_idx, warp.cta_key);
     }
 
     // ------------------------------------------------------------------
@@ -2088,7 +1585,13 @@ impl GpuSim {
             for cluster in &mut self.clusters {
                 for sm in &mut cluster.sms {
                     for sched in &mut sm.schedulers {
-                        sched.advance_completed(true);
+                        if sched.advance_completed(true) {
+                            // The batch gate opened for a partially filled
+                            // tail batch; its warps carried no timer bound
+                            // while gated, so re-arm the scheduler for the
+                            // next issue phase.
+                            sched.note_ready(cycle + 1);
+                        }
                     }
                 }
             }
@@ -2170,8 +1673,10 @@ impl GpuSim {
 mod tests {
     use super::*;
     use crate::exec::BaselineModel;
-    use crate::isa::{LockKind, MemAccess, Value, WarpProgram};
+    use crate::isa::Instr;
+    use crate::isa::{AtomicAccess, AtomicOp, LockKind, MemAccess, Value, WarpProgram};
     use crate::kernel::CtaSpec;
+    use crate::mem::packet::Packet;
 
     fn sum_grid(warps: usize, lanes: usize, target: u64) -> KernelGrid {
         let ctas = (0..warps)

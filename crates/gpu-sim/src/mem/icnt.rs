@@ -113,6 +113,20 @@ impl Interconnect {
         self.cluster_out_flits[cluster] + flits as usize <= self.injection_capacity_flits
     }
 
+    /// Remaining request-injection headroom (in flits) for `cluster`: the
+    /// exact budget [`can_inject_request`](Self::can_inject_request) tests
+    /// against. Snapshotting this lets the commit phase run injection
+    /// checks against a cluster-local copy — exactly equivalent to the
+    /// live check because the interconnect is never mutated during the
+    /// issue phase (all issued packets stage in per-cluster outboxes and
+    /// enter the interconnect at the later merge point).
+    pub fn request_injection_budget(&self, cluster: usize) -> u32 {
+        let free = self
+            .injection_capacity_flits
+            .saturating_sub(self.cluster_out_flits[cluster]);
+        u32::try_from(free).unwrap_or(u32::MAX)
+    }
+
     /// Injects a request packet at cluster `c`.
     ///
     /// Callers should check [`can_inject_request`](Self::can_inject_request)
@@ -128,6 +142,16 @@ impl Interconnect {
     pub fn inject_response(&mut self, partition: usize, packet: Packet) {
         debug_assert!(packet.dest < self.num_clusters);
         self.part_out[partition].push_back(packet);
+    }
+
+    /// Whether any request has fully arrived at partition `p` (a
+    /// non-destructive peek; [`tick_partitions`] uses it to keep a
+    /// partition asleep when it has neither buffered input nor a due
+    /// internal event).
+    ///
+    /// [`tick_partitions`]: crate::engine::GpuSim
+    pub fn has_arrived_request(&self, partition: usize) -> bool {
+        !self.mem_in[partition].is_empty()
     }
 
     /// Pops one request that has fully arrived at partition `p`, if any.

@@ -472,6 +472,21 @@ impl MemPartition {
         }
         next
     }
+
+    /// Whether the partition can make progress at `cycle`: a queued retry,
+    /// a ready ROP op, a DRAM issue/completion opportunity, or a response
+    /// falling due. When this is `false` and no request has arrived from
+    /// the interconnect, [`tick`](Self::tick) is a provable no-op (the ROP
+    /// is either empty or fill-stalled, DRAM has nothing due, and no
+    /// response is ready), so the engine skips the partition entirely —
+    /// the "sleeping partition" fast path. Skipped cycles draw no
+    /// non-determinism: DRAM jitter is drawn only when a burst issues, and
+    /// bursts issue only on due cycles.
+    pub fn due(&self, cycle: u64) -> bool {
+        // `next_event_cycle` mixes the relative sentinel `Some(0)` ("can
+        // act immediately") with absolute cycles; both satisfy `<= cycle`.
+        self.next_event_cycle().is_some_and(|t| t <= cycle)
+    }
 }
 
 impl WarpRef {

@@ -22,8 +22,9 @@ use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::mpsc;
 
+use crate::commit::{self, CommitFootprint, CommitOut, CommitParams};
 use crate::config::EngineKind;
-use crate::exec::SchedCensus;
+use crate::exec::{HookMask, SchedCensus};
 use crate::mem::packet::Packet;
 use crate::sched::WarpView;
 use crate::sm::Sm;
@@ -40,6 +41,12 @@ pub const ENGINE_VAR: &str = "DAB_ENGINE";
 /// seed sweeps (see
 /// [`GpuSim::run_replicated`](crate::engine::GpuSim::run_replicated)).
 pub const REPLICATIONS_VAR: &str = "DAB_REPLICATIONS";
+
+/// Environment variable selecting whether independence-sharded commits are
+/// enabled (`1`, the default) or every cluster commits on the serial
+/// coordinator path (`0`). Either setting produces bit-identical results;
+/// the knob exists for A/B verification and benchmarking.
+pub const COMMIT_SHARD_VAR: &str = "DAB_COMMIT_SHARD";
 
 /// Error from [`parse_count`]: a worker-count environment variable held
 /// something other than a positive integer.
@@ -198,6 +205,24 @@ pub fn engine_from_env() -> EngineKind {
     }
 }
 
+/// Reads `DAB_COMMIT_SHARD`; absent means `true` (sharded commits on).
+///
+/// # Panics
+///
+/// Panics on a value other than `0` or `1` — a typo must stop the run,
+/// not silently change the execution path.
+pub fn commit_shard_from_env() -> bool {
+    match std::env::var(COMMIT_SHARD_VAR) {
+        Ok(raw) => match raw.trim() {
+            "0" => false,
+            "1" => true,
+            other => panic!("{COMMIT_SHARD_VAR} must be \"0\" or \"1\", got {other:?}"),
+        },
+        Err(std::env::VarError::NotPresent) => true,
+        Err(e) => panic!("{COMMIT_SHARD_VAR} is not valid unicode: {e}"),
+    }
+}
+
 /// Per-cluster staging buffer for outbound interconnect packets.
 ///
 /// During issue, packets are staged here instead of entering the
@@ -254,6 +279,10 @@ pub struct ClusterShard {
     pub sms: Vec<Sm>,
     /// Prebuilt warp views, indexed `local_sm * num_schedulers + sched`.
     pub views: Vec<Vec<WarpView>>,
+    /// Aggregate timer bound per scheduler row (same indexing as `views`),
+    /// valid for rows whose views were built this cycle: the exact
+    /// post-visit `ready_bound` to install if the visit issues nothing.
+    pub view_bounds: Vec<u64>,
     /// Census rows, indexed `local_sm * num_schedulers + sched`.
     pub census: Vec<SchedCensus>,
     /// Outbound packets staged until the cycle's merge point.
@@ -261,6 +290,25 @@ pub struct ClusterShard {
     /// Issue-path statistics, accumulated per shard and merged into the
     /// global [`SimStats`] in cluster-index order at the end of a run.
     pub stats: SimStats,
+    /// Commit-interaction footprint of this cycle's pick candidates,
+    /// rebuilt by [`prepare_views`](Self::prepare_views). The coordinator
+    /// classifies clusters with it before the commit phase.
+    pub footprint: CommitFootprint,
+    /// Independent-commit job for this cycle, set by the coordinator for
+    /// admitted clusters; a pool worker (or the coordinator at one
+    /// thread) takes it and runs [`commit::commit_cluster`] inert.
+    pub commit_job: Option<CommitParams>,
+    /// Activity the independent commit produced, folded into the
+    /// coordinator's totals in cluster-index order.
+    pub commit_out: CommitOut,
+    /// Whether any scheduler was non-parked during the last
+    /// [`prepare_views`](Self::prepare_views): the commit-sharding
+    /// classifier's activity test, computed here for free since prepare
+    /// already evaluates exactly the parked condition per scheduler.
+    /// Nothing between prepare and classification mutates warp liveness
+    /// or lowers a bound to the current cycle, so the prepare-time value
+    /// is the classification-time value.
+    pub active: bool,
     /// Per-local-SM flag: a barrier release during commit mutated warps of
     /// other schedulers on that SM, so its remaining prebuilt views are
     /// stale and must be rebuilt serially.
@@ -275,9 +323,14 @@ impl ClusterShard {
         Self {
             id,
             views: vec![Vec::new(); rows],
+            view_bounds: vec![u64::MAX; rows],
             census: vec![SchedCensus::default(); rows],
             outbox: PacketOutbox::default(),
             stats: SimStats::default(),
+            footprint: CommitFootprint::default(),
+            commit_job: None,
+            commit_out: CommitOut::default(),
+            active: false,
             dirty: vec![false; sms.len()],
             num_schedulers,
             sms,
@@ -292,30 +345,61 @@ impl ClusterShard {
     /// `cycle` are skipped: the bound invariant guarantees their
     /// `build_views` would return empty, which is exactly what the commit
     /// loop treats a skipped entry as.
+    ///
+    /// `hook_mask`/`admit` gate the footprint work: once the footprint is
+    /// [`blocked`](CommitFootprint::blocked) under the model's mask (or
+    /// from the start when `admit` is false — full tracing), further
+    /// accumulation cannot change the commit classification, so it stops.
+    /// A blocked cluster's partial footprint is never read beyond the
+    /// `independent` test it already fails.
+    #[allow(clippy::too_many_arguments)]
     pub fn prepare_views(
         &mut self,
         cycle: u64,
         det_aware: bool,
         srr_like: bool,
         use_ready_bound: bool,
+        num_mem_partitions: usize,
+        hook_mask: HookMask,
+        admit: bool,
     ) {
         let Self {
             sms,
             views,
+            view_bounds,
+            footprint,
+            active,
             dirty,
             num_schedulers,
             ..
         } = self;
         dirty.fill(false);
+        *footprint = CommitFootprint::default();
+        *active = false;
+        let mut fp_live = admit;
         for (local, sm) in sms.iter().enumerate() {
             for sched in 0..*num_schedulers {
+                let row = local * *num_schedulers + sched;
                 let parked = sm.schedulers[sched].live == 0
                     || (use_ready_bound && sm.schedulers[sched].ready_bound > cycle);
-                views[local * *num_schedulers + sched] = if parked {
-                    Vec::new()
+                if parked {
+                    views[row] = Vec::new();
+                    view_bounds[row] = u64::MAX;
                 } else {
-                    sm.build_views(sched, cycle, det_aware, srr_like)
-                };
+                    *active = true;
+                    let (v, bound) = sm.build_views(sched, cycle, det_aware, srr_like);
+                    if fp_live {
+                        for view in v.iter().filter(|view| view.ready) {
+                            footprint.add_candidate(sm, view.slot, num_mem_partitions);
+                            if footprint.blocked(hook_mask) {
+                                fp_live = false;
+                                break;
+                            }
+                        }
+                    }
+                    views[row] = v;
+                    view_bounds[row] = bound;
+                }
             }
         }
     }
@@ -361,12 +445,23 @@ pub enum Phase {
         /// Event engine: skip schedulers whose ready bound lies past
         /// `cycle` instead of building (provably empty) views for them.
         use_ready_bound: bool,
+        /// Partition interleave divisor for footprint accumulation.
+        num_mem_partitions: usize,
+        /// The model's commit-hook mask: footprint accumulation stops
+        /// once the cluster is already blocked under it.
+        hook_mask: HookMask,
+        /// False when no cluster can be admitted this run (full tracing):
+        /// skips footprint accumulation entirely.
+        admit: bool,
     },
     /// Rebuild census rows ([`ClusterShard::prepare_census`]).
     Census {
         /// Scheduler kind is determinism-aware (`atomic_stuck` counting).
         det_aware: bool,
     },
+    /// Run the commit walk inert for shards whose `commit_job` is set
+    /// (admitted independent clusters); a no-op for the rest.
+    Commit,
 }
 
 struct PhaseJob {
@@ -382,10 +477,27 @@ impl PhaseJob {
                 det_aware,
                 srr_like,
                 use_ready_bound,
-            } => self
-                .shard
-                .prepare_views(cycle, det_aware, srr_like, use_ready_bound),
+                num_mem_partitions,
+                hook_mask,
+                admit,
+            } => self.shard.prepare_views(
+                cycle,
+                det_aware,
+                srr_like,
+                use_ready_bound,
+                num_mem_partitions,
+                hook_mask,
+                admit,
+            ),
             Phase::Census { det_aware } => self.shard.prepare_census(det_aware),
+            Phase::Commit => {
+                if let Some(p) = self.shard.commit_job.take() {
+                    let mut sh = commit::Shared::Inert;
+                    let mut out = CommitOut::default();
+                    commit::commit_cluster(&mut self.shard, &p, &mut sh, &mut out);
+                    self.shard.commit_out = out;
+                }
+            }
         }
         self.shard
     }
@@ -579,6 +691,9 @@ mod tests {
                         det_aware: false,
                         srr_like: false,
                         use_ready_bound: false,
+                        num_mem_partitions: 1,
+                        hook_mask: HookMask::EMPTY,
+                        admit: true,
                     },
                 );
                 pool.run_phase(&mut clusters, Phase::Census { det_aware: false });
@@ -612,7 +727,7 @@ mod tests {
         let mut shard = shards(&cfg).remove(0);
         shard.mark_dirty(0);
         assert!(shard.is_dirty(0));
-        shard.prepare_views(0, false, false, false);
+        shard.prepare_views(0, false, false, false, 1, HookMask::EMPTY, true);
         assert!(!shard.is_dirty(0));
     }
 

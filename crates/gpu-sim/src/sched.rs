@@ -85,6 +85,12 @@ pub struct WarpView {
     /// Not ready *solely* because its CTA batch may not issue atomics yet;
     /// round-robin policies skip rather than stall on these.
     pub batch_gated: bool,
+    /// Earliest cycle at which this warp can become pickable *by timer
+    /// alone*: `next_ready` for un-gated `Ready` warps, `u64::MAX` for
+    /// warps that need an event (memory response, barrier release, flush,
+    /// batch-gate opening) to wake. The event engine folds these into the
+    /// scheduler's incremental `ready_bound` instead of rescanning warps.
+    pub bound_at: u64,
 }
 
 impl WarpView {
@@ -99,6 +105,7 @@ impl WarpView {
             at_barrier: false,
             flush_wait: false,
             batch_gated: false,
+            bound_at: u64::MAX,
         }
     }
 
@@ -118,13 +125,20 @@ impl WarpView {
 ///
 /// # Threading contract
 ///
-/// [`pick`](Self::pick) and every callback run on the engine's
-/// coordinating thread in a fixed deterministic order regardless of
-/// `DAB_SIM_THREADS`; policies never observe concurrent calls. `pick` is
-/// invoked every cycle a scheduler has live warps — even when gating
-/// cleared all ready flags — so stateful policies (token rotation,
-/// round-robin cursors) advance identically under the serial and pooled
-/// engines.
+/// Policy state lives inside its SM's [`SchedulerCtx`](crate::sm), which
+/// belongs to exactly one [`ClusterShard`](crate::par::ClusterShard).
+/// [`pick`](Self::pick) and every callback run wherever that shard's
+/// commit walk runs — on the coordinating thread for the serial path, or
+/// on the single worker that owns the shard when the cluster is admitted
+/// to the independence-sharded commit path (`DAB_COMMIT_SHARD`; see
+/// DESIGN.md "Parallel commit protocol"). Either way the calls for one
+/// scheduler are sequential in the fixed (cluster, SM, scheduler) order,
+/// and their arguments depend only on shard-local state, so policies
+/// never observe concurrent calls and decide identically at any
+/// `DAB_SIM_THREADS` and either knob setting. `pick` is invoked every
+/// cycle a scheduler has live warps — even when gating cleared all ready
+/// flags — so stateful policies (token rotation, round-robin cursors)
+/// advance identically under the serial and pooled engines.
 pub trait WarpScheduler: std::fmt::Debug + Send {
     /// The policy's kind tag.
     fn kind(&self) -> SchedKind;

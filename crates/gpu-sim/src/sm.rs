@@ -187,7 +187,11 @@ impl SchedulerCtx {
     }
 
     /// Re-evaluates batch completion (also called when dispatch finishes).
-    pub fn advance_completed(&mut self, no_more_arrivals: bool) {
+    /// Returns `true` when `completed_batches` advanced — the batch gate
+    /// opened for a later batch, so the event engine must re-arm
+    /// `ready_bound` (gated warps are excluded from the bound).
+    pub fn advance_completed(&mut self, no_more_arrivals: bool) -> bool {
+        let before = self.completed_batches;
         loop {
             let b = self.completed_batches;
             let size = self.batch_sizes.get(&b).copied().unwrap_or(0);
@@ -202,6 +206,7 @@ impl SchedulerCtx {
                 break;
             }
         }
+        self.completed_batches != before
     }
 
     /// Whether a warp of `batch` may issue atomics now (all earlier batches
@@ -432,21 +437,48 @@ impl Sm {
     }
 
     /// Recomputes scheduler `sched`'s exact ready bound from current warp
-    /// state. The event engine calls this after visiting a scheduler so a
-    /// stale-low bound (see [`SchedulerCtx::ready_bound`]) does not force a
-    /// visit every cycle.
-    pub fn recompute_ready_bound(&mut self, sched: usize) {
+    /// state, excluding warps parked by the batch gate (they are woken by
+    /// the gate-opening sites: warp retirement and dispatch completion).
+    /// The event engine's incremental maintenance uses this as its oracle:
+    /// after a retirement (which may open the gate) the bound is recomputed
+    /// exactly; elsewhere it is maintained from per-view `bound_at` values.
+    pub fn recompute_ready_bound(&mut self, sched: usize, det_aware: bool, srr_like: bool) {
         let mut bound = u64::MAX;
+        let sctx = &self.schedulers[sched];
         let mut slot = sched;
         while slot < self.warps.len() {
             if let Some(w) = &self.warps[slot] {
                 if w.state == WarpState::Ready && !w.finished() {
-                    bound = bound.min(w.next_ready);
+                    let gated_now = det_aware
+                        && !sctx.batch_may_issue_atomics(w.batch)
+                        && (w.next_is_atomic() || srr_like);
+                    if !gated_now {
+                        bound = bound.min(w.next_ready);
+                    }
                 }
             }
             slot += self.num_schedulers;
         }
         self.schedulers[sched].ready_bound = bound;
+    }
+
+    /// Folds slot `slot`'s *current* timer bound into its scheduler's
+    /// `ready_bound`. The event engine calls this for the warp it just
+    /// issued from — the prebuilt view's `bound_at` predates the issue, so
+    /// the warp is re-evaluated live (its peers' `bound_at` values are
+    /// still valid and are folded directly).
+    pub fn note_slot_bound(&mut self, slot: usize, det_aware: bool, srr_like: bool) {
+        let Some(w) = &self.warps[slot] else { return };
+        if w.state != WarpState::Ready || w.finished() {
+            return;
+        }
+        let (sc, batch, next_is_atomic, t) = (w.sched, w.batch, w.next_is_atomic(), w.next_ready);
+        let sctx = &mut self.schedulers[sc];
+        let gated_now =
+            det_aware && !sctx.batch_may_issue_atomics(batch) && (next_is_atomic || srr_like);
+        if !gated_now {
+            sctx.note_ready(t);
+        }
     }
 
     /// SM-level ready bound: the minimum of its schedulers' bounds
@@ -465,6 +497,12 @@ impl Sm {
     /// gated batch may not issue anything, elsewhere only its atomics are
     /// held). Returns an empty vector when no warp is ready pre-gating.
     ///
+    /// The second return value is the scheduler's aggregate timer bound:
+    /// the minimum `bound_at` over all live warps (`u64::MAX` when every
+    /// warp waits on an event or the batch gate). It is exact at build
+    /// time, so the event engine can install it directly instead of
+    /// rescanning the warps after the visit.
+    ///
     /// This is a pure read of SM-local state — no interconnect, lock, or
     /// execution-model inputs — which is what lets the engine prebuild views
     /// for many clusters on worker threads. Model issue gating
@@ -476,25 +514,34 @@ impl Sm {
         cycle: u64,
         det_aware: bool,
         srr_like: bool,
-    ) -> Vec<WarpView> {
+    ) -> (Vec<WarpView>, u64) {
         let sctx = &self.schedulers[sched];
         let mut views: Vec<WarpView> = Vec::new();
         let mut any_ready = false;
+        let mut agg_bound = u64::MAX;
         let mut slot = sched;
         while slot < self.warps.len() {
             if let Some(w) = &self.warps[slot] {
                 debug_assert_eq!(w.sched, sched);
                 let next_is_atomic = w.next_is_atomic();
-                let mut ready =
-                    w.state == WarpState::Ready && w.next_ready <= cycle && !w.finished();
+                let timer_ready = w.state == WarpState::Ready && !w.finished();
+                // Later batches may not issue atomics; under SRR they may
+                // not issue anything. Gated warps have no timer bound —
+                // the gate-opening sites wake them.
+                let gated_now = det_aware
+                    && !sctx.batch_may_issue_atomics(w.batch)
+                    && (next_is_atomic || srr_like);
+                let bound_at = if timer_ready && !gated_now {
+                    w.next_ready
+                } else {
+                    u64::MAX
+                };
+                agg_bound = agg_bound.min(bound_at);
+                let mut ready = timer_ready && w.next_ready <= cycle;
                 let mut batch_gated = false;
-                if ready && det_aware && !sctx.batch_may_issue_atomics(w.batch) {
-                    // Later batches may not issue atomics; under SRR they
-                    // may not issue anything.
-                    if next_is_atomic || srr_like {
-                        ready = false;
-                        batch_gated = true;
-                    }
+                if ready && gated_now {
+                    ready = false;
+                    batch_gated = true;
                 }
                 views.push(WarpView {
                     slot,
@@ -505,16 +552,17 @@ impl Sm {
                     at_barrier: w.state == WarpState::WaitBarrier,
                     flush_wait: w.state == WarpState::WaitFlush,
                     batch_gated,
+                    bound_at,
                 });
                 any_ready |= ready;
             }
             slot += self.num_schedulers;
         }
         if !any_ready {
-            return Vec::new();
+            return (Vec::new(), agg_bound);
         }
         views.sort_unstable_by_key(|v| v.unique);
-        views
+        (views, agg_bound)
     }
 
     /// Writes one [`SchedCensus`] row per scheduler into `out`.
@@ -700,16 +748,81 @@ mod tests {
         let mut sm = sm();
         let c = cta(8, 32);
         sm.add_cta(&c, 0, 0, &metas_for(&c));
-        let views = sm.build_views(0, 0, false, false);
+        let (views, bound) = sm.build_views(0, 0, false, false);
         assert_eq!(views.len(), 2, "scheduler 0 owns 2 of the 8 warps");
         assert!(views.windows(2).all(|w| w[0].unique < w[1].unique));
         assert!(views.iter().all(|v| v.ready));
-        // Park every warp of scheduler 0: no pre-gating ready warp → empty.
+        assert_eq!(bound, 0, "aggregate bound tracks the earliest next_ready");
+        assert!(views.iter().all(|v| v.bound_at == 0));
+        // Park every warp of scheduler 0: no pre-gating ready warp → empty,
+        // and the aggregate bound reports "event-woken only".
         let slots: Vec<usize> = views.iter().map(|v| v.slot).collect();
         for slot in slots {
             sm.warps[slot].as_mut().expect("resident").state = WarpState::WaitMem;
         }
-        assert!(sm.build_views(0, 0, false, false).is_empty());
+        let (views, bound) = sm.build_views(0, 0, false, false);
+        assert!(views.is_empty());
+        assert_eq!(bound, u64::MAX);
+    }
+
+    #[test]
+    fn incremental_ready_bound_matches_scan_on_random_transitions() {
+        // Deterministic splitmix-style generator: no time- or
+        // platform-dependent seeding, so the sequence is identical on
+        // every run and host.
+        let mut state = 0x243f_6a88_85a3_08d3u64;
+        let mut rng = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        let mut sm = sm();
+        let c = cta(8, 32);
+        sm.add_cta(&c, 0, 0, &metas_for(&c));
+        let ns = sm.num_schedulers();
+        for step in 0..400u64 {
+            let cycle = step;
+            // One random warp transition, mirroring an engine site: a park
+            // (no note — stale-low is allowed), a wake (`note_ready`, as
+            // the six wake sites do), or an issue-side `next_ready` bump
+            // followed by the engine's post-issue `note_slot_bound`.
+            let slot = rng() as usize % sm.warps.len();
+            if let Some(w) = sm.warps[slot].as_mut() {
+                match rng() % 3 {
+                    0 => w.state = WarpState::WaitMem,
+                    1 => {
+                        w.state = WarpState::Ready;
+                        w.next_ready = cycle + rng() % 5;
+                        let (sched, t) = (w.sched, w.next_ready);
+                        sm.schedulers[sched].note_ready(t);
+                    }
+                    _ => {
+                        if w.state == WarpState::Ready {
+                            w.next_ready = cycle + 1 + rng() % 4;
+                            sm.note_slot_bound(slot, false, false);
+                        }
+                    }
+                }
+            }
+            for s in 0..ns {
+                // Between visits the incremental bound is a lower bound...
+                let incremental = sm.schedulers[s].ready_bound;
+                let (_, scanned) = sm.build_views(s, cycle, false, false);
+                assert!(
+                    incremental <= scanned,
+                    "step {step}: incremental bound {incremental} exceeds                      the scanned bound {scanned} for scheduler {s}"
+                );
+                // ...and the per-visit install (what the commit walk does
+                // with `build_views`' aggregate) is exactly the full scan.
+                sm.schedulers[s].ready_bound = scanned;
+                sm.recompute_ready_bound(s, false, false);
+                assert_eq!(
+                    sm.schedulers[s].ready_bound, scanned,
+                    "step {step}: installed aggregate diverges from the                      recompute oracle for scheduler {s}"
+                );
+            }
+        }
     }
 
     #[test]
@@ -738,7 +851,7 @@ mod tests {
             sm.warps[slot].as_mut().expect("resident").state = WarpState::WaitMem;
         }
         assert_eq!(sm.schedulers[0].ready_bound, 5, "stale-low is allowed");
-        sm.recompute_ready_bound(0);
+        sm.recompute_ready_bound(0, false, false);
         assert_eq!(sm.schedulers[0].ready_bound, u64::MAX);
         // A wake lowers it again; raising via note_ready is impossible.
         sm.schedulers[0].note_ready(9);

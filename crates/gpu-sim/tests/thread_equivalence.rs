@@ -8,10 +8,10 @@
 
 use proptest::prelude::*;
 
-use gpu_sim::config::GpuConfig;
+use gpu_sim::config::{EngineKind, GpuConfig};
 use gpu_sim::engine::GpuSim;
 use gpu_sim::exec::BaselineModel;
-use gpu_sim::isa::{AtomicAccess, AtomicOp, Instr, MemAccess, Value, WarpProgram};
+use gpu_sim::isa::{AtomicAccess, AtomicOp, Instr, LockKind, MemAccess, Value, WarpProgram};
 use gpu_sim::kernel::{CtaSpec, KernelGrid};
 use gpu_sim::ndet::NdetSource;
 
@@ -53,7 +53,24 @@ fn decode(opcode: u32, operand: u64, count: u32) -> Instr {
             )],
         },
         5 => Instr::Bar,
-        _ => Instr::Fence,
+        6 => Instr::Fence,
+        // Cross-cluster interaction on purpose: every warp contends on one
+        // of two shared ticket locks whose home cells sit in the same
+        // small window as the atomics above, so commit-sharding's
+        // `uses_locks`/same-partition fallbacks are genuinely exercised.
+        _ => Instr::LockedSection {
+            kind: if operand.is_multiple_of(2) {
+                LockKind::TestAndSet
+            } else {
+                LockKind::TestAndSetBackoff
+            },
+            lock_addr: 0x5_0000 + (operand % 2) * 0x40,
+            op: AtomicOp::AddF32,
+            accesses: (0..LANES)
+                .map(|l| AtomicAccess::new(l, 0x3_0000 + (operand % 4) * 4, Value::F32(1.0)))
+                .collect(),
+            critical_cycles: 1 + count % 3,
+        },
     }
 }
 
@@ -107,8 +124,23 @@ fn build_grid(raw: RawGrid) -> KernelGrid {
 }
 
 fn run(grid: &KernelGrid, threads: usize, ndet: NdetSource) -> (u64, u64, String) {
+    run_cfg(grid, threads, ndet, GpuConfig::tiny().engine, true)
+}
+
+/// Full-knob variant: engine and commit-sharding are explicit, so the
+/// commit-sharded and always-serial commit paths can be pinned against
+/// each other at every thread count for both engines.
+fn run_cfg(
+    grid: &KernelGrid,
+    threads: usize,
+    ndet: NdetSource,
+    engine: EngineKind,
+    commit_shard: bool,
+) -> (u64, u64, String) {
     let mut cfg = GpuConfig::tiny();
     cfg.sim_threads = threads;
+    cfg.engine = engine;
+    cfg.commit_shard = commit_shard;
     let sim = GpuSim::new(cfg, Box::new(BaselineModel::new()), ndet);
     let r = sim.run(std::slice::from_ref(grid));
     (r.cycles(), r.digest(), format!("{:?}", r.stats))
@@ -121,7 +153,7 @@ proptest! {
     fn random_traces_are_thread_count_invariant(
         raw in proptest::collection::vec(
             proptest::collection::vec(
-                proptest::collection::vec((0u32..7, 0u64..4, 0u32..8), 1..6),
+                proptest::collection::vec((0u32..8, 0u64..4, 0u32..8), 1..6),
                 1..3,
             ),
             1..5,
@@ -142,6 +174,37 @@ proptest! {
                 &run(&grid, threads, NdetSource::seeded(seed)),
                 "seed={}, threads={}", seed, threads
             );
+        }
+    }
+
+    /// Commit sharding is a throughput knob, never a results knob: for
+    /// both engines, the sharded commit walk at `sim_threads` ∈ {1, 2, 4}
+    /// is bit-identical (cycles, digest, full stats) to the always-serial
+    /// commit walk — on traces that force cross-cluster interaction
+    /// (shared ticket locks, same-partition atomics, barriers), so both
+    /// the independent fast path and the serial fallback run.
+    #[test]
+    fn commit_sharding_is_bit_identical_to_serial_commit(
+        raw in proptest::collection::vec(
+            proptest::collection::vec(
+                proptest::collection::vec((0u32..8, 0u64..4, 0u32..8), 1..6),
+                1..3,
+            ),
+            1..5,
+        ),
+        seed in any::<u64>(),
+    ) {
+        let grid = build_grid(raw);
+        for engine in [EngineKind::Dense, EngineKind::Event] {
+            let reference = run_cfg(&grid, 1, NdetSource::seeded(seed), engine, false);
+            for threads in [1usize, 2, 4] {
+                prop_assert_eq!(
+                    &reference,
+                    &run_cfg(&grid, threads, NdetSource::seeded(seed), engine, true),
+                    "sharded commit diverged: engine={:?}, threads={}, seed={}",
+                    engine, threads, seed
+                );
+            }
         }
     }
 }

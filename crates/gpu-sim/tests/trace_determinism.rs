@@ -19,7 +19,7 @@ use proptest::prelude::*;
 use gpu_sim::config::{EngineKind, GpuConfig};
 use gpu_sim::engine::GpuSim;
 use gpu_sim::exec::BaselineModel;
-use gpu_sim::isa::{AtomicAccess, AtomicOp, Instr, MemAccess, Value, WarpProgram};
+use gpu_sim::isa::{AtomicAccess, AtomicOp, Instr, LockKind, MemAccess, Value, WarpProgram};
 use gpu_sim::kernel::{CtaSpec, KernelGrid};
 use gpu_sim::ndet::NdetSource;
 
@@ -61,7 +61,24 @@ fn decode(opcode: u32, operand: u64, count: u32) -> Instr {
             )],
         },
         5 => Instr::Bar,
-        _ => Instr::Fence,
+        6 => Instr::Fence,
+        // Cross-cluster interaction on purpose: every warp contends on one
+        // of two shared ticket locks whose home cells sit in the same
+        // small window as the atomics above, so commit-sharding's
+        // `uses_locks`/same-partition fallbacks are genuinely exercised.
+        _ => Instr::LockedSection {
+            kind: if operand.is_multiple_of(2) {
+                LockKind::TestAndSet
+            } else {
+                LockKind::TestAndSetBackoff
+            },
+            lock_addr: 0x5_0000 + (operand % 2) * 0x40,
+            op: AtomicOp::AddF32,
+            accesses: (0..LANES)
+                .map(|l| AtomicAccess::new(l, 0x3_0000 + (operand % 4) * 4, Value::F32(1.0)))
+                .collect(),
+            critical_cycles: 1 + count % 3,
+        },
     }
 }
 
@@ -120,9 +137,21 @@ fn run_traced(
     threads: usize,
     seed: u64,
 ) -> (u64, u64, obs::Trace) {
+    run_traced_cfg(grid, engine, threads, seed, true)
+}
+
+/// Like [`run_traced`] with the commit-sharding knob explicit.
+fn run_traced_cfg(
+    grid: &KernelGrid,
+    engine: EngineKind,
+    threads: usize,
+    seed: u64,
+    commit_shard: bool,
+) -> (u64, u64, obs::Trace) {
     let mut cfg = GpuConfig::tiny();
     cfg.engine = engine;
     cfg.sim_threads = threads;
+    cfg.commit_shard = commit_shard;
     cfg.trace = obs::TraceMode::Full;
     cfg.trace_sample_interval = 64;
     let sim = GpuSim::new(
@@ -156,7 +185,7 @@ proptest! {
     fn traces_are_thread_and_engine_invariant(
         raw in proptest::collection::vec(
             proptest::collection::vec(
-                proptest::collection::vec((0u32..7, 0u64..4, 0u32..8), 1..6),
+                proptest::collection::vec((0u32..8, 0u64..4, 0u32..8), 1..6),
                 1..3,
             ),
             1..5,
@@ -172,6 +201,16 @@ proptest! {
             // across thread counts.
             prop_assert_eq!(t1.to_text(), t4.to_text(), "threads diverge, {:?}", engine);
             prop_assert_eq!((c1, d1), (c4, d4), "results diverge, {:?}", engine);
+            // ... and across the commit-sharding knob: a full trace keeps
+            // every cluster on the serial engine-backed commit path (the
+            // classifier excludes full-trace cycles), so shard-on and
+            // shard-off runs must serialize the identical trace.
+            let (cs, ds, ts) = run_traced_cfg(&grid, engine, 4, seed, false);
+            prop_assert_eq!(
+                t1.to_text(), ts.to_text(),
+                "commit sharding perturbed the trace, {:?}", engine
+            );
+            prop_assert_eq!((c1, d1), (cs, ds), "commit sharding diverged, {:?}", engine);
             // Observation never perturbs: untraced run agrees bitwise.
             prop_assert_eq!(
                 (c1, d1),

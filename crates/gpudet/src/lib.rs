@@ -53,7 +53,9 @@
 use std::collections::BTreeMap;
 
 use gpu_sim::config::GpuConfig;
-use gpu_sim::exec::{AtomicIssue, AtomicRoute, ExecutionModel, ModelCtx, StoreRoute, WarpId};
+use gpu_sim::exec::{
+    AtomicIssue, AtomicRoute, ExecutionModel, HookMask, ModelCtx, StoreRoute, WarpId,
+};
 use gpu_sim::kernel::CtaDistribution;
 use gpu_sim::mem::packet::{AtomKind, WarpRef};
 use gpu_sim::sched::SchedKind;
@@ -239,6 +241,12 @@ impl ExecutionModel for GpuDetModel {
 
     fn scheduler_kind(&self) -> SchedKind {
         SchedKind::Gto
+    }
+
+    fn commit_hook_mask(&self) -> HookMask {
+        // Quantum/serial-mode gating overrides `can_issue` for every warp,
+        // so no cluster is ever eligible for the parallel commit path.
+        HookMask::ALL
     }
 
     fn cta_distribution(&self, num_sms: usize) -> CtaDistribution {
