@@ -88,9 +88,9 @@ fn main() {
         let nr = &results[nr_id];
         proto_table.row(vec![
             b.name.clone(),
-            full.stats.counter("dab.flushes").to_string(),
-            full.stats.counter("dab.preflush_msgs").to_string(),
-            full.stats.counter("dab.flush_txs").to_string(),
+            full.stats.counter("det.dab.flushes").to_string(),
+            full.stats.counter("det.dab.preflush_msgs").to_string(),
+            full.stats.counter("det.dab.flush_txs").to_string(),
             ratio(full.cycles() as f64 / nr.cycles() as f64),
         ]);
     }

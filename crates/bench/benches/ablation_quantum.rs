@@ -55,7 +55,7 @@ fn main() {
             let r = &results[id];
             row.push(ratio(r.cycles() as f64 / base));
             if q == 200 {
-                let serial = r.stats.counter("gpudet.serial_cycles") as f64;
+                let serial = r.stats.counter("det.gpudet.serial_cycles") as f64;
                 serial_pct = format!("{:.0}%", 100.0 * serial / r.cycles() as f64);
             }
         }

@@ -4,12 +4,15 @@
 //!
 //! Each engine × workload combination runs the DAB model end to end under
 //! the vendored criterion harness, and the event engine additionally runs
-//! a `DAB_TRACE` sweep (off/summary/full) to price the observability
-//! layer. Digests are cross-checked between engines and across trace
-//! modes (the bench doubles as an equivalence smoke test), and the
-//! measured wall-clock, the event engine's activity counters, and the
-//! per-mode trace overheads are written to `BENCH_engine.json` for the CI
-//! artifact.
+//! a `DAB_TRACE` sweep (off/summary/full) plus a `DAB_PROFILE=1` phase-
+//! profiler run to price the observability layer. Digests are
+//! cross-checked between engines and across trace/profile modes (the
+//! bench doubles as an equivalence smoke test), and the measurements are
+//! written to `BENCH_engine.json` for the CI artifact, split per workload
+//! into a `det` block (bit-stable counters — `dab-perf compare` demands
+//! exact equality) and a `wall` block (host timings — compared with a
+//! tolerance). The profiled runs' collapsed-stack profile lands in
+//! `BENCH_engine.folded` next to it.
 //!
 //! Simulations take far longer than the stub's 100 ms calibration target,
 //! so `CRITERION_ITERS` defaults to 3 here; every reported wall-clock is
@@ -40,8 +43,9 @@ struct Measurement {
     best_secs: f64,
 }
 
-/// All measurements for one workload: the engine comparison plus the
-/// event-engine trace-mode sweep.
+/// All measurements for one workload: the engine comparison, the
+/// event-engine trace-mode sweep, and the `DAB_PROFILE=1` phase-profiler
+/// run.
 struct Row {
     name: &'static str,
     dense: Measurement,
@@ -49,6 +53,7 @@ struct Row {
     off: Measurement,
     summary: Measurement,
     full: Measurement,
+    profiled: Measurement,
 }
 
 fn config(engine: EngineKind) -> GpuConfig {
@@ -65,6 +70,14 @@ fn run(engine: EngineKind, kernels: &[KernelGrid]) -> RunReport {
 fn run_traced(engine: EngineKind, kernels: &[KernelGrid], trace: obs::TraceMode) -> RunReport {
     let mut cfg = config(engine);
     cfg.trace = trace;
+    let model = DabModel::new(&cfg, DabConfig::paper_default());
+    let sim = GpuSim::new(cfg, Box::new(model), NdetSource::seeded(1));
+    sim.run(kernels)
+}
+
+fn run_profiled(engine: EngineKind, kernels: &[KernelGrid]) -> RunReport {
+    let mut cfg = config(engine);
+    cfg.profile = true;
     let model = DabModel::new(&cfg, DabConfig::paper_default());
     let sim = GpuSim::new(cfg, Box::new(model), NdetSource::seeded(1));
     sim.run(kernels)
@@ -191,6 +204,28 @@ fn bench_engines(c: &mut Criterion) {
             });
             measured.push(last.expect("bencher ran at least once"));
         }
+        // Phase-profiler run (`DAB_PROFILE=1` equivalent), measured
+        // immediately after the unprofiled event run so the overhead
+        // ratio pairs the two closest-in-time measurements (host drift
+        // over a long benchmark group otherwise biases it). The span
+        // profiler is a host-side observation, so cycles and digest must
+        // reproduce the unprofiled run exactly.
+        let mut profiled_last: Option<Measurement> = None;
+        g.bench_function("event_profiled", |b| {
+            b.iter(|| {
+                let started = Instant::now();
+                let report = run_profiled(EngineKind::Event, &kernels);
+                let secs = started.elapsed().as_secs_f64();
+                let best = profiled_last
+                    .as_ref()
+                    .map_or(secs, |m| m.best_secs.min(secs));
+                profiled_last = Some(Measurement {
+                    report,
+                    best_secs: best,
+                });
+            });
+        });
+        let profiled = profiled_last.expect("bencher ran at least once");
         // Trace-overhead sweep on the event engine: off re-measures the
         // default configuration (bounding the cost of the disabled
         // instrumentation to measurement noise), summary/full measure the
@@ -232,6 +267,15 @@ fn bench_engines(c: &mut Criterion) {
                 "tracing perturbed the event engine on {name}"
             );
         }
+        assert_eq!(
+            (profiled.report.cycles(), profiled.report.digest()),
+            (event.report.cycles(), event.report.digest()),
+            "profiling perturbed the event engine on {name}"
+        );
+        assert!(
+            profiled.report.profile.is_some(),
+            "profiled run recorded no phase profile on {name}"
+        );
         let [off, summary, full] = <[Measurement; 3]>::try_from(traced)
             .ok()
             .expect("three trace modes measured");
@@ -242,6 +286,7 @@ fn bench_engines(c: &mut Criterion) {
             off,
             summary,
             full,
+            profiled,
         });
     }
     let replication = bench_replication_sweep(c);
@@ -274,52 +319,64 @@ fn write_json(rows: &[Row], replication: &ReplicationSweep) {
         let phase = row.event.report.phase_wall.secs();
         let full_stats = &row.full.report.stats;
         let comma = if i + 1 < rows.len() { "," } else { "" };
+        // Per-workload values split by namespace, mirroring the SimStats
+        // contract: everything under "det" is bit-stable for this scale
+        // and seed (dab-perf compares it exactly); everything under
+        // "wall" is a host timing (dab-perf applies a tolerance).
         let _ = write!(
             out,
-            "\n    {{ \"name\": \"{}\", \"cycles\": {}, \"digest\": \"0x{:016x}\",\n      \
-             \"dense_secs\": {:.6}, \"event_secs\": {:.6}, \"speedup\": {:.4},\n      \
+            "\n    {{ \"name\": \"{}\",\n      \
+             \"det\": {{ \"cycles\": {}, \"digest\": \"0x{:016x}\",\n        \
              \"cycles_skipped\": {}, \"wakeup_events\": {}, \"sms_ticked\": {}, \
-             \"scheduler_scans\": {},\n      \
+             \"scheduler_scans\": {},\n        \
              \"commit_parallel_cycles\": {}, \"commit_groups\": {}, \
-             \"partitions_ticked\": {},\n      \
-             \"phase_secs\": {{ \"prepare\": {:.6}, \"commit\": {:.6}, \"merge\": {:.6} }},\n      \
+             \"partitions_ticked\": {},\n        \
+             \"trace_events_full\": {}, \"trace_samples_full\": {} }},\n      \
+             \"wall\": {{ \"dense_secs\": {:.6}, \"event_secs\": {:.6}, \"speedup\": {:.4},\n        \
+             \"phase_secs\": {{ \"prepare\": {:.6}, \"commit\": {:.6}, \"merge\": {:.6} }},\n        \
              \"trace_off_overhead\": {:.4}, \"trace_summary_overhead\": {:.4}, \
-             \"trace_full_overhead\": {:.4},\n      \
-             \"trace_events_full\": {}, \"trace_samples_full\": {} }}{comma}",
+             \"trace_full_overhead\": {:.4}, \"profile_overhead\": {:.4} }} }}{comma}",
             row.name,
             row.event.report.cycles(),
             row.event.report.digest(),
+            stats.counter("det.engine.cycles_skipped"),
+            stats.counter("det.engine.wakeup_events"),
+            stats.counter("det.engine.sms_ticked"),
+            stats.counter("det.engine.scheduler_scans"),
+            stats.counter("det.engine.commit_parallel_cycles"),
+            stats.counter("det.engine.commit_groups"),
+            stats.counter("det.engine.partitions_ticked"),
+            full_stats.counter("det.obs.trace_events"),
+            full_stats.counter("det.obs.samples"),
             row.dense.best_secs,
             row.event.best_secs,
             speedup,
-            stats.counter("engine.cycles_skipped"),
-            stats.counter("engine.wakeup_events"),
-            stats.counter("engine.sms_ticked"),
-            stats.counter("engine.scheduler_scans"),
-            stats.counter("engine.commit_parallel_cycles"),
-            stats.counter("engine.commit_groups"),
-            stats.counter("engine.partitions_ticked"),
             phase.0,
             phase.1,
             phase.2,
             overhead(&row.off, &row.event),
             overhead(&row.summary, &row.event),
             overhead(&row.full, &row.event),
-            full_stats.counter("obs.trace_events"),
-            full_stats.counter("obs.samples"),
+            overhead(&row.profiled, &row.event),
         );
     }
     let max_off_overhead = rows
         .iter()
         .map(|r| overhead(&r.off, &r.event))
         .fold(f64::NEG_INFINITY, f64::max);
+    let max_profile_overhead = rows
+        .iter()
+        .map(|r| overhead(&r.profiled, &r.event))
+        .fold(f64::NEG_INFINITY, f64::max);
     let _ = write!(
         out,
         "\n  ],\n  \"geomean_speedup\": {:.4},\n  \"max_trace_off_overhead\": {:.4},\n  \
+         \"max_profile_overhead\": {:.4},\n  \
          \"replication_sweep\": {{ \"seeds\": {}, \"sequential_secs\": {:.6}, \
          \"batched_secs\": {:.6}, \"amortized_speedup\": {:.4} }}\n}}\n",
         geomean(&speedups),
         max_off_overhead,
+        max_profile_overhead,
         replication.seeds,
         replication.sequential_secs,
         replication.batched_secs,
@@ -330,6 +387,7 @@ fn write_json(rows: &[Row], replication: &ReplicationSweep) {
         Ok(()) => println!("results: {}", path.display()),
         Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
     }
+    write_folded(rows);
     println!(
         "engine hot loop: geomean event-engine speedup {:.2}x over dense",
         geomean(&speedups)
@@ -338,6 +396,24 @@ fn write_json(rows: &[Row], replication: &ReplicationSweep) {
         "replication sweep: {:.2}x amortized per-seed speedup over {} seeds",
         replication.amortized_speedup, replication.seeds
     );
+}
+
+/// Writes `BENCH_engine.folded` next to the JSON: the collapsed-stack
+/// phase profile of each workload's profiled run, frames prefixed by the
+/// workload name. Feed it to `dab-trace export --profile` for Perfetto
+/// counter tracks or to any flamegraph renderer.
+fn write_folded(rows: &[Row]) {
+    let mut folded = String::new();
+    for row in rows {
+        if let Some(profile) = &row.profiled.report.profile {
+            folded.push_str(&profile.to_collapsed(row.name));
+        }
+    }
+    let path = json_path().with_file_name("BENCH_engine.folded");
+    match std::fs::write(&path, &folded) {
+        Ok(()) => println!("profile: {}", path.display()),
+        Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+    }
 }
 
 /// `BENCH_engine.json` in `DAB_RESULTS_DIR` if set, else the repo root.

@@ -31,9 +31,9 @@ fn main() {
         let base = results.cycles(base_id) as f64;
         let det = &results[det_id];
         let total = det.cycles() as f64;
-        let parallel = det.stats.counter("gpudet.parallel_cycles") as f64;
-        let commit = det.stats.counter("gpudet.commit_cycles") as f64;
-        let serial = det.stats.counter("gpudet.serial_cycles") as f64;
+        let parallel = det.stats.counter("det.gpudet.parallel_cycles") as f64;
+        let commit = det.stats.counter("det.gpudet.commit_cycles") as f64;
+        let serial = det.stats.counter("det.gpudet.serial_cycles") as f64;
         let covered = (parallel + commit + serial).max(1.0);
         slowdowns.push(total / base);
         t.row(vec![

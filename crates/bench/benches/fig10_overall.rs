@@ -103,13 +103,13 @@ fn main() {
         activity.row(vec![
             b.name.clone(),
             s.cycles.to_string(),
-            s.counter("engine.cycles_skipped").to_string(),
-            s.counter("engine.wakeup_events").to_string(),
-            s.counter("engine.sms_ticked").to_string(),
-            s.counter("engine.scheduler_scans").to_string(),
-            s.counter("engine.commit_parallel_cycles").to_string(),
-            s.counter("engine.commit_groups").to_string(),
-            s.counter("engine.partitions_ticked").to_string(),
+            s.counter("det.engine.cycles_skipped").to_string(),
+            s.counter("det.engine.wakeup_events").to_string(),
+            s.counter("det.engine.sms_ticked").to_string(),
+            s.counter("det.engine.scheduler_scans").to_string(),
+            s.counter("det.engine.commit_parallel_cycles").to_string(),
+            s.counter("det.engine.commit_groups").to_string(),
+            s.counter("det.engine.partitions_ticked").to_string(),
         ]);
     }
     println!();

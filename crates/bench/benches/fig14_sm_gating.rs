@@ -57,8 +57,8 @@ fn main() {
             all.cycles().to_string(),
             g.cycles().to_string(),
             ratio(all.cycles() as f64 / g.cycles() as f64),
-            all.stats.counter("dab.fused_ops").to_string(),
-            g.stats.counter("dab.fused_ops").to_string(),
+            all.stats.counter("det.dab.fused_ops").to_string(),
+            g.stats.counter("det.dab.fused_ops").to_string(),
         ]);
     }
     println!();

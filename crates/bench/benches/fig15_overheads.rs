@@ -41,15 +41,17 @@ fn main() {
         let base = results.cycles(base_id) as f64;
         let dab = &results[dab_id];
         let total = dab.cycles() as f64;
-        let flush_cycles = dab.stats.counter("dab.flush_cycles") as f64;
+        let flush_cycles = dab.stats.counter("det.dab.flush_cycles") as f64;
         t.row(vec![
             b.name.clone(),
             ratio(total / base),
-            dab.stats.counter("dab.flushes").to_string(),
+            dab.stats.counter("det.dab.flushes").to_string(),
             format!("{flush_cycles:.0}"),
             format!("{:.0}%", 100.0 * flush_cycles / total),
-            dab.stats.counter("stall.atomic_buffer_full").to_string(),
-            dab.stats.counter("dab.fused_ops").to_string(),
+            dab.stats
+                .counter("det.stall.atomic_buffer_full")
+                .to_string(),
+            dab.stats.counter("det.dab.fused_ops").to_string(),
         ]);
     }
     println!();

@@ -63,8 +63,8 @@ fn main() {
                 off.cycles().to_string(),
                 on.cycles().to_string(),
                 ratio(speedup),
-                off.stats.counter("dab.flush_txs").to_string(),
-                on.stats.counter("dab.flush_txs").to_string(),
+                off.stats.counter("det.dab.flush_txs").to_string(),
+                on.stats.counter("det.dab.flush_txs").to_string(),
             ]);
         }
     }

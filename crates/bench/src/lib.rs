@@ -23,7 +23,10 @@ mod results;
 mod sweep;
 
 pub use results::ResultsSink;
-pub use sweep::{jobs_from_env, JobId, Sweep, SweepJob, SweepResults, SweepRun, JOBS_VAR};
+pub use sweep::{
+    jobs_from_env, progress_from_env, JobId, Sweep, SweepJob, SweepResults, SweepRun, JOBS_VAR,
+    PROGRESS_VAR,
+};
 
 use dab::{DabConfig, DabModel};
 use dab_workloads::scale::Scale;
@@ -49,15 +52,15 @@ pub struct Runner {
 impl Runner {
     /// Builds a runner from the environment (`DAB_SCALE`,
     /// `DAB_SIM_THREADS`, `DAB_ENGINE`, `DAB_TRACE`,
-    /// `DAB_TRACE_SAMPLE`).
+    /// `DAB_TRACE_SAMPLE`, `DAB_PROFILE`).
     ///
     /// # Panics
     ///
     /// Panics when `DAB_SIM_THREADS` is set to an invalid value (anything
     /// but a positive integer), `DAB_ENGINE` to anything but
     /// `dense`/`event`, `DAB_TRACE` to anything but
-    /// `off`/`summary`/`full`, or `DAB_TRACE_SAMPLE` to anything but a
-    /// positive integer.
+    /// `off`/`summary`/`full`, `DAB_TRACE_SAMPLE` to anything but a
+    /// positive integer, or `DAB_PROFILE` to anything but `0`/`1`.
     pub fn from_env() -> Self {
         let scale = Scale::from_env();
         let mut gpu = scale.gpu();
@@ -66,6 +69,7 @@ impl Runner {
         gpu.engine = gpu_sim::par::engine_from_env();
         gpu.trace = obs::trace_mode_from_env();
         gpu.trace_sample_interval = obs::sample_interval_from_env();
+        gpu.profile = obs::profile_from_env();
         Self {
             gpu,
             scale,

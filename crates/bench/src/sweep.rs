@@ -11,7 +11,9 @@
 //!
 //! Worker count comes from `DAB_JOBS` (default: available parallelism);
 //! tests that must not race on the environment use
-//! [`Runner::run_many_with_workers`] / [`Sweep::run_with_workers`]. This
+//! [`Runner::run_many_with_workers`] / [`Sweep::run_with_workers`].
+//! `DAB_PROGRESS=1` adds a per-job heartbeat line (completion count and a
+//! linear ETA) so long sweeps are observable from CI logs. This
 //! knob is orthogonal to `DAB_SIM_THREADS`, which parallelizes *inside* one
 //! simulation (see [`gpu_sim::par`]); both compose and neither changes any
 //! result bit.
@@ -41,6 +43,53 @@ use crate::Runner;
 
 /// Environment variable selecting how many sweep jobs run concurrently.
 pub const JOBS_VAR: &str = "DAB_JOBS";
+
+/// Environment variable enabling the sweep progress heartbeat
+/// (`DAB_PROGRESS=1`): one line per completed job with the running
+/// completion count and an ETA for the rest of the sweep.
+pub const PROGRESS_VAR: &str = "DAB_PROGRESS";
+
+/// Resolves the sweep progress heartbeat: `DAB_PROGRESS=1` turns it on,
+/// `0` or unset leaves it off.
+///
+/// # Panics
+///
+/// Panics when `DAB_PROGRESS` is set to anything other than `0` or `1` —
+/// a typo'd value must stop the run, not silently disable the heartbeat
+/// someone asked for.
+pub fn progress_from_env() -> bool {
+    match std::env::var(PROGRESS_VAR) {
+        Ok(raw) => match raw.as_str() {
+            "1" => true,
+            "0" => false,
+            other => panic!("{PROGRESS_VAR} must be `0` or `1`, got {other:?}"),
+        },
+        Err(std::env::VarError::NotPresent) => false,
+        Err(e) => panic!("{PROGRESS_VAR} is not valid unicode: {e}"),
+    }
+}
+
+/// Formats one progress heartbeat line: completion count, the job that
+/// just finished (with its own wall time), sweep elapsed, and a linear
+/// ETA extrapolated from the per-job completion rate so far.
+fn progress_line(
+    finished: usize,
+    total: usize,
+    label: &str,
+    job_wall: Duration,
+    sweep_elapsed: Duration,
+) -> String {
+    let remaining = total.saturating_sub(finished);
+    let eta = if finished == 0 {
+        Duration::ZERO
+    } else {
+        sweep_elapsed.mul_f64(remaining as f64 / finished as f64)
+    };
+    format!(
+        "    [{finished}/{total}] {label} done in {job_wall:.1?} \
+         (sweep {sweep_elapsed:.1?}, eta {eta:.1?})"
+    )
+}
 
 /// Resolves the sweep worker count: `DAB_JOBS` if set, otherwise the
 /// machine's available parallelism.
@@ -316,6 +365,9 @@ impl Runner {
         let units = plan_units(&jobs, replications, self.gpu.trace.enabled());
         let workers = workers.max(1).min(units.len().max(1));
         let next = AtomicUsize::new(0);
+        let progress = progress_from_env();
+        let done = AtomicUsize::new(0);
+        let sweep_started = Instant::now();
         let job_slots: Vec<Mutex<Option<SweepJob<'_>>>> =
             jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
         let result_slots: Vec<Mutex<Option<SweepRun>>> =
@@ -375,6 +427,19 @@ impl Runner {
                                 i + 1,
                                 report.cycles(),
                                 elapsed
+                            );
+                        }
+                        let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
+                        if progress {
+                            eprintln!(
+                                "{}",
+                                progress_line(
+                                    finished,
+                                    total,
+                                    &label,
+                                    elapsed,
+                                    sweep_started.elapsed()
+                                )
                             );
                         }
                         crate::maybe_write_trace(&label, &report);
@@ -591,6 +656,30 @@ mod tests {
         let solo: Vec<Vec<usize>> = (0..jobs.len()).map(|i| vec![i]).collect();
         assert_eq!(plan_units(&jobs, 4, true), solo);
         assert_eq!(plan_units(&jobs, 1, false), solo);
+    }
+
+    #[test]
+    fn progress_line_reports_eta() {
+        // 2 of 6 jobs done after 4s -> 4 remain at 2s/job -> eta 8s.
+        let line = progress_line(
+            2,
+            6,
+            "BC_1k/dab",
+            Duration::from_secs(1),
+            Duration::from_secs(4),
+        );
+        assert!(line.contains("[2/6]"), "{line}");
+        assert!(line.contains("BC_1k/dab"), "{line}");
+        assert!(line.contains("eta 8.0s"), "{line}");
+        // Everything done: eta hits zero.
+        let last = progress_line(
+            6,
+            6,
+            "tail",
+            Duration::from_secs(1),
+            Duration::from_secs(12),
+        );
+        assert!(last.contains("eta 0.0ns"), "{last}");
     }
 
     #[test]

@@ -45,6 +45,23 @@ use crate::flush::PartitionReorder;
 /// "every SM with an even SM id starts flushing at the 32nd index").
 const OFFSET_FLUSH_ROTATION: usize = 32;
 
+/// Distribution of per-SM flush stream sizes (entries drained from one
+/// SM's buffers per epoch). Bounds bracket the interesting regimes: empty
+/// streams, a single warp-wide atomic (32 lanes), partial buffers, and
+/// full default-capacity buffers.
+static FLUSH_ENTRIES_HIST: obs::HistSpec = obs::HistSpec {
+    name: "det.dab.flush_entries_hist",
+    bounds: &[0, 32, 128, 512, 2048],
+    buckets: &[
+        "det.dab.flush_entries_hist.le0",
+        "det.dab.flush_entries_hist.le32",
+        "det.dab.flush_entries_hist.le128",
+        "det.dab.flush_entries_hist.le512",
+        "det.dab.flush_entries_hist.le2048",
+        "det.dab.flush_entries_hist.le_inf",
+    ],
+};
+
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Phase {
     Idle,
@@ -112,6 +129,9 @@ pub struct DabModel {
     flush_busy_since: Option<u64>,
     /// Deferred statistic increments, drained into `SimStats` each tick.
     stat_deltas: Vec<(&'static str, u64)>,
+    /// Largest per-SM flush stream seen since the gauge was last drained
+    /// into `SimStats` (the `det.dab.flush_entries_max` high-watermark).
+    flush_entries_peak: u64,
     /// Deferred trace events (buffer fills, flush phases, flush-traffic
     /// injections), drained by the engine after each tick. Only populated
     /// when `gpu.trace` is enabled — all hooks that push run on the
@@ -167,6 +187,7 @@ impl DabModel {
             total_entries: 0,
             flush_busy_since: None,
             stat_deltas: Vec::new(),
+            flush_entries_peak: 0,
             trace_events: Vec::new(),
             bypassed: false,
             gpu: gpu.clone(),
@@ -333,12 +354,14 @@ impl DabModel {
                 preflush.push(Packet::new(p, Payload::PreFlush { sm, expected }, flit));
             }
             self.preflush_sent += parts as u64;
-            self.bump("dab.preflush_msgs", parts as u64);
+            self.bump("det.dab.preflush_msgs", parts as u64);
         }
         let n = packets.len() as u64;
         self.sent += n;
-        self.bump("dab.flush_entries", entries);
-        self.bump("dab.flush_txs", n);
+        self.bump("det.dab.flush_entries", entries);
+        self.bump("det.dab.flush_txs", n);
+        self.bump(FLUSH_ENTRIES_HIST.bucket_key(entries), 1);
+        self.flush_entries_peak = self.flush_entries_peak.max(entries);
         (preflush, packets)
     }
 
@@ -379,7 +402,7 @@ impl DabModel {
         for cluster in 0..self.gpu.num_clusters {
             self.enqueue_cluster_flush(cluster, with_preflush);
         }
-        self.bump("dab.flushes", 1);
+        self.bump("det.dab.flushes", 1);
         self.trace_flush(ctx.cycle, obs::FlushPhase::Start);
     }
 
@@ -389,7 +412,7 @@ impl DabModel {
         }
         self.flush_requested.iter_mut().for_each(|f| *f = false);
         if let Some(since) = self.flush_busy_since.take() {
-            self.bump("dab.flush_cycles", ctx.cycle - since);
+            self.bump("det.dab.flush_cycles", ctx.cycle - since);
         }
         self.phase = Phase::Idle;
         self.trace_flush(ctx.cycle, obs::FlushPhase::Complete);
@@ -489,13 +512,13 @@ impl DabModel {
                 self.cluster_active[c] = true;
                 self.flush_busy_since.get_or_insert(ctx.cycle);
                 self.enqueue_cluster_flush(c, false);
-                self.bump("dab.flushes", 1);
+                self.bump("det.dab.flushes", 1);
                 self.trace_flush(ctx.cycle, obs::FlushPhase::Start);
             }
         }
         if self.cluster_active.iter().all(|&a| !a) {
             if let Some(since) = self.flush_busy_since.take() {
-                self.bump("dab.flush_cycles", ctx.cycle - since);
+                self.bump("det.dab.flush_cycles", ctx.cycle - since);
                 self.trace_flush(ctx.cycle, obs::FlushPhase::Complete);
             }
         }
@@ -516,6 +539,38 @@ impl ExecutionModel for DabModel {
 
     fn scheduler_kind(&self) -> SchedKind {
         self.dab.scheduler
+    }
+
+    fn register_metrics(&self, registry: &mut obs::MetricsRegistry) {
+        registry.counter("det.dab.flushes", "global flush epochs started");
+        registry.counter(
+            "det.dab.flush_cycles",
+            "cycles some flush epoch was in progress",
+        );
+        registry.counter(
+            "det.dab.flush_entries",
+            "buffer entries drained across all flushes",
+        );
+        registry.counter(
+            "det.dab.flush_txs",
+            "flush transactions sent (post-coalescing packet count)",
+        );
+        registry.counter(
+            "det.dab.preflush_msgs",
+            "pre-flush protocol messages sent (strict ordering mode)",
+        );
+        registry.counter(
+            "det.dab.fused_ops",
+            "atomic operations absorbed by in-buffer fusion",
+        );
+        registry.histogram(
+            &FLUSH_ENTRIES_HIST,
+            "per-SM flush stream size distribution (entries per epoch)",
+        );
+        registry.gauge(
+            "det.dab.flush_entries_max",
+            "largest single per-SM flush stream of the run",
+        );
     }
 
     fn commit_hook_mask(&self) -> HookMask {
@@ -612,7 +667,7 @@ impl ExecutionModel for DabModel {
         self.total_entries += added;
         let fused = accesses.len() as u64 - added;
         if fused > 0 {
-            self.bump("dab.fused_ops", fused);
+            self.bump("det.dab.fused_ops", fused);
         }
         if self.trace_full() {
             self.trace_events.push(obs::Event::BufFill {
@@ -687,6 +742,13 @@ impl ExecutionModel for DabModel {
         }
         for (name, n) in std::mem::take(&mut self.stat_deltas) {
             ctx.stats.bump(name, n);
+        }
+        if self.flush_entries_peak > 0 {
+            ctx.stats
+                .gauge_max("det.dab.flush_entries_max", self.flush_entries_peak);
+            // The stats gauge keeps the max; reset so quiet ticks skip the
+            // map lookup.
+            self.flush_entries_peak = 0;
         }
     }
 
@@ -850,7 +912,7 @@ mod tests {
         );
         let report = GpuSim::new(gpu, Box::new(model), NdetSource::seeded(3)).run(&[grid]);
         assert_eq!(report.values.read_u32(0x100), 256);
-        assert!(report.stats.counter("dab.flushes") >= 1);
+        assert!(report.stats.counter("det.dab.flushes") >= 1);
     }
 
     #[test]
@@ -863,10 +925,11 @@ mod tests {
         };
         let with = run(true);
         let without = run(false);
-        assert!(with.stats.counter("dab.fused_ops") > 0);
-        assert_eq!(without.stats.counter("dab.fused_ops"), 0);
+        assert!(with.stats.counter("det.dab.fused_ops") > 0);
+        assert_eq!(without.stats.counter("det.dab.fused_ops"), 0);
         assert!(
-            with.stats.counter("dab.flush_entries") < without.stats.counter("dab.flush_entries")
+            with.stats.counter("det.dab.flush_entries")
+                < without.stats.counter("det.dab.flush_entries")
         );
     }
 
@@ -885,11 +948,13 @@ mod tests {
         };
         let with = run(true);
         let without = run(false);
-        assert!(with.stats.counter("dab.flush_txs") < without.stats.counter("dab.flush_txs"));
+        assert!(
+            with.stats.counter("det.dab.flush_txs") < without.stats.counter("det.dab.flush_txs")
+        );
         // Same entries either way.
         assert_eq!(
-            with.stats.counter("dab.flush_entries"),
-            without.stats.counter("dab.flush_entries")
+            with.stats.counter("det.dab.flush_entries"),
+            without.stats.counter("det.dab.flush_entries")
         );
     }
 
@@ -940,7 +1005,7 @@ mod tests {
         let model = DabModel::new(&gpu, DabConfig::paper_default());
         let report = GpuSim::new(gpu, Box::new(model), NdetSource::seeded(1)).run(&[grid]);
         assert_eq!(report.values.read_u32(0x40), 8);
-        assert!(report.stats.counter("dab.flushes") >= 1);
+        assert!(report.stats.counter("det.dab.flushes") >= 1);
     }
 
     #[test]
@@ -969,7 +1034,7 @@ mod tests {
         let report = GpuSim::new(gpu, Box::new(model), NdetSource::seeded(1)).run(&[grid]);
         assert_eq!(report.values.read_u32(0x40), 7);
         assert_eq!(report.values.read_u32(0x44), 2);
-        assert!(report.stats.counter("dab.flushes") >= 2);
+        assert!(report.stats.counter("det.dab.flushes") >= 2);
     }
 
     #[test]
@@ -1050,8 +1115,8 @@ mod tests {
         };
         let with_dab = run(false);
         let bypassed = run(true);
-        assert_eq!(bypassed.stats.counter("dab.flushes"), 0);
-        assert!(with_dab.stats.counter("dab.flushes") > 0);
+        assert_eq!(bypassed.stats.counter("det.dab.flushes"), 0);
+        assert!(with_dab.stats.counter("det.dab.flushes") > 0);
     }
 
     #[test]
@@ -1063,11 +1128,11 @@ mod tests {
         let report = GpuSim::new(gpu, Box::new(model), NdetSource::seeded(2)).run(&[grid]);
         // Without fusion every buffered op becomes exactly one flushed entry
         // and eventually one ROP op.
-        assert_eq!(report.stats.counter("dab.flush_entries"), expected);
-        assert_eq!(report.stats.counter("rop.ops"), expected);
+        assert_eq!(report.stats.counter("det.dab.flush_entries"), expected);
+        assert_eq!(report.stats.counter("det.rop.ops"), expected);
         // Coalescing merges same-sector entries: fewer transactions than
         // entries is the whole point.
-        assert!(report.stats.counter("dab.flush_txs") < expected);
+        assert!(report.stats.counter("det.dab.flush_txs") < expected);
     }
 
     #[test]
@@ -1076,8 +1141,8 @@ mod tests {
         let grid = order_sensitive_grid(12);
         let model = DabModel::new(&gpu, DabConfig::paper_default());
         let report = GpuSim::new(gpu.clone(), Box::new(model), NdetSource::seeded(1)).run(&[grid]);
-        let flushes = report.stats.counter("dab.flushes");
-        let msgs = report.stats.counter("dab.preflush_msgs");
+        let flushes = report.stats.counter("det.dab.flushes");
+        let msgs = report.stats.counter("det.dab.preflush_msgs");
         // One message per SM per partition per epoch.
         assert_eq!(
             msgs,
@@ -1094,8 +1159,8 @@ mod tests {
             DabConfig::paper_default().with_relaxation(Relaxation::Nr),
         );
         let report = GpuSim::new(gpu, Box::new(model), NdetSource::seeded(1)).run(&[grid]);
-        assert_eq!(report.stats.counter("dab.preflush_msgs"), 0);
-        assert!(report.stats.counter("dab.flushes") > 0);
+        assert_eq!(report.stats.counter("det.dab.preflush_msgs"), 0);
+        assert!(report.stats.counter("det.dab.flushes") > 0);
     }
 
     #[test]
@@ -1122,7 +1187,7 @@ mod tests {
         let model = DabModel::new(&gpu, DabConfig::warp_level());
         let report = GpuSim::new(gpu, Box::new(model), NdetSource::seeded(1)).run(&[grid]);
         assert_eq!(report.values.read_u32(0x40), 1);
-        assert!(report.stats.counter("dab.flushes") >= 1);
+        assert!(report.stats.counter("det.dab.flushes") >= 1);
     }
 
     #[test]
@@ -1139,8 +1204,8 @@ mod tests {
         let report = GpuSim::new(gpu, Box::new(model), NdetSource::seeded(1)).run(&[grid]);
         // Still exact: rotation must lose nothing.
         assert_eq!(
-            report.stats.counter("dab.flush_entries"),
-            report.stats.counter("rop.ops")
+            report.stats.counter("det.dab.flush_entries"),
+            report.stats.counter("det.rop.ops")
         );
     }
 

@@ -732,7 +732,7 @@ impl Cx<'_, '_> {
             .filter(|s| !sm.l1_mshrs.contains_key(s))
             .collect();
         if sm.l1_mshrs.len() + new_sectors.len() > sm.l1_mshr_capacity {
-            self.shard.stats.bump("stall.l1_mshr", 1);
+            self.shard.stats.bump("det.stall.l1_mshr", 1);
             return false;
         }
         let flits_needed = new_sectors.len() as u32;
@@ -854,7 +854,7 @@ impl Cx<'_, '_> {
             }
             AtomicRoute::StallFlush => {
                 self.set_flush_wait(local, slot);
-                self.shard.stats.bump("stall.atomic_buffer_full", 1);
+                self.shard.stats.bump("det.stall.atomic_buffer_full", 1);
                 false
             }
             AtomicRoute::ToMemory => {

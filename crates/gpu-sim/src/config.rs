@@ -141,6 +141,17 @@ pub struct GpuConfig {
     /// `DAB_TRACE_SAMPLE`). Rows land on cycles that are exact multiples
     /// of this interval; must be positive.
     pub trace_sample_interval: u64,
+
+    /// Whether the fine-grained engine span profiler is on (not a Table I
+    /// row: a simulator-host knob, set from `DAB_PROFILE`). When on, every
+    /// engine phase (partition tick, interconnect, issue prepare/commit,
+    /// outbox merge, event-wheel advance, ...) accumulates host wall-clock
+    /// into a [`obs::PhaseProfile`] attached to the run report. A
+    /// throughput knob only: profile data lives entirely in the `wall.*`
+    /// namespace and simulation results are bit-identical either way; when
+    /// off (the default) no timer is read, so the cost is one branch per
+    /// phase.
+    pub profile: bool,
 }
 
 /// Which cycle-loop implementation drives the simulation.
@@ -200,6 +211,7 @@ impl GpuConfig {
             commit_shard: true,
             trace: obs::TraceMode::Off,
             trace_sample_interval: obs::DEFAULT_SAMPLE_INTERVAL,
+            profile: false,
         }
     }
 

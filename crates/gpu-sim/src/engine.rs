@@ -66,6 +66,11 @@ pub struct RunReport {
     /// Per-phase host wall-clock breakdown (prepare/commit/merge). Like
     /// [`wall`](Self::wall), a throughput measurement only.
     pub phase_wall: PhaseWall,
+    /// Fine-grained engine span profile, present when the run was
+    /// configured with `cfg.profile` (`DAB_PROFILE=1`). Pure `wall.*`
+    /// host timing — excluded from every determinism comparison; the
+    /// simulated results are bit-identical with the profiler on or off.
+    pub profile: Option<obs::PhaseProfile>,
 }
 
 impl RunReport {
@@ -199,7 +204,7 @@ impl Dispatcher {
 /// every value is identical at any `DAB_SIM_THREADS`. The dense and event
 /// engines report different values *by design* — the event engine exists to
 /// visit less — so determinism comparisons between the two engines must
-/// ignore the `engine.*` stat keys these fold into.
+/// ignore the `det.engine.*` stat keys these fold into.
 #[derive(Debug, Default)]
 struct ActivityCounters {
     /// Cycles the engine never visited (event-wheel jumps plus the dense
@@ -302,6 +307,30 @@ pub struct GpuSim {
     /// so the trace's deterministic sections are byte-identical at any
     /// `DAB_SIM_THREADS` and for either engine.
     tracer: Option<Box<obs::Tracer>>,
+    /// Fine-grained engine span profiler, `None` when `cfg.profile` is off
+    /// (the off-mode cost is one null-check per phase boundary). All
+    /// accumulation happens on the coordinating thread; the data is pure
+    /// `wall.*` host timing and never touches [`SimStats`].
+    ///
+    /// The profiler *samples*: per-cycle spans are timed on one engine
+    /// step in [`PROFILE_SAMPLE_INTERVAL`] and scaled back up, keeping the
+    /// clock-read overhead well under the 2% budget even on hosts with
+    /// slow monotonic clocks (see [`Self::prof_start`]).
+    profile: Option<Box<obs::PhaseProfile>>,
+    /// True when the current engine step is a profiler sample step
+    /// (recomputed at the top of [`Self::kernel_step`]; always false with
+    /// the profiler off).
+    prof_sample: bool,
+    /// Engine steps taken so far, for the profiler's sampling clock. Runs
+    /// on executed steps, not cycle numbers, so the event engine's cycle
+    /// skipping cannot alias with the sample interval.
+    prof_steps: u64,
+    /// The run's metric schema: every `det.*` name this run is allowed to
+    /// emit, registered at construction by the engine, the interconnect,
+    /// the memory partitions, and the execution model. [`finish_report`]
+    /// checks the final stats maps against it, so typo'd or unregistered
+    /// bump sites fail the run instead of silently minting a new key.
+    registry: obs::MetricsRegistry,
 }
 
 /// Flattens a packet payload to its trace event class.
@@ -326,6 +355,14 @@ const DEADLOCK_HORIZON: u64 = 5_000_000;
 /// Large enough to amortize swapping lane working sets through the host
 /// caches, small enough that lanes still advance in rough lockstep.
 const REPLICATION_BURST: u64 = 4096;
+
+/// The span profiler times one engine step out of this many and scales
+/// the sampled durations back up (see [`GpuSim::prof_start`]): with ~15
+/// span boundaries per step and monotonic-clock reads costing hundreds of
+/// nanoseconds on some hosts, timing every step would cost more than the
+/// step itself. 16 keeps measured overhead under the 2% budget while
+/// still sampling every phase thousands of times on real workloads.
+const PROFILE_SAMPLE_INTERVAL: u32 = 16;
 
 impl GpuSim {
     /// Builds a simulator for `cfg` running `model`, with hardware timing
@@ -361,6 +398,11 @@ impl GpuSim {
         let icnt_cl_ndet = (0..cfg.num_clusters)
             .map(|c| ndet.split(0x3000_0000 + c as u64))
             .collect();
+        let mut registry = obs::MetricsRegistry::new();
+        Self::register_engine_metrics(&mut registry);
+        Interconnect::register_metrics(&mut registry);
+        MemPartition::register_metrics(&mut registry);
+        model.register_metrics(&mut registry);
         Self {
             icnt: Interconnect::new(&cfg),
             locks: LockManager::new(&cfg),
@@ -381,11 +423,94 @@ impl GpuSim {
                 .trace
                 .enabled()
                 .then(|| Box::new(obs::Tracer::new(cfg.trace, cfg.trace_sample_interval))),
+            profile: cfg.profile.then(Box::default),
+            prof_sample: false,
+            prof_steps: 0,
+            registry,
             cfg,
             last_progress_cycle: 0,
             activity: ActivityCounters::default(),
             commit_admit: Vec::new(),
             phase_wall: PhaseWall::default(),
+        }
+    }
+
+    /// Registers the engine-owned metric families: the coordinator-only
+    /// `det.engine.*` activity counters and `det.obs.*` trace counts, plus
+    /// the shard-side `det.stall.*` issue-stall counters charged by the
+    /// commit machinery.
+    fn register_engine_metrics(registry: &mut obs::MetricsRegistry) {
+        registry.counter(
+            "det.engine.cycles_skipped",
+            "cycles the engine never visited (event-wheel jumps, quiet fast-forward)",
+        );
+        registry.counter(
+            "det.engine.wakeup_events",
+            "warp sleep-to-ready transitions that re-armed a scheduler",
+        );
+        registry.counter(
+            "det.engine.sms_ticked",
+            "SMs entered by an issue phase (not skipped by the active-set walk)",
+        );
+        registry.counter(
+            "det.engine.scheduler_scans",
+            "full warp-array ready-bound rescans",
+        );
+        registry.counter(
+            "det.engine.commit_parallel_cycles",
+            "cycles with at least one cluster admitted to the sharded commit path",
+        );
+        registry.counter(
+            "det.engine.commit_groups",
+            "total cluster-commits admitted to the sharded path",
+        );
+        registry.counter(
+            "det.engine.partitions_ticked",
+            "partitions entered by tick_partitions (not skipped as sleeping)",
+        );
+        registry.counter(
+            "det.obs.trace_events",
+            "structured trace events recorded (tracing runs only)",
+        );
+        registry.counter(
+            "det.obs.samples",
+            "time-series sample rows recorded (tracing runs only)",
+        );
+        registry.counter("det.stall.l1_mshr", "issue stalls on a full L1 MSHR table");
+        registry.counter(
+            "det.stall.atomic_buffer_full",
+            "issue stalls on a full model-side atomic buffer",
+        );
+    }
+
+    /// Starts a profiler span: the current instant when profiling is on
+    /// *and* this engine step is a sample step, `None` (no timer read at
+    /// all) otherwise.
+    ///
+    /// Per-cycle spans are sampled rather than timed on every step: a
+    /// monotonic clock read can cost hundreds of nanoseconds on
+    /// virtualized hosts, and the engine crosses ~15 span boundaries per
+    /// step, which would dwarf a microsecond-scale simulated cycle.
+    /// Timing one step in [`PROFILE_SAMPLE_INTERVAL`] and scaling the
+    /// elapsed time back up keeps the per-phase totals an unbiased
+    /// estimate while bounding the overhead to well under the 2% budget.
+    /// The sampling clock counts *executed steps* (`prof_steps`), never
+    /// cycle numbers, and the profiler reads no simulated state — results
+    /// are bit-identical with profiling on or off.
+    #[inline]
+    fn prof_start(&self) -> Option<std::time::Instant> {
+        self.prof_sample.then(std::time::Instant::now)
+    }
+
+    /// Ends a profiler span started by [`prof_start`](Self::prof_start),
+    /// scaling the sampled duration by the sample interval so recorded
+    /// totals estimate full-run phase time.
+    #[inline]
+    fn prof_record(&mut self, phase: obs::Phase, started: Option<std::time::Instant>) {
+        if let Some(t) = started {
+            if let Some(p) = self.profile.as_deref_mut() {
+                p.record(phase, t.elapsed() * PROFILE_SAMPLE_INTERVAL);
+            }
         }
     }
 
@@ -571,37 +696,54 @@ impl GpuSim {
             let ps = p.stats();
             self.stats.l2_accesses += ps.l2_accesses;
             self.stats.l2_misses += ps.l2_misses;
-            self.stats.bump("rop.ops", ps.rop_ops);
+            self.stats.bump("det.rop.ops", ps.rop_ops);
             self.stats
-                .bump("rop.fill_stall_cycles", ps.rop_fill_stall_cycles);
-            self.stats.bump("dram.accesses", ps.dram_accesses);
+                .bump("det.rop.fill_stall_cycles", ps.rop_fill_stall_cycles);
+            self.stats.bump("det.dram.accesses", ps.dram_accesses);
         }
         // Always fold every activity key (zeroes included) so the stat
         // key set — and hence serialized output — is engine-independent.
         self.stats
-            .bump("engine.cycles_skipped", self.activity.cycles_skipped);
+            .bump("det.engine.cycles_skipped", self.activity.cycles_skipped);
         self.stats
-            .bump("engine.wakeup_events", self.activity.wakeup_events);
+            .bump("det.engine.wakeup_events", self.activity.wakeup_events);
         self.stats
-            .bump("engine.sms_ticked", self.activity.sms_ticked);
+            .bump("det.engine.sms_ticked", self.activity.sms_ticked);
         self.stats
-            .bump("engine.scheduler_scans", self.activity.scheduler_scans);
+            .bump("det.engine.scheduler_scans", self.activity.scheduler_scans);
         self.stats.bump(
-            "engine.commit_parallel_cycles",
+            "det.engine.commit_parallel_cycles",
             self.activity.commit_parallel_cycles,
         );
         self.stats
-            .bump("engine.commit_groups", self.activity.commit_groups);
+            .bump("det.engine.commit_groups", self.activity.commit_groups);
+        self.stats.bump(
+            "det.engine.partitions_ticked",
+            self.activity.partitions_ticked,
+        );
         self.stats
-            .bump("engine.partitions_ticked", self.activity.partitions_ticked);
-        // The `obs.*` family is coordinator-only and thread/engine-invariant
+            .bump("det.icnt.packets_routed", self.icnt.packets_moved());
+        // The `det.obs.*` family is coordinator-only and thread/engine-invariant
         // (deterministic trace sections only), but exists only when tracing
         // is enabled, so equivalence comparisons must fix the trace mode.
+        // One-shot span: timed directly (not through the sampled
+        // `prof_start` path) so it is never missed and never scaled.
+        let span = self.profile.is_some().then(std::time::Instant::now);
         let trace = self.tracer.take().map(|t| {
-            self.stats.bump("obs.trace_events", t.event_count());
-            self.stats.bump("obs.samples", t.sample_count());
+            self.stats.bump("det.obs.trace_events", t.event_count());
+            self.stats.bump("det.obs.samples", t.sample_count());
             t.finish()
         });
+        if let (Some(t), Some(p)) = (span, self.profile.as_deref_mut()) {
+            p.record(obs::Phase::TraceFinish, t.elapsed());
+        }
+        // Fail fast on any key that reached the stats maps without a
+        // matching registration (typo'd bump site or a model missing its
+        // register_metrics override).
+        self.registry
+            .assert_covers(self.stats.counters.keys().copied(), "run counters");
+        self.registry
+            .assert_covers(self.stats.gauges.keys().copied(), "run gauges");
         RunReport {
             model: self.model.name(),
             stats: self.stats,
@@ -610,6 +752,7 @@ impl GpuSim {
             wall: started.elapsed(),
             trace,
             phase_wall: self.phase_wall,
+            profile: self.profile.map(|p| *p),
         }
     }
 
@@ -648,6 +791,12 @@ impl GpuSim {
         pool: Option<&WorkerPool>,
         event: bool,
     ) -> bool {
+        if self.profile.is_some() {
+            self.prof_sample = self
+                .prof_steps
+                .is_multiple_of(u64::from(PROFILE_SAMPLE_INTERVAL));
+            self.prof_steps += 1;
+        }
         {
             // Emit any due time-series samples before this cycle's work
             // mutates state: a catch-up row for grid point `g` reads the
@@ -656,30 +805,50 @@ impl GpuSim {
             // dense loop — so the sample rows are engine- and
             // thread-invariant.
             if self.tracer.is_some() {
+                let span = self.prof_start();
                 self.emit_due_samples();
+                self.prof_record(obs::Phase::TraceSamples, span);
             }
+            let span = self.prof_start();
             self.tick_partitions();
+            self.prof_record(obs::Phase::Partitions, span);
+            let span = self.prof_start();
             self.icnt
                 .tick(self.cycle, &mut self.icnt_mem_ndet, &mut self.icnt_cl_ndet);
+            self.prof_record(obs::Phase::Icnt, span);
+            let span = self.prof_start();
             self.deliver_responses();
+            self.prof_record(obs::Phase::Responses, span);
+            let span = self.prof_start();
             self.tick_locks();
+            self.prof_record(obs::Phase::Locks, span);
             self.issue_all(pool, event);
             // Deterministic merge point: packets the issue phase staged in
             // per-cluster outboxes enter the interconnect in cluster-index
             // order, regardless of which worker produced them.
+            let span = self.prof_start();
             self.merge_outboxes();
+            self.prof_record(obs::Phase::Merge, span);
+            let span = self.prof_start();
             self.dispatch(grid, dispatcher);
+            self.prof_record(obs::Phase::Dispatch, span);
+            let span = self.prof_start();
             self.model_tick(dispatcher.all_dispatched(), pool);
+            self.prof_record(obs::Phase::ModelTick, span);
+            let span = self.prof_start();
             self.apply_wakes();
+            self.prof_record(obs::Phase::Wakes, span);
 
             if self.kernel_done(dispatcher) {
                 return true;
             }
+            let span = self.prof_start();
             if event {
                 self.advance_cycle_event();
             } else {
                 self.advance_cycle();
             }
+            self.prof_record(obs::Phase::Wheel, span);
             if self.cycle - self.last_progress_cycle >= DEADLOCK_HORIZON {
                 let mut dump = String::new();
                 for (sm_idx, sm) in self.sms().enumerate() {
@@ -1266,6 +1435,12 @@ impl GpuSim {
         }
         let commit_started = std::time::Instant::now();
         self.phase_wall.prepare += commit_started - prepare_started;
+        // Reuses the always-on `phase_wall` instants, so this span is
+        // free to record exactly (every cycle, unscaled) rather than
+        // through the sampled path.
+        if let Some(p) = self.profile.as_deref_mut() {
+            p.record(obs::Phase::Prepare, commit_started - prepare_started);
+        }
         self.issue_commit(pool, event);
         self.phase_wall.commit += commit_started.elapsed();
     }
@@ -1318,6 +1493,7 @@ impl GpuSim {
         let full_trace = self.trace_full();
         let mut taken_parts = 0u64;
         let mut admitted = 0u64;
+        let span = self.prof_start();
         for cl in 0..n {
             self.commit_admit[cl] = false;
             let shard = &self.clusters[cl];
@@ -1347,8 +1523,10 @@ impl GpuSim {
             self.activity.commit_parallel_cycles += 1;
             self.activity.commit_groups += admitted;
         }
+        self.prof_record(obs::Phase::CommitClassify, span);
 
         if self.cfg.commit_shard {
+            let span = self.prof_start();
             match pool {
                 Some(pool) if admitted > 0 => {
                     for cl in 0..n {
@@ -1385,15 +1563,20 @@ impl GpuSim {
                     }
                 }
             }
+            self.prof_record(obs::Phase::CommitParallel, span);
+            let span = self.prof_start();
             for cl in 0..n {
                 if !self.commit_admit[cl] {
                     self.with_engine_commit(cl, commit::commit_cluster);
                 }
             }
+            self.prof_record(obs::Phase::CommitSerial, span);
         } else {
+            let span = self.prof_start();
             for cl in 0..n {
                 self.with_engine_commit(cl, commit::commit_cluster);
             }
+            self.prof_record(obs::Phase::CommitSerial, span);
         }
     }
 

@@ -332,6 +332,15 @@ pub trait ExecutionModel: std::fmt::Debug + Send {
         None
     }
 
+    /// Registers every metric name this model may bump, called once at
+    /// simulator construction. A key bumped during the run that no
+    /// component registered makes `GpuSim::run` panic at the end of the
+    /// run, so models with counters must override this; models that bump
+    /// nothing keep the default no-op.
+    fn register_metrics(&self, registry: &mut obs::MetricsRegistry) {
+        let _ = registry;
+    }
+
     /// How CTAs are distributed to SMs under this model.
     fn cta_distribution(&self, num_sms: usize) -> CtaDistribution {
         CtaDistribution::Dynamic

@@ -168,6 +168,15 @@ impl Interconnect {
         Some(pkt)
     }
 
+    /// Registers the interconnect-owned metric family (`det.icnt.*`).
+    /// Called once per run at simulator construction.
+    pub fn register_metrics(registry: &mut obs::MetricsRegistry) {
+        registry.counter(
+            "det.icnt.packets_routed",
+            "packets delivered end-to-end by the interconnect (both directions)",
+        );
+    }
+
     /// Total packets delivered since construction.
     pub fn packets_moved(&self) -> u64 {
         self.packets_moved

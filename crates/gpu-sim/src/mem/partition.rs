@@ -142,6 +142,19 @@ impl MemPartition {
         }
     }
 
+    /// Registers the partition-owned metric families (`det.rop.*`,
+    /// `det.dram.*`). Called once per run (the families are shared by
+    /// every partition instance, so this is an associated function, not
+    /// per-instance).
+    pub fn register_metrics(registry: &mut obs::MetricsRegistry) {
+        registry.counter("det.rop.ops", "atomic operations retired by ROP units");
+        registry.counter(
+            "det.rop.fill_stall_cycles",
+            "cycles ROP units stalled waiting on DRAM fills",
+        );
+        registry.counter("det.dram.accesses", "DRAM accesses performed");
+    }
+
     /// This partition's index.
     pub fn id(&self) -> usize {
         self.id

@@ -15,23 +15,24 @@
 //!
 //! # Counter namespaces
 //!
-//! Dotted prefixes partition the [`counters`](SimStats::counters) map by
-//! owner and by determinism class:
+//! Every named metric lives in the `det.*` namespace of the
+//! [`obs::metrics`] registry — the full contract (namespace classes,
+//! merge ordering, coordinator-only families) is documented there and
+//! enforced here:
 //!
-//! * `dab.*`, `gpudet.*`, `rop.*`, `dram.*` — architectural counters bumped
-//!   by models and the memory system. Thread- and engine-invariant.
-//! * `engine.*` — coordinator-only activity accounting
-//!   (`cycles_skipped`, `wakeup_events`, ...). Thread-invariant but
-//!   **engine-variant by design**; equivalence comparisons strip them.
-//! * `obs.*` — coordinator-only observability accounting
-//!   (`obs.trace_events`, `obs.samples`), bumped once per run from the
-//!   tracer. Thread- and engine-invariant (the trace's deterministic
-//!   sections are identical across both axes), but present only when
-//!   `DAB_TRACE` is enabled, so equivalence comparisons must run both
-//!   sides at the same trace mode.
-//!
-//! Coordinator-only families must never be bumped on shard copies — see
-//! [`merge_shard`](SimStats::merge_shard).
+//! * [`bump`](SimStats::bump), [`gauge_max`](SimStats::gauge_max) and
+//!   [`observe`](SimStats::observe) panic — naming the offending key and
+//!   call site — on any key outside `det.*`. `wall.*` keys are rejected
+//!   outright, which is what guarantees host-timing data can never leak
+//!   into a results digest.
+//! * `GpuSim::run` checks every key that reached the maps against the
+//!   run's [`obs::MetricsRegistry`] at the end of the run, so a typo'd
+//!   or unregistered key fails fast. Direct string-key insertion without
+//!   a matching registration is deprecated; register new families at
+//!   component construction (`ExecutionModel::register_metrics` for
+//!   models).
+//! * Coordinator-only families (`det.engine.*`, `det.obs.*`) must never
+//!   be bumped on shard copies — see [`merge_shard`](SimStats::merge_shard).
 //!
 //! # Examples
 //!
@@ -42,8 +43,8 @@
 //! stats.cycles = 1000;
 //! stats.thread_instrs = 32_000;
 //! assert_eq!(stats.ipc(), 32.0);
-//! stats.bump("dab.flushes", 3);
-//! assert_eq!(stats.counter("dab.flushes"), 3);
+//! stats.bump("det.dab.flushes", 3);
+//! assert_eq!(stats.counter("det.dab.flushes"), 3);
 //! ```
 
 use std::collections::BTreeMap;
@@ -72,8 +73,28 @@ pub struct SimStats {
     /// Cycles in which at least one scheduler had a ready warp but could not
     /// issue because of interconnect backpressure.
     pub icnt_stall_cycles: u64,
-    /// Named model-specific counters (deterministically ordered).
+    /// Named `det.*` counters and histogram buckets (deterministically
+    /// ordered; merged by sum).
     pub counters: BTreeMap<&'static str, u64>,
+    /// Named `det.*` high-watermark gauges (merged by max).
+    pub gauges: BTreeMap<&'static str, u64>,
+}
+
+/// Panics unless `name` is a valid `det.*` metric name, blaming `site`.
+#[track_caller]
+fn check_det_key(name: &str) {
+    match obs::metrics::validate_name(name) {
+        Ok(obs::metrics::MetricClass::Wall) => panic!(
+            "SimStats rejects wall-clock metric {name:?}: wall.* values are \
+             timing-variant and must never enter the deterministic stats maps \
+             (use the span profiler / PhaseWall instead)"
+        ),
+        Ok(_) => {}
+        Err(e) => panic!(
+            "SimStats rejects {name:?}: {e}; every stats key must be a \
+             registered det.* metric (see obs::metrics)"
+        ),
+    }
 }
 
 impl SimStats {
@@ -115,7 +136,15 @@ impl SimStats {
     }
 
     /// Adds `n` to the named counter, creating it at zero if absent.
+    ///
+    /// # Panics
+    ///
+    /// Panics — naming the key and this call site — when `name` is not a
+    /// valid `det.*` metric name (unknown namespace, legacy unprefixed
+    /// key, or a `wall.*` key).
+    #[track_caller]
     pub fn bump(&mut self, name: &'static str, n: u64) {
+        check_det_key(name);
         *self.counters.entry(name).or_insert(0) += n;
     }
 
@@ -124,17 +153,45 @@ impl SimStats {
         self.counters.get(name).copied().unwrap_or(0)
     }
 
+    /// Raises the named high-watermark gauge to at least `v`.
+    ///
+    /// Gauges merge by `max` (not sum), which keeps a high-watermark
+    /// meaningful across shard folds and whole-run merges alike.
+    ///
+    /// # Panics
+    ///
+    /// Same key rules as [`bump`](Self::bump).
+    #[track_caller]
+    pub fn gauge_max(&mut self, name: &'static str, v: u64) {
+        check_det_key(name);
+        let g = self.gauges.entry(name).or_insert(0);
+        *g = (*g).max(v);
+    }
+
+    /// Reads a named gauge (0 if never set).
+    pub fn gauge(&self, name: &str) -> u64 {
+        self.gauges.get(name).copied().unwrap_or(0)
+    }
+
+    /// Records one sample into a fixed-bucket histogram: bumps the bucket
+    /// counter `value` falls into (see [`obs::metrics::HistSpec`]).
+    #[track_caller]
+    pub fn observe(&mut self, hist: &obs::metrics::HistSpec, value: u64) {
+        self.bump(hist.bucket_key(value), 1);
+    }
+
     /// Folds a per-cluster shard copy into the run total.
     ///
     /// This is [`merge`](Self::merge) plus the shard invariant: shard
     /// copies accumulate *issue-path* statistics only, so they must carry
     /// no `cycles` (the coordinator owns the clock and overwrites
-    /// `cycles` at the end of the run) and no coordinator-only `engine.*`
-    /// / `obs.*` counters. Summing `cycles` across shards would multiply
-    /// the clock by the cluster count; a coordinator-only counter bumped
-    /// on a shard would become dependent on the cluster-to-worker
-    /// assignment and silently break thread-invariance. Debug builds
-    /// assert both; release builds behave like [`merge`](Self::merge).
+    /// `cycles` at the end of the run) and no coordinator-only
+    /// `det.engine.*` / `det.obs.*` keys. Summing `cycles` across shards
+    /// would multiply the clock by the cluster count; a coordinator-only
+    /// counter bumped on a shard would become dependent on the
+    /// cluster-to-worker assignment and silently break thread-invariance.
+    /// Debug builds assert both; release builds behave like
+    /// [`merge`](Self::merge).
     pub fn merge_shard(&mut self, shard: &SimStats) {
         debug_assert_eq!(
             shard.cycles, 0,
@@ -144,18 +201,21 @@ impl SimStats {
             !shard
                 .counters
                 .keys()
-                .any(|k| k.starts_with("engine.") || k.starts_with("obs.")),
+                .chain(shard.gauges.keys())
+                .any(|k| obs::metrics::is_coordinator_only(k)),
             "coordinator-only counter bumped on a shard copy: {:?}",
             shard
                 .counters
                 .keys()
-                .filter(|k| k.starts_with("engine.") || k.starts_with("obs."))
+                .chain(shard.gauges.keys())
+                .filter(|k| obs::metrics::is_coordinator_only(k))
                 .collect::<Vec<_>>()
         );
         self.merge(shard);
     }
 
-    /// Merges another stats object into this one (summing every field).
+    /// Merges another stats object into this one: every fixed field and
+    /// counter is summed, gauges take the max.
     ///
     /// Note `cycles` is summed too, which is only correct when the two
     /// operands account disjoint time (e.g. whole independent runs). For
@@ -175,6 +235,10 @@ impl SimStats {
         self.icnt_stall_cycles += other.icnt_stall_cycles;
         for (k, v) in &other.counters {
             *self.counters.entry(k).or_insert(0) += v;
+        }
+        for (k, v) in &other.gauges {
+            let g = self.gauges.entry(k).or_insert(0);
+            *g = (*g).max(*v);
         }
     }
 }
@@ -215,10 +279,55 @@ mod tests {
     #[test]
     fn counters_accumulate() {
         let mut stats = SimStats::default();
-        stats.bump("x", 2);
-        stats.bump("x", 3);
-        assert_eq!(stats.counter("x"), 5);
-        assert_eq!(stats.counter("missing"), 0);
+        stats.bump("det.test.x", 2);
+        stats.bump("det.test.x", 3);
+        assert_eq!(stats.counter("det.test.x"), 5);
+        assert_eq!(stats.counter("det.test.missing"), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must live under the det. or wall. namespace")]
+    fn legacy_unprefixed_key_panics() {
+        SimStats::default().bump("dab.flushes", 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "wall.* values are")]
+    fn wall_key_panics() {
+        SimStats::default().bump("wall.phase.commit", 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "det.bad key")]
+    fn garbage_key_panics_naming_the_key() {
+        SimStats::default().gauge_max("det.bad key", 1);
+    }
+
+    #[test]
+    fn gauges_take_max() {
+        let mut stats = SimStats::default();
+        stats.gauge_max("det.test.peak", 4);
+        stats.gauge_max("det.test.peak", 2);
+        assert_eq!(stats.gauge("det.test.peak"), 4);
+        assert_eq!(stats.gauge("det.test.unset"), 0);
+    }
+
+    static HIST: obs::metrics::HistSpec = obs::metrics::HistSpec {
+        name: "det.test.h",
+        bounds: &[2, 8],
+        buckets: &["det.test.h.le2", "det.test.h.le8", "det.test.h.le_inf"],
+    };
+
+    #[test]
+    fn histogram_observation_bumps_buckets() {
+        let mut stats = SimStats::default();
+        stats.observe(&HIST, 1);
+        stats.observe(&HIST, 2);
+        stats.observe(&HIST, 5);
+        stats.observe(&HIST, 100);
+        assert_eq!(stats.counter("det.test.h.le2"), 2);
+        assert_eq!(stats.counter("det.test.h.le8"), 1);
+        assert_eq!(stats.counter("det.test.h.le_inf"), 1);
     }
 
     #[test]
@@ -228,19 +337,22 @@ mod tests {
             thread_instrs: 2,
             ..Default::default()
         };
-        a.bump("m", 1);
+        a.bump("det.test.m", 1);
+        a.gauge_max("det.test.g", 9);
         let mut b = SimStats {
             cycles: 10,
             thread_instrs: 20,
             ..Default::default()
         };
-        b.bump("m", 2);
-        b.bump("n", 7);
+        b.bump("det.test.m", 2);
+        b.bump("det.test.n", 7);
+        b.gauge_max("det.test.g", 4);
         a.merge(&b);
         assert_eq!(a.cycles, 11);
         assert_eq!(a.thread_instrs, 22);
-        assert_eq!(a.counter("m"), 3);
-        assert_eq!(a.counter("n"), 7);
+        assert_eq!(a.counter("det.test.m"), 3);
+        assert_eq!(a.counter("det.test.n"), 7);
+        assert_eq!(a.gauge("det.test.g"), 9, "gauges merge by max, not sum");
     }
 
     #[test]
@@ -250,10 +362,10 @@ mod tests {
             warp_instrs: 5,
             ..Default::default()
         };
-        shard.bump("dab.flushes", 2);
+        shard.bump("det.dab.flushes", 2);
         total.merge_shard(&shard);
         assert_eq!(total.warp_instrs, 5);
-        assert_eq!(total.counter("dab.flushes"), 2);
+        assert_eq!(total.counter("det.dab.flushes"), 2);
         assert_eq!(total.cycles, 0);
     }
 
@@ -275,7 +387,7 @@ mod tests {
     fn merge_shard_rejects_coordinator_only_counters() {
         let mut total = SimStats::default();
         let mut shard = SimStats::default();
-        shard.bump("engine.cycles_skipped", 1);
+        shard.bump("det.engine.cycles_skipped", 1);
         total.merge_shard(&shard);
     }
 

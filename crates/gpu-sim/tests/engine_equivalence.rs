@@ -7,7 +7,7 @@
 //! byte-identical at `sim_threads` 1 and 4, with non-determinism injection
 //! disabled and with a seeded stream.
 //!
-//! The only intentional divergence is the `engine.*` activity-counter
+//! The only intentional divergence is the `det.engine.*` activity-counter
 //! family (`cycles_skipped`, `wakeup_events`, `sms_ticked`,
 //! `scheduler_scans`): the event engine exists to make those differ, so
 //! the comparison strips them and checks everything else.
@@ -114,7 +114,7 @@ fn build_grid(raw: RawGrid) -> KernelGrid {
 
 /// Runs `grid` under the requested engine and returns the determinism
 /// triple: final cycle count, memory digest, and the statistics rendered
-/// with the by-design-divergent `engine.*` activity counters stripped.
+/// with the by-design-divergent `det.engine.*` activity counters stripped.
 fn run(
     grid: &KernelGrid,
     engine: EngineKind,
@@ -127,7 +127,7 @@ fn run(
     let sim = GpuSim::new(cfg, Box::new(BaselineModel::new()), ndet);
     let r = sim.run(std::slice::from_ref(grid));
     let mut stats = r.stats.clone();
-    stats.counters.retain(|k, _| !k.starts_with("engine."));
+    stats.counters.retain(|k, _| !k.starts_with("det.engine."));
     (r.cycles(), r.digest(), format!("{stats:?}"))
 }
 
@@ -180,10 +180,10 @@ fn event_engine_skips_cycles_on_idle_trace() {
     let sim = GpuSim::new(cfg, Box::new(BaselineModel::new()), NdetSource::disabled());
     let r = sim.run(std::slice::from_ref(&grid));
     assert!(
-        r.stats.counter("engine.cycles_skipped") > 0,
+        r.stats.counter("det.engine.cycles_skipped") > 0,
         "no cycles skipped: {:?}",
         r.stats.counters
     );
     // Skipped plus visited cycles must tile the run exactly.
-    assert!(r.stats.counter("engine.cycles_skipped") < r.cycles());
+    assert!(r.stats.counter("det.engine.cycles_skipped") < r.cycles());
 }

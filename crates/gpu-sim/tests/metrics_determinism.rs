@@ -1,0 +1,302 @@
+//! Property: the metrics surface honors the namespace contract end to
+//! end.
+//!
+//! Random microbench grids run under every `sim_threads` × engine ×
+//! `commit_shard` combination:
+//!
+//! - the **entire** `SimStats` value (fixed fields, every counter,
+//!   every gauge) is bit-identical at 1 and 4 simulation threads and
+//!   across the commit-sharding knob — including the coordinator-only
+//!   `det.engine.*` family, which must not depend on how clusters are
+//!   assigned to workers;
+//! - across dense vs. event engines, everything *except* the
+//!   engine-variant `det.engine.*` / `det.obs.*` families agrees
+//!   exactly (those two families are what
+//!   [`obs::metrics::is_coordinator_only`] names, and differing across
+//!   engines is their documented purpose);
+//! - no `wall.*` key ever appears in the stats maps, and every key that
+//!   does appear validates under [`obs::metrics::validate_name`] — the
+//!   run-time panic in `SimStats::bump` is exercised here from the
+//!   outside;
+//! - turning the span profiler on changes nothing: cycles, digest, and
+//!   the full stats value match a profiler-off run bit for bit, while
+//!   the profile itself is actually populated (otherwise the invariance
+//!   is vacuous).
+
+use proptest::prelude::*;
+
+use gpu_sim::config::{EngineKind, GpuConfig};
+use gpu_sim::engine::{GpuSim, RunReport};
+use gpu_sim::exec::BaselineModel;
+use gpu_sim::isa::{AtomicAccess, AtomicOp, Instr, LockKind, MemAccess, Value, WarpProgram};
+use gpu_sim::kernel::{CtaSpec, KernelGrid};
+use gpu_sim::ndet::NdetSource;
+use gpu_sim::stats::SimStats;
+
+const LANES: usize = 8;
+
+/// Decodes one drawn `(opcode, operand, count)` triple into an instruction
+/// (same shape as the engine-equivalence suite: small address window so
+/// warps collide on sectors, partitions, and atomic cells).
+fn decode(opcode: u32, operand: u64, count: u32) -> Instr {
+    match opcode {
+        0 => Instr::Alu {
+            cycles: 1 + count % 3,
+            count: 1 + count % 4,
+        },
+        1 => Instr::Load {
+            accesses: vec![MemAccess::per_lane_f32(
+                0x1_0000 + (operand % 4) * 0x100,
+                LANES,
+            )],
+        },
+        2 => Instr::Store {
+            accesses: vec![MemAccess::per_lane_f32(
+                0x2_0000 + (operand % 4) * 0x100,
+                LANES,
+            )],
+        },
+        3 => Instr::Red {
+            op: AtomicOp::AddU32,
+            accesses: (0..LANES)
+                .map(|l| AtomicAccess::new(l, 0x3_0000 + (operand % 4) * 4, Value::U32(1)))
+                .collect(),
+        },
+        4 => Instr::Atom {
+            op: AtomicOp::AddU32,
+            accesses: vec![AtomicAccess::new(
+                0,
+                0x4_0000 + (operand % 2) * 4,
+                Value::U32(3),
+            )],
+        },
+        5 => Instr::Bar,
+        6 => Instr::Fence,
+        _ => Instr::LockedSection {
+            kind: if operand.is_multiple_of(2) {
+                LockKind::TestAndSet
+            } else {
+                LockKind::TestAndSetBackoff
+            },
+            lock_addr: 0x5_0000 + (operand % 2) * 0x40,
+            op: AtomicOp::AddF32,
+            accesses: (0..LANES)
+                .map(|l| AtomicAccess::new(l, 0x3_0000 + (operand % 4) * 4, Value::F32(1.0)))
+                .collect(),
+            critical_cycles: 1 + count % 3,
+        },
+    }
+}
+
+/// Raw drawn shape: CTAs → warps → instruction triples.
+type RawGrid = Vec<Vec<Vec<(u32, u64, u32)>>>;
+
+/// Builds a grid from the raw draw, trimming every warp of a CTA to the
+/// same barrier count so barriers always release.
+fn build_grid(raw: RawGrid) -> KernelGrid {
+    let ctas = raw
+        .into_iter()
+        .enumerate()
+        .map(|(i, warps)| {
+            let decoded: Vec<Vec<Instr>> = warps
+                .into_iter()
+                .map(|instrs| {
+                    instrs
+                        .into_iter()
+                        .map(|(op, operand, count)| decode(op, operand, count))
+                        .collect()
+                })
+                .collect();
+            let min_bars = decoded
+                .iter()
+                .map(|p| p.iter().filter(|x| matches!(x, Instr::Bar)).count())
+                .min()
+                .unwrap_or(0);
+            let programs = decoded
+                .into_iter()
+                .map(|instrs| {
+                    let mut kept = 0usize;
+                    let body: Vec<Instr> = instrs
+                        .into_iter()
+                        .filter(|x| {
+                            if matches!(x, Instr::Bar) {
+                                kept += 1;
+                                kept <= min_bars
+                            } else {
+                                true
+                            }
+                        })
+                        .collect();
+                    WarpProgram::new(body, LANES)
+                })
+                .collect();
+            CtaSpec::new(i, programs)
+        })
+        .collect();
+    KernelGrid::new("random", ctas)
+}
+
+/// Runs `grid` under one configuration point.
+fn run(
+    grid: &KernelGrid,
+    engine: EngineKind,
+    threads: usize,
+    commit_shard: bool,
+    profile: bool,
+    seed: u64,
+) -> RunReport {
+    let mut cfg = GpuConfig::tiny();
+    cfg.engine = engine;
+    cfg.sim_threads = threads;
+    cfg.commit_shard = commit_shard;
+    cfg.profile = profile;
+    let sim = GpuSim::new(
+        cfg,
+        Box::new(BaselineModel::new()),
+        NdetSource::seeded(seed),
+    );
+    sim.run(std::slice::from_ref(grid))
+}
+
+/// Asserts the wall-exclusion and registration half of the contract on
+/// one stats value: every key present validates as `det.*`.
+fn assert_keys_are_det(stats: &SimStats) {
+    for key in stats.counters.keys().chain(stats.gauges.keys()) {
+        let class = obs::metrics::validate_name(key);
+        assert!(
+            matches!(
+                class,
+                Ok(obs::metrics::MetricClass::DetArch | obs::metrics::MetricClass::DetEngine)
+            ),
+            "stats map carries non-det key {key:?} (validated as {class:?})"
+        );
+        assert!(
+            !key.starts_with("wall."),
+            "wall-clock key {key:?} leaked into the deterministic stats"
+        );
+    }
+}
+
+/// Strips the engine-variant coordinator families (`det.engine.*`,
+/// `det.obs.*`) so two *different* engines can be compared on the
+/// metrics that must agree.
+fn engine_invariant(stats: &SimStats) -> SimStats {
+    let mut s = stats.clone();
+    s.counters
+        .retain(|k, _| !obs::metrics::is_coordinator_only(k));
+    s.gauges
+        .retain(|k, _| !obs::metrics::is_coordinator_only(k));
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn stats_are_thread_shard_and_engine_invariant(
+        raw in proptest::collection::vec(
+            proptest::collection::vec(
+                proptest::collection::vec((0u32..8, 0u64..4, 0u32..8), 1..6),
+                1..3,
+            ),
+            1..5,
+        ),
+        seed in any::<u64>(),
+    ) {
+        let grid = build_grid(raw);
+        let mut per_engine: Vec<RunReport> = Vec::new();
+        for engine in [EngineKind::Dense, EngineKind::Event] {
+            let base = run(&grid, engine, 1, true, false, seed);
+            assert_keys_are_det(&base.stats);
+            // Thread count and commit sharding must not move a single
+            // stats bit — including the coordinator-only det.engine.*
+            // family, which would expose the cluster-to-worker
+            // assignment if it were ever bumped on a shard copy.
+            for (threads, shard) in [(4, true), (1, false), (4, false)] {
+                let other = run(&grid, engine, threads, shard, false, seed);
+                prop_assert_eq!(
+                    &base.stats, &other.stats,
+                    "stats diverge at threads={} shard={} ({:?})",
+                    threads, shard, engine
+                );
+                prop_assert_eq!(
+                    (base.cycles(), base.digest()),
+                    (other.cycles(), other.digest()),
+                    "results diverge at threads={} shard={} ({:?})",
+                    threads, shard, engine
+                );
+            }
+            per_engine.push(base);
+        }
+        // Across engines everything but det.engine.* / det.obs.* agrees.
+        let [dense, event] = per_engine.as_slice() else { unreachable!() };
+        prop_assert_eq!(
+            engine_invariant(&dense.stats),
+            engine_invariant(&event.stats),
+            "engine-invariant stats differ between dense and event"
+        );
+        prop_assert_eq!(
+            (dense.cycles(), dense.digest()),
+            (event.cycles(), event.digest()),
+            "dense and event engines disagree on the run result"
+        );
+    }
+
+    #[test]
+    fn profiler_never_perturbs_the_run(
+        raw in proptest::collection::vec(
+            proptest::collection::vec(
+                proptest::collection::vec((0u32..8, 0u64..4, 0u32..8), 1..6),
+                1..3,
+            ),
+            1..5,
+        ),
+        seed in any::<u64>(),
+    ) {
+        let grid = build_grid(raw);
+        for engine in [EngineKind::Dense, EngineKind::Event] {
+            let off = run(&grid, engine, 1, true, false, seed);
+            let on = run(&grid, engine, 4, true, true, seed);
+            prop_assert!(off.profile.is_none());
+            prop_assert!(
+                on.profile.is_some(),
+                "profiling was requested but no profile came back"
+            );
+            prop_assert_eq!(
+                (off.cycles(), off.digest()),
+                (on.cycles(), on.digest()),
+                "profiler perturbed the run ({:?})", engine
+            );
+            prop_assert_eq!(
+                &off.stats, &on.stats,
+                "profiler perturbed the stats ({:?})", engine
+            );
+        }
+    }
+}
+
+/// The profile returned by a profiled run must actually contain spans —
+/// otherwise `profiler_never_perturbs_the_run` is vacuous.
+#[test]
+fn profiled_run_records_spans() {
+    let program = WarpProgram::new(
+        (0..8)
+            .map(|i| Instr::Load {
+                accesses: vec![MemAccess::per_lane_f32(0x1_0000 + i * 0x400, LANES)],
+            })
+            .collect(),
+        LANES,
+    );
+    let grid = KernelGrid::new("loads", vec![CtaSpec::new(0, vec![program])]);
+    let report = run(&grid, EngineKind::Event, 1, true, true, 0);
+    let profile = report.profile.expect("profiling was enabled");
+    let folded = profile.to_collapsed("loads");
+    assert!(
+        folded.lines().count() >= 2,
+        "expected several phase stacks, got:\n{folded}"
+    );
+    assert!(
+        folded.lines().all(|l| l.starts_with("loads;")),
+        "collapsed stacks must carry the workload prefix:\n{folded}"
+    );
+}

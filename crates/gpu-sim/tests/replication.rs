@@ -6,7 +6,7 @@
 //! single [`GpuSim::run_replicated`] bank whose lanes differ only in their
 //! `NdetSource` seed. Every lane's `RunReport` — final cycle, memory
 //! digest, per-kernel cycle breakdown, and the *full* statistics set
-//! including the `engine.*` activity counters — must be byte-identical to
+//! including the `det.engine.*` activity counters — must be byte-identical to
 //! its solo counterpart, at every combination of lane count (1 and 4) and
 //! `sim_threads` (1 and 4).
 //!

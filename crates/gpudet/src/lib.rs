@@ -243,6 +243,16 @@ impl ExecutionModel for GpuDetModel {
         SchedKind::Gto
     }
 
+    fn register_metrics(&self, registry: &mut obs::MetricsRegistry) {
+        registry.counter(
+            "det.gpudet.parallel_cycles",
+            "cycles spent in parallel mode",
+        );
+        registry.counter("det.gpudet.commit_cycles", "cycles spent in commit mode");
+        registry.counter("det.gpudet.serial_cycles", "cycles spent in serial mode");
+        registry.counter("det.gpudet.quanta", "quantum rounds completed");
+    }
+
     fn commit_hook_mask(&self) -> HookMask {
         // Quantum/serial-mode gating overrides `can_issue` for every warp,
         // so no cluster is ever eligible for the parallel commit path.
@@ -411,10 +421,10 @@ impl ExecutionModel for GpuDetModel {
             self.quanta,
         ];
         let names = [
-            "gpudet.parallel_cycles",
-            "gpudet.commit_cycles",
-            "gpudet.serial_cycles",
-            "gpudet.quanta",
+            "det.gpudet.parallel_cycles",
+            "det.gpudet.commit_cycles",
+            "det.gpudet.serial_cycles",
+            "det.gpudet.quanta",
         ];
         for i in 0..4 {
             let delta = totals[i] - self.reported[i];
@@ -535,8 +545,8 @@ mod tests {
     #[test]
     fn serial_mode_dominates_atomic_workloads() {
         let report = run(1, 16);
-        let serial = report.stats.counter("gpudet.serial_cycles");
-        let parallel = report.stats.counter("gpudet.parallel_cycles");
+        let serial = report.stats.counter("det.gpudet.serial_cycles");
+        let parallel = report.stats.counter("det.gpudet.parallel_cycles");
         assert!(serial > 0, "serial mode must be exercised");
         assert!(
             serial > parallel,
@@ -587,7 +597,7 @@ mod tests {
         let report = GpuSim::new(gpu, Box::new(model), NdetSource::seeded(1)).run(&[grid]);
         // Stores never hit the network in parallel mode.
         assert_eq!(report.stats.mem_transactions, 0);
-        assert!(report.stats.counter("gpudet.commit_cycles") > 0);
+        assert!(report.stats.counter("det.gpudet.commit_cycles") > 0);
     }
 
     #[test]
@@ -614,7 +624,7 @@ mod tests {
         let model = GpuDetModel::new(&gpu, GpuDetConfig::default());
         let report = GpuSim::new(gpu, Box::new(model), NdetSource::seeded(1)).run(&[grid]);
         assert_eq!(report.values.read_u32(0x40), 2);
-        assert!(report.stats.counter("gpudet.quanta") >= 2);
+        assert!(report.stats.counter("det.gpudet.quanta") >= 2);
     }
 
     #[test]
@@ -640,15 +650,15 @@ mod tests {
         let model = GpuDetModel::new(&gpu, cfg);
         let report = GpuSim::new(gpu, Box::new(model), NdetSource::seeded(1)).run(&[grid]);
         // 35 instructions at quantum 10 -> at least 4 quanta.
-        assert!(report.stats.counter("gpudet.quanta") >= 3);
+        assert!(report.stats.counter("det.gpudet.quanta") >= 3);
     }
 
     #[test]
     fn mode_cycles_cover_runtime() {
         let report = run(1, 8);
-        let covered = report.stats.counter("gpudet.parallel_cycles")
-            + report.stats.counter("gpudet.commit_cycles")
-            + report.stats.counter("gpudet.serial_cycles");
+        let covered = report.stats.counter("det.gpudet.parallel_cycles")
+            + report.stats.counter("det.gpudet.commit_cycles")
+            + report.stats.counter("det.gpudet.serial_cycles");
         assert!(covered > 0);
         assert!(covered <= report.cycles() + 1);
     }

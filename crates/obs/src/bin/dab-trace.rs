@@ -2,23 +2,27 @@
 //!
 //! ```text
 //! dab-trace diff <a.trace> <b.trace> [--window N] [--engine]
-//! dab-trace export <a.trace> [-o out.json]
-//! dab-trace show <a.trace>
+//! dab-trace export <a.trace> [-o out.json] [--profile <a.folded>]
+//! dab-trace show <a.trace> [--filter kind=<tok>] [--filter sm=<n>] [--filter warp=<sm>:<slot>]
 //! ```
 //!
 //! `diff` exits 0 when the deterministic sections agree, 1 with the
 //! bisector's first-divergence report when they do not, and 2 on usage or
 //! I/O errors. `export` writes Chrome trace-event JSON loadable in
-//! Perfetto. `show` prints per-kind event counts and the cycle span.
+//! Perfetto; `--profile` merges a collapsed-stack `.folded` profile (from
+//! a `DAB_PROFILE=1` run) as counter tracks. `show` prints per-kind event
+//! counts and the cycle span; `--filter` restricts the statistics (and
+//! prints the matching events) to one event kind, SM, or warp — repeat
+//! the flag to conjoin dimensions.
 
 use obs::diff::{first_divergence, render};
-use obs::{Event, Trace};
+use obs::{Event, Trace, TraceFilter};
 use std::process::ExitCode;
 
 const USAGE: &str = "usage:
   dab-trace diff <a.trace> <b.trace> [--window N] [--engine]
-  dab-trace export <a.trace> [-o out.json]
-  dab-trace show <a.trace>";
+  dab-trace export <a.trace> [-o out.json] [--profile <a.folded>]
+  dab-trace show <a.trace> [--filter kind=<tok>|sm=<n>|warp=<sm>:<slot>]...";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -86,6 +90,7 @@ fn cmd_diff(args: &[String]) -> ExitCode {
 fn cmd_export(args: &[String]) -> ExitCode {
     let mut input: Option<&String> = None;
     let mut output: Option<String> = None;
+    let mut profile_path: Option<String> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -93,6 +98,13 @@ fn cmd_export(args: &[String]) -> ExitCode {
                 Some(path) => output = Some(path.clone()),
                 None => {
                     eprintln!("-o needs a path\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--profile" => match it.next() {
+                Some(path) => profile_path = Some(path.clone()),
+                None => {
+                    eprintln!("--profile needs a .folded path\n{USAGE}");
                     return ExitCode::from(2);
                 }
             },
@@ -114,8 +126,27 @@ fn cmd_export(args: &[String]) -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    let profile = match &profile_path {
+        None => Vec::new(),
+        Some(path) => {
+            let text = match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("dab-trace: cannot read {path}: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            match obs::profile::parse_collapsed(&text) {
+                Ok(p) => p,
+                Err(e) => {
+                    eprintln!("dab-trace: {path}: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
     let out_path = output.unwrap_or_else(|| format!("{}.json", input.trim_end_matches(".trace")));
-    let json = obs::perfetto::to_chrome_json(&trace);
+    let json = obs::perfetto::to_chrome_json_with_profile(&trace, &profile);
     if let Err(e) = std::fs::write(&out_path, json) {
         eprintln!("dab-trace: cannot write {out_path}: {e}");
         return ExitCode::from(2);
@@ -125,7 +156,31 @@ fn cmd_export(args: &[String]) -> ExitCode {
 }
 
 fn cmd_show(args: &[String]) -> ExitCode {
-    let [path] = args else {
+    let mut path: Option<&String> = None;
+    let mut filter = TraceFilter::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--filter" => {
+                let Some(spec) = it.next() else {
+                    eprintln!(
+                        "--filter needs a spec (kind=..., sm=..., warp=<sm>:<slot>)\n{USAGE}"
+                    );
+                    return ExitCode::from(2);
+                };
+                if let Err(e) = filter.apply(spec) {
+                    eprintln!("dab-trace: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+            _ if path.is_none() => path = Some(arg),
+            _ => {
+                eprintln!("{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let Some(path) = path else {
         eprintln!("{USAGE}");
         return ExitCode::from(2);
     };
@@ -136,47 +191,149 @@ fn cmd_show(args: &[String]) -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    println!("mode: {}", trace.mode);
-    println!("sample interval: {} cycles", trace.sample_interval);
-    let span = trace
-        .arch
+    print!("{}", render_show(&trace, &filter));
+    ExitCode::SUCCESS
+}
+
+/// Renders the `show` report: header, cycle span, per-kind counts, and —
+/// when a filter is active — the matching events themselves, in trace
+/// order. Split from `cmd_show` so the unit tests below cover it.
+fn render_show(trace: &Trace, filter: &TraceFilter) -> String {
+    use std::fmt::Write as _;
+
+    let mut out = String::new();
+    let _ = writeln!(out, "mode: {}", trace.mode);
+    let _ = writeln!(out, "sample interval: {} cycles", trace.sample_interval);
+    let kept: Vec<&Event> = trace.arch.iter().filter(|ev| filter.matches(ev)).collect();
+    let span = kept
         .iter()
-        .map(Event::cycle)
-        .chain(trace.samples.iter().map(|s| s.cycle))
+        .map(|ev| ev.cycle())
+        .chain(
+            if filter.is_active() {
+                // Sample rows are machine-wide; a dimension filter excludes them.
+                &[] as &[obs::Sample]
+            } else {
+                &trace.samples
+            }
+            .iter()
+            .map(|s| s.cycle),
+        )
         .fold(None::<(u64, u64)>, |acc, c| match acc {
             None => Some((c, c)),
             Some((lo, hi)) => Some((lo.min(c), hi.max(c))),
         });
     match span {
-        Some((lo, hi)) => println!("cycle span: {lo}..={hi}"),
-        None => println!("cycle span: empty"),
+        Some((lo, hi)) => {
+            let _ = writeln!(out, "cycle span: {lo}..={hi}");
+        }
+        None => {
+            let _ = writeln!(out, "cycle span: empty");
+        }
     }
     let mut counts: Vec<(&'static str, usize)> = Vec::new();
-    for ev in &trace.arch {
-        let name = match ev {
-            Event::Issue { .. } => "issue",
-            Event::Sleep { .. } => "sleep",
-            Event::Wake { .. } => "wake",
-            Event::LockGrant { .. } => "lock_grant",
-            Event::IcntInject { .. } => "icnt_inject",
-            Event::IcntEject { .. } => "icnt_eject",
-            Event::PartReq { .. } => "part_req",
-            Event::PartResp { .. } => "part_resp",
-            Event::DramAccess { .. } => "dram",
-            Event::BufFill { .. } => "buf_fill",
-            Event::Flush { .. } => "flush",
-            Event::ModeChange { .. } => "mode_change",
-        };
+    for ev in &kept {
+        let name = ev.kind_name();
         match counts.iter_mut().find(|(n, _)| *n == name) {
             Some((_, c)) => *c += 1,
             None => counts.push((name, 1)),
         }
     }
-    println!("arch events: {}", trace.arch.len());
-    for (name, c) in counts {
-        println!("  {name}: {c}");
+    if filter.is_active() {
+        let _ = writeln!(
+            out,
+            "arch events: {} matching (of {})",
+            kept.len(),
+            trace.arch.len()
+        );
+    } else {
+        let _ = writeln!(out, "arch events: {}", trace.arch.len());
     }
-    println!("samples: {}", trace.samples.len());
-    println!("engine skip spans: {}", trace.skips.len());
-    ExitCode::SUCCESS
+    for (name, c) in counts {
+        let _ = writeln!(out, "  {name}: {c}");
+    }
+    if filter.is_active() {
+        for ev in &kept {
+            let _ = writeln!(out, "{}", ev.describe());
+        }
+    } else {
+        let _ = writeln!(out, "samples: {}", trace.samples.len());
+        let _ = writeln!(out, "engine skip spans: {}", trace.skips.len());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obs::{InstrKind, SleepReason, TraceMode};
+
+    fn demo_trace() -> Trace {
+        Trace {
+            mode: TraceMode::Full,
+            sample_interval: 8,
+            arch: vec![
+                Event::Issue {
+                    cycle: 1,
+                    sm: 0,
+                    sched: 0,
+                    slot: 2,
+                    unique: 5,
+                    pc: 0,
+                    kind: InstrKind::Red,
+                },
+                Event::Issue {
+                    cycle: 2,
+                    sm: 1,
+                    sched: 1,
+                    slot: 0,
+                    unique: 9,
+                    pc: 1,
+                    kind: InstrKind::Alu,
+                },
+                Event::Sleep {
+                    cycle: 3,
+                    sm: 1,
+                    slot: 0,
+                    reason: SleepReason::Mem,
+                },
+            ],
+            samples: Vec::new(),
+            skips: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn show_unfiltered_counts_all_kinds() {
+        let out = render_show(&demo_trace(), &TraceFilter::default());
+        assert!(out.contains("arch events: 3"));
+        assert!(out.contains("  issue: 2"));
+        assert!(out.contains("  sleep: 1"));
+        assert!(out.contains("cycle span: 1..=3"));
+    }
+
+    #[test]
+    fn show_filter_by_sm_restricts_counts_and_lists_events() {
+        let mut filter = TraceFilter::default();
+        filter.apply("sm=1").unwrap();
+        let out = render_show(&demo_trace(), &filter);
+        assert!(out.contains("arch events: 2 matching (of 3)"));
+        assert!(out.contains("  issue: 1"));
+        assert!(out.contains("  sleep: 1"));
+        assert!(out.contains("cycle span: 2..=3"));
+        // The matching events are printed in trace order.
+        let issue_at = out.find("issue").expect("issue line");
+        let sleep_at = out.rfind("sleep").expect("sleep line");
+        assert!(issue_at < sleep_at);
+    }
+
+    #[test]
+    fn show_filter_by_kind_and_warp_conjoin() {
+        let mut filter = TraceFilter::default();
+        filter.apply("kind=issue").unwrap();
+        filter.apply("warp=0:2").unwrap();
+        let out = render_show(&demo_trace(), &filter);
+        assert!(out.contains("arch events: 1 matching (of 3)"));
+        assert!(out.contains("  issue: 1"));
+        assert!(!out.contains("sleep: 1"));
+    }
 }

@@ -10,7 +10,7 @@
 //!
 //! The `[engine]` section (cycle-skip spans) is engine-variant by design
 //! and is only compared when explicitly requested, mirroring how the
-//! equivalence CI jobs strip the `engine.*` statistics counters.
+//! equivalence CI jobs strip the `det.engine.*` statistics counters.
 
 use crate::event::{Event, Sample, SkipSpan};
 use crate::trace::Trace;

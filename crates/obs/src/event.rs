@@ -348,6 +348,56 @@ impl Event {
         }
     }
 
+    /// Stable lowercase kind token, used by `dab-trace show` counts and
+    /// `--filter kind=<token>`.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Event::Issue { .. } => "issue",
+            Event::Sleep { .. } => "sleep",
+            Event::Wake { .. } => "wake",
+            Event::LockGrant { .. } => "lock_grant",
+            Event::IcntInject { .. } => "icnt_inject",
+            Event::IcntEject { .. } => "icnt_eject",
+            Event::PartReq { .. } => "part_req",
+            Event::PartResp { .. } => "part_resp",
+            Event::DramAccess { .. } => "dram",
+            Event::BufFill { .. } => "buf_fill",
+            Event::Flush { .. } => "flush",
+            Event::ModeChange { .. } => "mode_change",
+        }
+    }
+
+    /// Every [`kind_name`](Self::kind_name) token, in taxonomy order.
+    pub fn kind_names() -> &'static [&'static str] {
+        &[
+            "issue",
+            "sleep",
+            "wake",
+            "lock_grant",
+            "icnt_inject",
+            "icnt_eject",
+            "part_req",
+            "part_resp",
+            "dram",
+            "buf_fill",
+            "flush",
+            "mode_change",
+        ]
+    }
+
+    /// The SM index when the event names one (warp events and DAB buffer
+    /// fills).
+    pub fn sm(&self) -> Option<u32> {
+        match *self {
+            Event::Issue { sm, .. }
+            | Event::Sleep { sm, .. }
+            | Event::Wake { sm, .. }
+            | Event::LockGrant { sm, .. }
+            | Event::BufFill { sm, .. } => Some(sm),
+            _ => None,
+        }
+    }
+
     /// `(sm, slot)` when the event names a specific warp.
     pub fn warp(&self) -> Option<(u32, u32)> {
         match *self {

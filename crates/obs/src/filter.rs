@@ -1,0 +1,222 @@
+//! Deterministic trace-event filtering for `dab-trace show --filter`.
+//!
+//! A [`TraceFilter`] is a conjunction of up to three dimensions — event
+//! kind, SM index, and `(sm, slot)` warp — parsed from `--filter`
+//! specs of the form `kind=<token>`, `sm=<n>`, and `warp=<sm>:<slot>`.
+//! Filtering preserves trace order, so the output is as deterministic as
+//! the trace itself.
+//!
+//! # Examples
+//!
+//! ```
+//! use obs::filter::TraceFilter;
+//! use obs::Event;
+//!
+//! let mut f = TraceFilter::default();
+//! f.apply("kind=wake").unwrap();
+//! f.apply("sm=3").unwrap();
+//! let hit = Event::Wake { cycle: 9, sm: 3, slot: 1, site: obs::WakeSite::Barrier };
+//! let miss = Event::Wake { cycle: 9, sm: 4, slot: 1, site: obs::WakeSite::Barrier };
+//! assert!(f.matches(&hit));
+//! assert!(!f.matches(&miss));
+//! ```
+
+use crate::Event;
+
+/// A conjunctive event filter (all set dimensions must match).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TraceFilter {
+    /// Keep only events of this [`Event::kind_name`] token.
+    pub kind: Option<&'static str>,
+    /// Keep only events naming this SM ([`Event::sm`]).
+    pub sm: Option<u32>,
+    /// Keep only events naming this exact warp ([`Event::warp`]).
+    pub warp: Option<(u32, u32)>,
+}
+
+impl TraceFilter {
+    /// Whether any dimension is set.
+    pub fn is_active(&self) -> bool {
+        self.kind.is_some() || self.sm.is_some() || self.warp.is_some()
+    }
+
+    /// Parses one `--filter` spec into this filter. Specs are
+    /// `kind=<token>`, `sm=<n>`, or `warp=<sm>:<slot>`; repeating a
+    /// dimension is an error (a conjunction of two kinds matches
+    /// nothing, which is never what was meant).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the malformed or duplicate spec.
+    pub fn apply(&mut self, spec: &str) -> Result<(), String> {
+        let (dim, value) = spec
+            .split_once('=')
+            .ok_or_else(|| format!("filter {spec:?}: expected kind=..., sm=..., or warp=..."))?;
+        match dim {
+            "kind" => {
+                let token = Event::kind_names()
+                    .iter()
+                    .find(|&&k| k == value)
+                    .copied()
+                    .ok_or_else(|| {
+                        format!(
+                            "filter {spec:?}: unknown event kind {value:?}; one of: {}",
+                            Event::kind_names().join(", ")
+                        )
+                    })?;
+                if self.kind.replace(token).is_some() {
+                    return Err("duplicate kind= filter".into());
+                }
+            }
+            "sm" => {
+                let sm = value
+                    .parse::<u32>()
+                    .map_err(|_| format!("filter {spec:?}: sm must be an unsigned integer"))?;
+                if self.sm.replace(sm).is_some() {
+                    return Err("duplicate sm= filter".into());
+                }
+            }
+            "warp" => {
+                let (sm, slot) = value.split_once(':').ok_or_else(|| {
+                    format!("filter {spec:?}: warp takes <sm>:<slot>, e.g. warp=3:1")
+                })?;
+                let sm = sm
+                    .parse::<u32>()
+                    .map_err(|_| format!("filter {spec:?}: bad warp sm"))?;
+                let slot = slot
+                    .parse::<u32>()
+                    .map_err(|_| format!("filter {spec:?}: bad warp slot"))?;
+                if self.warp.replace((sm, slot)).is_some() {
+                    return Err("duplicate warp= filter".into());
+                }
+            }
+            other => {
+                return Err(format!(
+                    "filter {spec:?}: unknown dimension {other:?}; use kind=, sm=, or warp="
+                ))
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether an event survives the filter. Events lacking a filtered
+    /// dimension (e.g. a flush event under `sm=3`) are dropped: the
+    /// filter asks for events *about* that SM/warp.
+    pub fn matches(&self, event: &Event) -> bool {
+        if let Some(kind) = self.kind {
+            if event.kind_name() != kind {
+                return false;
+            }
+        }
+        if let Some(sm) = self.sm {
+            if event.sm() != Some(sm) {
+                return false;
+            }
+        }
+        if let Some(warp) = self.warp {
+            if event.warp() != Some(warp) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FlushPhase, InstrKind, SleepReason, WakeSite};
+
+    fn issue(sm: u32, slot: u32) -> Event {
+        Event::Issue {
+            cycle: 5,
+            sm,
+            sched: 0,
+            slot,
+            unique: 7,
+            pc: 0,
+            kind: InstrKind::Red,
+        }
+    }
+
+    #[test]
+    fn empty_filter_matches_everything() {
+        let f = TraceFilter::default();
+        assert!(!f.is_active());
+        assert!(f.matches(&issue(0, 0)));
+        assert!(f.matches(&Event::Flush {
+            cycle: 1,
+            phase: FlushPhase::Start
+        }));
+    }
+
+    #[test]
+    fn kind_filter_selects_one_kind() {
+        let mut f = TraceFilter::default();
+        f.apply("kind=sleep").unwrap();
+        assert!(f.matches(&Event::Sleep {
+            cycle: 2,
+            sm: 0,
+            slot: 1,
+            reason: SleepReason::Mem
+        }));
+        assert!(!f.matches(&issue(0, 1)));
+    }
+
+    #[test]
+    fn sm_filter_drops_other_sms_and_smless_events() {
+        let mut f = TraceFilter::default();
+        f.apply("sm=2").unwrap();
+        assert!(f.matches(&issue(2, 0)));
+        assert!(!f.matches(&issue(3, 0)));
+        // A flush names no SM; asking for sm=2 excludes it.
+        assert!(!f.matches(&Event::Flush {
+            cycle: 1,
+            phase: FlushPhase::Complete
+        }));
+    }
+
+    #[test]
+    fn warp_filter_needs_exact_sm_and_slot() {
+        let mut f = TraceFilter::default();
+        f.apply("warp=1:3").unwrap();
+        assert!(f.matches(&issue(1, 3)));
+        assert!(!f.matches(&issue(1, 4)));
+        assert!(!f.matches(&issue(2, 3)));
+        assert!(f.matches(&Event::Wake {
+            cycle: 8,
+            sm: 1,
+            slot: 3,
+            site: WakeSite::LoadResp
+        }));
+    }
+
+    #[test]
+    fn dimensions_conjoin() {
+        let mut f = TraceFilter::default();
+        f.apply("kind=issue").unwrap();
+        f.apply("sm=1").unwrap();
+        assert!(f.is_active());
+        assert!(f.matches(&issue(1, 0)));
+        assert!(!f.matches(&issue(0, 0)));
+        assert!(!f.matches(&Event::Sleep {
+            cycle: 2,
+            sm: 1,
+            slot: 0,
+            reason: SleepReason::Atom
+        }));
+    }
+
+    #[test]
+    fn malformed_specs_are_rejected() {
+        let mut f = TraceFilter::default();
+        assert!(f.apply("kind").is_err());
+        assert!(f.apply("kind=warp_dance").is_err());
+        assert!(f.apply("sm=minus").is_err());
+        assert!(f.apply("warp=3").is_err());
+        assert!(f.apply("warp=a:b").is_err());
+        assert!(f.apply("cycle=9").is_err());
+        f.apply("sm=1").unwrap();
+        assert!(f.apply("sm=2").is_err(), "duplicate dimension");
+    }
+}

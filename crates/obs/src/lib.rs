@@ -4,9 +4,11 @@
 //! structured trace event taxonomy ([`Event`]), the time-series sample grid
 //! ([`Sample`]), the trace container and its byte-stable text format
 //! ([`Trace`]), the recording side ([`Tracer`]), the first-divergence
-//! bisector ([`diff`]), and the Chrome trace-event / Perfetto exporter
-//! ([`perfetto`]). The simulator crates (`gpu-sim`, `dab`, `gpudet`,
-//! `bench`) depend on it; the `dab-trace` binary ships from here.
+//! bisector ([`diff`]), the Chrome trace-event / Perfetto exporter
+//! ([`perfetto`]), the typed metrics registry ([`metrics`]), and the
+//! engine span profiler ([`profile`]). The simulator crates (`gpu-sim`,
+//! `dab`, `gpudet`, `bench`) depend on it; the `dab-trace` binary ships
+//! from here.
 //!
 //! # Determinism contract
 //!
@@ -15,7 +17,7 @@
 //! trace of a given run is byte-identical at any `DAB_SIM_THREADS` and for
 //! the dense and event engines alike. Engine-variant data (cycle-skip
 //! spans) lives in the separate `[engine]` section, mirroring the
-//! `engine.*` statistics counters that the equivalence jobs strip: the
+//! `det.engine.*` statistics counters that the equivalence jobs strip: the
 //! bisector compares `[arch]` + `[samples]` by default and touches
 //! `[engine]` only on request.
 //!
@@ -27,15 +29,24 @@
 //!   must be a positive integer).
 //! * `DAB_TRACE_DIR` — when set, bench runners write one `<label>.trace`
 //!   file per run into this directory.
+//! * `DAB_PROFILE` — `0` (default) | `1`: enable the engine span
+//!   profiler. A throughput knob only — results are bit-identical either
+//!   way; all profile data lives in the `wall.*` namespace.
 
 pub mod diff;
 pub mod event;
+pub mod filter;
+pub mod metrics;
 pub mod perfetto;
+pub mod profile;
 pub mod trace;
 
 pub use event::{
     DetMode, Event, FlushPhase, InstrKind, PacketKind, Sample, SkipSpan, SleepReason, WakeSite,
 };
+pub use filter::TraceFilter;
+pub use metrics::{HistSpec, MetricClass, MetricsRegistry};
+pub use profile::{profile_from_env, Phase, PhaseProfile};
 pub use trace::{ParseError, Trace, Tracer};
 
 use std::fmt;

@@ -21,7 +21,27 @@ use crate::trace::Trace;
 
 /// Renders the whole trace as a Chrome trace-event JSON object.
 pub fn to_chrome_json(trace: &Trace) -> String {
+    to_chrome_json_with_profile(trace, &[])
+}
+
+/// Renders the trace plus a set of profiler counter tracks — collapsed-stack
+/// `(frame-path, microseconds)` pairs as parsed by
+/// [`crate::profile::parse_collapsed`]. Each pair becomes one `ph: "C"`
+/// counter sample on `pid 3`, named by its frame path, placed at `ts 0`.
+///
+/// The profile rides in as a *sidecar* at export time (from a `.folded`
+/// file) rather than living inside the trace: profile values are `wall.*`
+/// host timings, and embedding them in the trace format would break the
+/// trace's byte-identity across runs.
+pub fn to_chrome_json_with_profile(trace: &Trace, profile: &[(String, u64)]) -> String {
     let mut events: Vec<String> = Vec::new();
+
+    for (path, us) in profile {
+        events.push(format!(
+            "{{\"name\":\"{path}\",\"ph\":\"C\",\"ts\":0,\"pid\":3,\"tid\":2,\
+             \"args\":{{\"value\":{us}}}}}"
+        ));
+    }
 
     for ev in &trace.arch {
         events.push(render_arch_event(ev));
@@ -272,5 +292,29 @@ mod tests {
         let opens = json.matches('{').count();
         let closes = json.matches('}').count();
         assert_eq!(opens, closes);
+    }
+
+    #[test]
+    fn profile_sidecar_becomes_counter_tracks() {
+        let trace = Trace {
+            mode: TraceMode::Summary,
+            sample_interval: 8,
+            arch: Vec::new(),
+            samples: Vec::new(),
+            skips: Vec::new(),
+        };
+        let profile = vec![
+            ("engine;issue;prepare".to_string(), 1500),
+            ("engine;merge".to_string(), 42),
+        ];
+        let json = to_chrome_json_with_profile(&trace, &profile);
+        assert!(json.contains("\"name\":\"engine;issue;prepare\""));
+        assert!(json.contains("\"value\":1500"));
+        assert!(json.contains("\"name\":\"engine;merge\""));
+        // Sidecar-free export of the same trace is unchanged.
+        assert_eq!(
+            to_chrome_json(&trace),
+            to_chrome_json_with_profile(&trace, &[])
+        );
     }
 }

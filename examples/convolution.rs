@@ -62,10 +62,10 @@ fn main() {
             "{name:<21}{:>8} cycles ({:.2}x)  flushes={} entries={} txs={} fused={}",
             report.cycles(),
             report.cycles() as f64 / base.cycles() as f64,
-            report.stats.counter("dab.flushes"),
-            report.stats.counter("dab.flush_entries"),
-            report.stats.counter("dab.flush_txs"),
-            report.stats.counter("dab.fused_ops"),
+            report.stats.counter("det.dab.flushes"),
+            report.stats.counter("det.dab.flush_entries"),
+            report.stats.counter("det.dab.flush_txs"),
+            report.stats.counter("det.dab.fused_ops"),
         );
     }
     println!();

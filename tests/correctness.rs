@@ -163,7 +163,7 @@ fn statistics_are_consistent() {
     let grid = atomic_sum_grid(1024, OUTPUT_ADDR);
     let report = run(Box::new(BaselineModel::new()), std::slice::from_ref(&grid));
     assert_eq!(report.stats.atomics, 1024);
-    assert_eq!(report.stats.counter("rop.ops"), 1024);
+    assert_eq!(report.stats.counter("det.rop.ops"), 1024);
     assert!(report.stats.warp_instrs > 0);
     assert!(report.stats.thread_instrs >= report.stats.warp_instrs);
     assert!(report.stats.ipc() > 0.0);

@@ -192,7 +192,7 @@ fn relaxed_variants_execute_all_atomics() {
             report.stats.atomics, expected_atomics,
             "{relax:?} must not drop atomics"
         );
-        assert!(report.stats.counter("rop.ops") > 0);
+        assert!(report.stats.counter("det.rop.ops") > 0);
     }
 }
 
